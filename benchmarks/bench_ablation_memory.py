@@ -1,0 +1,84 @@
+"""Ablations of the memory system design choices (DESIGN.md).
+
+Two sweeps:
+
+* **HBM stripe width** — how many pseudo-channels one DMA burst is spread
+  over.  The data-stream pipeline needs enough bandwidth per burst to keep
+  the MPE fed; this sweep shows the knee.
+* **Buffer pool size / flush penalty** — the memory-reuse strategy's
+  sensitivity to the number of on-chip segments, and how expensive the
+  batch-drain policy of the baseline is as the pool shrinks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel import AcceleratorConfig, BufferConfig, SpeedLLMAccelerator
+from repro.core.report import format_table
+
+from conftest import save_result
+
+
+@pytest.mark.benchmark(group="ablation-hbm")
+@pytest.mark.parametrize("stripe", [1, 4, 16, 32])
+def test_hbm_stripe_sweep(benchmark, stories15m_checkpoint, results_dir, stripe):
+    """Decode latency of the full design vs DMA stripe width."""
+    config = AcceleratorConfig(hbm_stripe=stripe)
+
+    def run():
+        accel = SpeedLLMAccelerator(stories15m_checkpoint, config)
+        return accel.simulate_generation(n_prompt=8, n_generated=32,
+                                         position_stride=16)
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = {
+        "hbm_stripe": stripe,
+        "latency_ms": metrics.total_seconds * 1e3,
+        "decode_tokens_per_second": metrics.decode_tokens_per_second,
+        "hbm_gbytes": metrics.counters.hbm_bytes / 1e9,
+    }
+    benchmark.extra_info.update(row)
+    save_result(results_dir, f"ablation_hbm_stripe_{stripe}", row)
+    print("\n" + format_table([row]))
+    assert metrics.decode_tokens_per_second > 0
+
+
+@pytest.mark.benchmark(group="ablation-buffers")
+@pytest.mark.parametrize("n_segments", [2, 4, 8, 16])
+def test_buffer_pool_sweep_without_reuse(benchmark, stories15m_checkpoint,
+                                         results_dir, n_segments):
+    """How much the no-reuse policy costs as the segment pool shrinks.
+
+    With cyclic reuse the pool size barely matters; without it, every pool
+    drain pays the flush penalty, so small pools are punished — this is the
+    quantitative argument for the paper's memory allocation reuse strategy.
+    """
+    buffers = BufferConfig(n_segments=n_segments, segment_kb=128)
+
+    def run():
+        with_reuse = SpeedLLMAccelerator(
+            stories15m_checkpoint,
+            AcceleratorConfig(buffers=buffers, memory_reuse=True),
+        ).simulate_generation(n_prompt=8, n_generated=24, position_stride=16)
+        without_reuse = SpeedLLMAccelerator(
+            stories15m_checkpoint,
+            AcceleratorConfig(buffers=buffers, memory_reuse=False,
+                              name="speedllm-no-reuse"),
+        ).simulate_generation(n_prompt=8, n_generated=24, position_stride=16)
+        return with_reuse, without_reuse
+
+    with_reuse, without_reuse = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = {
+        "n_segments": n_segments,
+        "reuse_latency_ms": with_reuse.total_seconds * 1e3,
+        "no_reuse_latency_ms": without_reuse.total_seconds * 1e3,
+        "reuse_benefit": without_reuse.total_seconds / with_reuse.total_seconds,
+        "no_reuse_flushes": without_reuse.n_buffer_flushes,
+    }
+    benchmark.extra_info.update(row)
+    save_result(results_dir, f"ablation_buffers_{n_segments}", row)
+    print("\n" + format_table([row]))
+
+    assert row["reuse_benefit"] >= 1.0
+    assert without_reuse.n_buffer_flushes > 0

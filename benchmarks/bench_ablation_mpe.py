@@ -1,0 +1,47 @@
+"""Ablation: Matrix Processing Engine geometry (DESIGN.md design choice).
+
+The paper fixes one MPE configuration; this ablation sweeps the array
+shape to show where the stories15M decode stops being compute-bound and
+becomes memory-bound — the motivation for the co-design's balance between
+DSP usage and HBM streaming.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel import AcceleratorConfig, MPEConfig, SpeedLLMAccelerator
+from repro.core.report import format_table
+
+from conftest import save_result
+
+ARRAYS = [(32, 16), (64, 32), (128, 32), (128, 64)]
+
+
+@pytest.mark.benchmark(group="ablation-mpe")
+@pytest.mark.parametrize("rows,cols", ARRAYS, ids=[f"{r}x{c}" for r, c in ARRAYS])
+def test_mpe_geometry_sweep(benchmark, stories15m_checkpoint, results_dir, rows, cols):
+    """Latency and utilisation of the full design across MPE shapes."""
+    config = AcceleratorConfig(mpe=MPEConfig(rows=rows, cols=cols))
+
+    def run():
+        accel = SpeedLLMAccelerator(stories15m_checkpoint, config)
+        return accel, accel.simulate_generation(n_prompt=8, n_generated=32,
+                                                position_stride=16)
+
+    accel, metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = accel.resource_report()
+    row = {
+        "mpe": f"{rows}x{cols}",
+        "macs_per_cycle": rows * cols,
+        "dsp_fraction": report.fraction("dsp"),
+        "latency_ms": metrics.total_seconds * 1e3,
+        "decode_tokens_per_second": metrics.decode_tokens_per_second,
+        "mpe_utilization": metrics.mean_mpe_utilization,
+    }
+    benchmark.extra_info.update(row)
+    save_result(results_dir, f"ablation_mpe_{rows}x{cols}", row)
+    print("\n" + format_table([row]))
+
+    assert report.peak_fraction() < 1.0, "design must fit the U280"
+    assert metrics.decode_tokens_per_second > 0

@@ -1,0 +1,103 @@
+"""Ablation: quantisation precision and model scale.
+
+Two sweeps beyond the paper's single operating point:
+
+* **Weight precision** — int4 / int8 / fp16 weight streaming.  The
+  accelerator is weight-bandwidth bound, so precision translates almost
+  directly into decode throughput (and into accuracy loss, reported as the
+  relative weight-quantisation error).
+* **Model scale** — the llama2.c "stories" family (15M, 42M, 110M) on the
+  same accelerator, showing how the design's advantage persists as the
+  model grows toward the edge-deployment sizes the introduction motivates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import AcceleratorConfig, SpeedLLMAccelerator
+from repro.core.report import format_table
+from repro.llama.config import preset
+from repro.llama.checkpoint import synthesize_weights
+from repro.llama.quantization import QuantSpec, quantization_error
+
+from conftest import save_result
+
+
+@pytest.mark.benchmark(group="ablation-precision")
+@pytest.mark.parametrize("bits", [4, 8, 16])
+def test_weight_precision_sweep(benchmark, stories15m_checkpoint, results_dir, bits):
+    """Throughput and quantisation error across weight bit-widths."""
+    config = AcceleratorConfig(weight_bits=bits)
+
+    def run():
+        accel = SpeedLLMAccelerator(stories15m_checkpoint, config)
+        return accel.simulate_generation(n_prompt=8, n_generated=32,
+                                         position_stride=16)
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    sample_weight = stories15m_checkpoint.weights["layers.0.attention.wq.weight"]
+    error = (0.0 if bits >= 16
+             else quantization_error(sample_weight, QuantSpec(bits=bits, group_size=32)))
+    row = {
+        "weight_bits": bits,
+        "decode_tokens_per_second": metrics.decode_tokens_per_second,
+        "hbm_gbytes": metrics.counters.hbm_bytes / 1e9,
+        "weight_quantization_error": error,
+    }
+    benchmark.extra_info.update(row)
+    save_result(results_dir, f"ablation_precision_{bits}b", row)
+    print("\n" + format_table([row]))
+    assert metrics.decode_tokens_per_second > 0
+
+
+@pytest.mark.benchmark(group="ablation-precision")
+def test_lower_precision_is_faster(benchmark, stories15m_checkpoint):
+    """int4 streaming beats fp16 streaming on the bandwidth-bound decode."""
+
+    def run():
+        out = {}
+        for bits in (4, 16):
+            accel = SpeedLLMAccelerator(
+                stories15m_checkpoint, AcceleratorConfig(weight_bits=bits)
+            )
+            out[bits] = accel.simulate_generation(
+                n_prompt=4, n_generated=24, position_stride=16
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert (out[4].decode_tokens_per_second > out[16].decode_tokens_per_second)
+
+
+@pytest.mark.benchmark(group="ablation-scale")
+@pytest.mark.parametrize("model", ["stories15M", "stories42M", "stories110M"])
+def test_model_scale_sweep(benchmark, results_dir, model):
+    """Full design vs unoptimized baseline across the stories model family."""
+    config = preset(model)
+    checkpoint = synthesize_weights(config, seed=0)
+
+    def run():
+        full = SpeedLLMAccelerator(
+            checkpoint, AcceleratorConfig.variant("full")
+        ).simulate_generation(n_prompt=8, n_generated=24, position_stride=16)
+        unopt = SpeedLLMAccelerator(
+            checkpoint, AcceleratorConfig.variant("unoptimized")
+        ).simulate_generation(n_prompt=8, n_generated=24, position_stride=16)
+        return full, unopt
+
+    full, unopt = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = {
+        "model": model,
+        "n_params_millions": config.n_params() / 1e6,
+        "full_tokens_per_second": full.decode_tokens_per_second,
+        "unoptimized_tokens_per_second": unopt.decode_tokens_per_second,
+        "speedup": unopt.total_seconds / full.total_seconds,
+    }
+    benchmark.extra_info.update(row)
+    save_result(results_dir, f"ablation_scale_{model}", row)
+    print("\n" + format_table([row]))
+
+    assert row["speedup"] > 1.5, "the optimizations must help at every scale"
+    assert np.isfinite(row["full_tokens_per_second"])

@@ -1,0 +1,73 @@
+"""Figure 2(a): normalized end-to-end inference latency per design variant.
+
+Paper claim: the full SpeedLLM design delivers a latency speedup of up to
+4.8x over the unoptimized accelerator on the stories15M / TinyStories
+workload.  This benchmark regenerates the bar series (latency of every
+variant normalised to the unoptimized accelerator) and records the
+headline speedup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import format_table, render_bar_chart
+
+from conftest import save_result
+
+
+@pytest.mark.benchmark(group="fig2a")
+@pytest.mark.parametrize(
+    "variant", ["unoptimized", "no-pipeline", "no-reuse", "no-fusion", "full"]
+)
+def test_fig2a_variant_latency(benchmark, paper_runner, variant):
+    """Simulate one variant of Fig. 2(a) and report its inference latency."""
+    result = benchmark.pedantic(
+        paper_runner.run_variant, args=(variant,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["paper_label"] = result.paper_label
+    benchmark.extra_info["inference_latency_ms"] = result.latency_seconds * 1e3
+    benchmark.extra_info["total_cycles"] = result.metrics.total_cycles
+    benchmark.extra_info["decode_tokens_per_second"] = result.decode_tokens_per_second
+    assert result.metrics.total_cycles > 0
+
+
+@pytest.mark.benchmark(group="fig2a")
+def test_fig2a_normalized_latency_table(benchmark, paper_runner, results_dir):
+    """The full Fig. 2(a) series plus the headline 'up to 4.8x' number."""
+
+    def build_table():
+        normalized = paper_runner.fig2a_normalized_latency()
+        speedup = paper_runner.headline_speedup()
+        rows = []
+        for result in paper_runner.run_all():
+            rows.append({
+                "variant": result.variant,
+                "paper_label": result.paper_label,
+                "latency_ms": result.latency_seconds * 1e3,
+                "normalized_latency": normalized[result.variant],
+                "speedup_vs_unoptimized": 1.0 / normalized[result.variant],
+            })
+        return {"rows": rows, "headline_speedup": speedup,
+                "paper_headline_speedup": 4.8}
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    save_result(results_dir, "fig2a_normalized_latency", table)
+
+    print("\nFig. 2(a) — normalized inference latency (stories15M)")
+    print(format_table(table["rows"]))
+    print("\nnormalized latency (lower is better):")
+    print(render_bar_chart({r["variant"]: r["normalized_latency"]
+                            for r in table["rows"]}))
+    print(f"\nheadline speedup (full vs unoptimized): "
+          f"{table['headline_speedup']:.2f}x   (paper: up to 4.8x)")
+
+    # Reproduction acceptance: the shape of the figure must hold.
+    normalized = {r["variant"]: r["normalized_latency"] for r in table["rows"]}
+    assert normalized["unoptimized"] == pytest.approx(1.0)
+    assert normalized["full"] == min(normalized.values())
+    assert (normalized["full"] < normalized["no-reuse"]
+            < normalized["no-pipeline"] < 1.0)
+    # headline factor within the right regime ("up to 4.8x")
+    assert 3.5 < table["headline_speedup"] < 6.5

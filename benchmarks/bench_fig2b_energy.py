@@ -1,0 +1,85 @@
+"""Figure 2(b): effective energy (energy efficiency) per design variant.
+
+Paper claims (§3.2.2):
+
+* the full design is **1.18x** more energy-efficient than the unoptimized
+  accelerator ("higher throughput and comparable power use");
+* the full design is **1.01x** more energy-efficient than the no-fusion
+  variant ("mainly due to reduced redundant off-chip memory
+  communications").
+
+Energy efficiency here is output tokens per joule under the kernel-level
+"effective energy" accounting (see ``EnergyModelConfig.effective`` and
+EXPERIMENTS.md for the discussion of how this relates to whole-board
+energy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import format_table, render_bar_chart
+
+from conftest import save_result
+
+
+@pytest.mark.benchmark(group="fig2b")
+@pytest.mark.parametrize("variant", ["unoptimized", "no-pipeline", "no-fusion", "full"])
+def test_fig2b_variant_energy(benchmark, paper_runner, variant):
+    """Energy efficiency of one Fig. 2(b) design point."""
+    result = benchmark.pedantic(
+        paper_runner.run_variant, args=(variant,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["tokens_per_joule"] = result.tokens_per_joule
+    benchmark.extra_info["average_power_w"] = result.average_power_w
+    benchmark.extra_info["hbm_gbytes"] = result.metrics.counters.hbm_bytes / 1e9
+    assert result.tokens_per_joule > 0
+
+
+@pytest.mark.benchmark(group="fig2b")
+def test_fig2b_energy_efficiency_table(benchmark, paper_runner, results_dir):
+    """The full Fig. 2(b) series plus the two headline ratios."""
+
+    def build_table():
+        efficiency = paper_runner.fig2b_energy_efficiency()
+        results = {r.variant: r for r in paper_runner.run_all()}
+        rows = []
+        for variant in ("unoptimized", "no-pipeline", "no-fusion", "full"):
+            r = results[variant]
+            rows.append({
+                "variant": variant,
+                "paper_label": r.paper_label,
+                "tokens_per_joule": r.tokens_per_joule,
+                "relative_efficiency": efficiency[variant],
+                "average_power_w": r.average_power_w,
+                "energy_per_token_mj": 1e3 / r.tokens_per_joule,
+                "hbm_gbytes": r.metrics.counters.hbm_bytes / 1e9,
+            })
+        return {
+            "rows": rows,
+            "full_vs_unoptimized": efficiency["full"] / efficiency["unoptimized"],
+            "full_vs_no_fusion": efficiency["full"] / efficiency["no-fusion"],
+            "paper_full_vs_unoptimized": 1.18,
+            "paper_full_vs_no_fusion": 1.01,
+        }
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    save_result(results_dir, "fig2b_energy_efficiency", table)
+
+    print("\nFig. 2(b) — effective energy / energy efficiency (stories15M)")
+    print(format_table(table["rows"]))
+    print("\nrelative energy efficiency (higher is better):")
+    print(render_bar_chart({r["variant"]: r["relative_efficiency"]
+                            for r in table["rows"]}))
+    print(f"\nfull vs unoptimized: {table['full_vs_unoptimized']:.3f}x "
+          f"(paper: 1.18x)")
+    print(f"full vs no-fusion:   {table['full_vs_no_fusion']:.3f}x "
+          f"(paper: 1.01x)")
+
+    # Reproduction acceptance: the ordering and the regime of the ratios.
+    assert table["full_vs_unoptimized"] > 1.0
+    assert table["full_vs_unoptimized"] < 1.6          # modest, not ~speedup
+    assert 0.98 < table["full_vs_no_fusion"] < 1.1     # fusion is marginal
+    efficiencies = {r["variant"]: r["relative_efficiency"] for r in table["rows"]}
+    assert efficiencies["full"] == max(efficiencies.values())

@@ -1,0 +1,54 @@
+"""§3.2.1 throughput: decode-stage tokens per second.
+
+The paper defines throughput as "the ratio of output tokens to the
+duration of the decode stage".  This benchmark reports the decode
+throughput of the full SpeedLLM design and its baselines, and sweeps the
+decode length to show where the throughput settles (the KV cache grows
+with context, so tokens/s decreases slowly over the generation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import format_table
+from repro.core.runner import ExperimentConfig, ExperimentRunner
+
+from conftest import POSITION_STRIDE, save_result
+
+
+@pytest.mark.benchmark(group="throughput")
+@pytest.mark.parametrize("variant", ["unoptimized", "no-pipeline", "full"])
+def test_decode_throughput_per_variant(benchmark, paper_runner, variant):
+    """Decode tokens/s for the designs the paper discusses."""
+    result = benchmark.pedantic(
+        paper_runner.run_variant, args=(variant,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["decode_tokens_per_second"] = result.decode_tokens_per_second
+    assert result.decode_tokens_per_second > 0
+
+
+@pytest.mark.benchmark(group="throughput")
+@pytest.mark.parametrize("n_generated", [32, 64, 128, 192])
+def test_throughput_vs_decode_length(benchmark, stories15m_checkpoint,
+                                     results_dir, n_generated):
+    """Throughput of the full design across decode budgets (KV growth)."""
+    config = ExperimentConfig(
+        model="stories15M", variants=("full",), n_prompt=8,
+        n_generated=n_generated, position_stride=POSITION_STRIDE,
+        energy_accounting="effective",
+    )
+    runner = ExperimentRunner(config, checkpoint=stories15m_checkpoint)
+    result = benchmark.pedantic(runner.run_variant, args=("full",),
+                                rounds=1, iterations=1)
+    row = {
+        "n_generated": n_generated,
+        "decode_tokens_per_second": result.decode_tokens_per_second,
+        "latency_ms": result.latency_seconds * 1e3,
+        "mean_mpe_utilization": result.metrics.mean_mpe_utilization,
+    }
+    benchmark.extra_info.update(row)
+    save_result(results_dir, f"throughput_decode_{n_generated}", row)
+    print("\n" + format_table([row]))
+    assert result.decode_tokens_per_second > 0

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Design-space exploration of the SpeedLLM accelerator on the U280.
+
+The paper picks one accelerator configuration; this example shows how the
+library supports the *co-design* part of the title: it sweeps the Matrix
+Processing Engine geometry, the on-chip buffer pool and the HBM stripe
+width, checks each candidate against the U280 resource budget, simulates
+the stories15M decode workload, and reports the Pareto-style table a
+hardware designer would use to pick the configuration.
+
+Run:
+    python examples/design_space_exploration.py
+    python examples/design_space_exploration.py --tokens 48 --model stories42M
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import SpeedLLMAccelerator, preset, synthesize_weights, u280
+from repro.accel import AcceleratorConfig, BufferConfig, MPEConfig
+from repro.core.report import format_table
+from repro.fpga.resources import ResourceError
+from repro.workloads import ParameterSweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="stories15M")
+    parser.add_argument("--tokens", type=int, default=24,
+                        help="generated tokens per candidate evaluation")
+    parser.add_argument("--stride", type=int, default=16)
+    parser.add_argument("--clock-mhz", type=float, default=225.0)
+    args = parser.parse_args()
+
+    config = preset(args.model)
+    checkpoint = synthesize_weights(config, seed=0)
+    platform = u280(clock_mhz=args.clock_mhz)
+
+    sweep = ParameterSweep({
+        "mpe": [(32, 16), (64, 32), (128, 32)],
+        "segments": [4, 8],
+        "stripe": [8, 16, 32],
+    })
+    print(f"Exploring {len(sweep)} candidate designs for {args.model} "
+          f"on the {platform.name} at {platform.clock_mhz:.0f} MHz\n")
+
+    rows = []
+    for point in sweep:
+        rows_, cols = point["mpe"]
+        candidate = AcceleratorConfig(
+            name=f"mpe{rows_}x{cols}-seg{point['segments']}-st{point['stripe']}",
+            mpe=MPEConfig(rows=rows_, cols=cols),
+            buffers=BufferConfig(n_segments=point["segments"], segment_kb=128),
+            hbm_stripe=point["stripe"],
+        )
+        accel = SpeedLLMAccelerator(checkpoint, candidate, platform=platform)
+        try:
+            report = accel.resource_report()
+        except ResourceError:
+            print(f"  {candidate.name}: does not fit the device, skipped")
+            continue
+        metrics = accel.simulate_generation(
+            n_prompt=8, n_generated=args.tokens, position_stride=args.stride
+        )
+        rows.append({
+            "design": candidate.name,
+            "dsp_util": report.fraction("dsp"),
+            "uram_util": report.fraction("uram"),
+            "latency_ms": metrics.total_seconds * 1e3,
+            "tokens_per_second": metrics.decode_tokens_per_second,
+            "tokens_per_joule": metrics.tokens_per_joule,
+            "mpe_utilization": metrics.mean_mpe_utilization,
+        })
+
+    rows.sort(key=lambda r: r["latency_ms"])
+    print(format_table(rows))
+
+    best = rows[0]
+    efficient = max(rows, key=lambda r: r["tokens_per_joule"])
+    print(f"\nFastest design:            {best['design']} "
+          f"({best['tokens_per_second']:.0f} tokens/s)")
+    print(f"Most energy-efficient:     {efficient['design']} "
+          f"({efficient['tokens_per_joule']:.1f} tokens/J)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: generate a TinyStory on the simulated SpeedLLM accelerator.
+
+This is the smallest end-to-end use of the public API:
+
+1. build a :class:`repro.SpeedLLM` stack (synthetic stories15M-shaped
+   checkpoint, BPE tokenizer trained on the synthetic TinyStories corpus,
+   full SpeedLLM accelerator on a modelled Alveo U280);
+2. generate a completion and print the simulated latency, decode
+   throughput and energy the paper's evaluation reports;
+3. print the FPGA resource utilisation of the design.
+
+Run:
+    python examples/quickstart.py
+    python examples/quickstart.py --model stories15M --tokens 64
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import SpeedLLM
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="stories15M",
+                        help="model preset (stories15M, stories42M, test-small, ...)")
+    parser.add_argument("--variant", default="full",
+                        help="accelerator design point (full, unoptimized, no-fusion, ...)")
+    parser.add_argument("--prompt", default="Once upon a time, Lily went to the park",
+                        help="prompt text")
+    parser.add_argument("--tokens", type=int, default=48,
+                        help="number of tokens to generate")
+    parser.add_argument("--temperature", type=float, default=0.0,
+                        help="sampling temperature (0 = greedy)")
+    parser.add_argument("--stride", type=int, default=16,
+                        help="timing-simulation position stride (1 = exact)")
+    args = parser.parse_args()
+
+    print(f"Building SpeedLLM stack: model={args.model}, variant={args.variant} ...")
+    llm = SpeedLLM(model=args.model, variant=args.variant,
+                   position_stride=args.stride)
+
+    print("\nDesign summary")
+    for key, value in llm.describe().items():
+        print(f"  {key:<18} {value}")
+
+    print("\nU280 resource utilisation")
+    for line in llm.resource_report().as_table():
+        print("  " + line)
+
+    print(f"\nPrompt: {args.prompt!r}")
+    out = llm.generate(args.prompt, max_new_tokens=args.tokens,
+                       temperature=args.temperature)
+
+    print(f"Completion ({len(out.generated_tokens)} tokens):")
+    print("  " + out.text.replace("\n", "\n  "))
+
+    m = out.metrics
+    print("\nSimulated accelerator metrics")
+    print(f"  end-to-end latency      {out.latency_ms:10.3f} ms")
+    print(f"  decode throughput       {out.decode_tokens_per_second:10.1f} tokens/s")
+    print(f"  energy efficiency       {out.tokens_per_joule:10.1f} tokens/J")
+    print(f"  average board power     {m.average_power_w:10.1f} W")
+    print(f"  off-chip (HBM) traffic  {m.counters.hbm_bytes / 1e6:10.1f} MB")
+    print(f"  MPE utilisation         {m.mean_mpe_utilization:10.1%}")
+
+
+if __name__ == "__main__":
+    main()

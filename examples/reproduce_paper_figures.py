@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Reproduce the paper's evaluation figures from the command line.
+
+Runs the same experiment pipeline as the benchmark harness and prints the
+three results the paper reports:
+
+* Fig. 2(a) — normalized inference latency of the design variants
+  (headline: up to 4.8x speedup over the unoptimized accelerator);
+* Fig. 2(b) — effective energy / energy efficiency of the designs
+  (headline: 1.18x vs unoptimized, 1.01x vs the no-fusion design);
+* §3.2.2    — cost efficiency (tokens/s/$) against the V100S and A100.
+
+Run (quick, ~1 minute):
+    python examples/reproduce_paper_figures.py
+
+Paper-scale decode budget (slower):
+    python examples/reproduce_paper_figures.py --tokens 192 --stride 8
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import (
+    ExperimentConfig,
+    ExperimentRunner,
+    Report,
+    cost_efficiency_table,
+    render_bar_chart,
+)
+from repro.llama.config import preset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="stories15M")
+    parser.add_argument("--prompt-tokens", type=int, default=8)
+    parser.add_argument("--tokens", type=int, default=64,
+                        help="generated tokens per variant")
+    parser.add_argument("--stride", type=int, default=16,
+                        help="timing-simulation position stride (1 = exact)")
+    parser.add_argument("--json", default=None,
+                        help="optional path to dump all result rows as JSON")
+    args = parser.parse_args()
+
+    config = ExperimentConfig(
+        model=args.model,
+        variants=("unoptimized", "no-pipeline", "no-reuse", "no-fusion", "full"),
+        n_prompt=args.prompt_tokens,
+        n_generated=args.tokens,
+        position_stride=args.stride,
+        energy_accounting="effective",
+    )
+    runner = ExperimentRunner(config)
+    print(f"Simulating {len(config.variants)} design variants on {args.model} "
+          f"({args.prompt_tokens}+{args.tokens} tokens, stride {args.stride}) ...\n")
+    results = runner.run_all()
+
+    report = Report(f"SpeedLLM reproduction — {config.workload_name}")
+
+    # Fig 2(a)
+    normalized = runner.fig2a_normalized_latency()
+    rows_2a = [{
+        "variant": r.variant,
+        "label": r.paper_label,
+        "latency_ms": r.latency_seconds * 1e3,
+        "normalized": normalized[r.variant],
+        "speedup": 1.0 / normalized[r.variant],
+    } for r in results]
+    report.add_table("Fig. 2(a) — normalized latency", rows_2a)
+    report.add_section(
+        "Fig. 2(a) — bars (lower is better)",
+        render_bar_chart({r["variant"]: r["normalized"] for r in rows_2a}),
+    )
+    report.add_section(
+        "Headline",
+        f"latency speedup full vs unoptimized: {runner.headline_speedup():.2f}x "
+        "(paper: up to 4.8x)",
+    )
+
+    # Fig 2(b)
+    efficiency = runner.fig2b_energy_efficiency()
+    rows_2b = [{
+        "variant": r.variant,
+        "tokens_per_joule": r.tokens_per_joule,
+        "relative_efficiency": efficiency[r.variant],
+        "avg_power_w": r.average_power_w,
+    } for r in results]
+    report.add_table("Fig. 2(b) — effective energy (energy efficiency)", rows_2b)
+    full = next(r for r in results if r.variant == "full")
+    unopt = next(r for r in results if r.variant == "unoptimized")
+    nofuse = next(r for r in results if r.variant == "no-fusion")
+    report.add_section(
+        "Energy headlines",
+        f"full vs unoptimized: {full.tokens_per_joule / unopt.tokens_per_joule:.3f}x "
+        "(paper: 1.18x)\n"
+        f"full vs no-fusion:   {full.tokens_per_joule / nofuse.tokens_per_joule:.3f}x "
+        "(paper: 1.01x)",
+    )
+
+    # §3.2.2 cost efficiency
+    cost_rows = [entry.as_row() for entry in cost_efficiency_table(
+        fpga_tokens_per_second=full.decode_tokens_per_second,
+        fpga_power_w=full.average_power_w,
+        config=preset(args.model) if args.model.startswith("stories") else preset("stories15M"),
+    )]
+    report.add_table("§3.2.2 — cost efficiency (tokens/s/$)", cost_rows)
+
+    print(report.render())
+
+    if args.json:
+        from repro.core.report import write_json
+        write_json(args.json, {
+            "fig2a": rows_2a, "fig2b": rows_2b, "cost": cost_rows,
+            "headline_speedup": runner.headline_speedup(),
+        })
+        print(f"result rows written to {args.json}")
+
+
+if __name__ == "__main__":
+    main()

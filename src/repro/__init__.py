@@ -1,0 +1,56 @@
+"""SpeedLLM reproduction: an FPGA LLM inference accelerator, simulated.
+
+This package reproduces *SpeedLLM: An FPGA Co-design of Large Language
+Model Inference Accelerator* (HPDC 2025) as a pure-Python system: a
+llama2.c-compatible TinyLlama inference engine, an operator-graph compiler
+with Llama-2 operator fusion, a cycle-level simulator of the accelerator
+on a modelled Alveo U280 (Matrix Processing Engine, Special Function Unit,
+memory management with cyclic buffer reuse, read–compute–write data
+pipeline), an energy model, GPU cost comparators, and the benchmark
+harness that regenerates the paper's evaluation figures.
+
+Quick start::
+
+    from repro import SpeedLLM
+    llm = SpeedLLM(model="stories15M", variant="full")
+    out = llm.generate("Once upon a time", max_new_tokens=32)
+    print(out.text, out.latency_ms, out.decode_tokens_per_second)
+"""
+
+from .accel import (
+    AcceleratorConfig,
+    GenerationMetrics,
+    SpeedLLMAccelerator,
+    variant_config,
+)
+from .core import (
+    ExperimentConfig,
+    ExperimentRunner,
+    SpeedLLM,
+    SpeedLLMOutput,
+    cost_efficiency_table,
+)
+from .fpga import FpgaPlatform, u280
+from .llama import LlamaConfig, LlamaModel, Tokenizer, preset, synthesize_weights
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorConfig",
+    "GenerationMetrics",
+    "SpeedLLMAccelerator",
+    "variant_config",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "SpeedLLM",
+    "SpeedLLMOutput",
+    "cost_efficiency_table",
+    "FpgaPlatform",
+    "u280",
+    "LlamaConfig",
+    "LlamaModel",
+    "Tokenizer",
+    "preset",
+    "synthesize_weights",
+    "__version__",
+]

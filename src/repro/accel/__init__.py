@@ -1,0 +1,59 @@
+"""The SpeedLLM accelerator: configuration, compiler, simulation, variants."""
+
+from .accelerator import AcceleratorGeneration, GenerationMetrics, SpeedLLMAccelerator
+from .analytical import AnalyticalEstimate, AnalyticalModel
+from .compiler import ProgramCompiler
+from .dse import CandidateResult, DesignSpace, DesignSpaceExplorer, pareto_front
+from .config import AcceleratorConfig, BufferConfig, MPEConfig, SFUConfig, VARIANT_NAMES
+from .executor import GraphExecutor
+from .instructions import OpProgram, Program, TilePacket
+from .memory_manager import BufferPool, BufferSegment
+from .mpe import MPETimingModel, TileShape
+from .pipeline import DISPATCH_CYCLES, PipelineExecutor, StepResult
+from .sfu import SFUTimingModel
+from .variants import (
+    ABLATION_VARIANTS,
+    FIG2A_VARIANTS,
+    FIG2B_VARIANTS,
+    PAPER_VARIANTS,
+    VariantSpec,
+    variant_config,
+    variant_specs,
+)
+
+__all__ = [
+    "AcceleratorGeneration",
+    "GenerationMetrics",
+    "SpeedLLMAccelerator",
+    "AnalyticalEstimate",
+    "AnalyticalModel",
+    "CandidateResult",
+    "DesignSpace",
+    "DesignSpaceExplorer",
+    "pareto_front",
+    "ProgramCompiler",
+    "AcceleratorConfig",
+    "BufferConfig",
+    "MPEConfig",
+    "SFUConfig",
+    "VARIANT_NAMES",
+    "GraphExecutor",
+    "OpProgram",
+    "Program",
+    "TilePacket",
+    "BufferPool",
+    "BufferSegment",
+    "MPETimingModel",
+    "TileShape",
+    "DISPATCH_CYCLES",
+    "PipelineExecutor",
+    "StepResult",
+    "SFUTimingModel",
+    "ABLATION_VARIANTS",
+    "FIG2A_VARIANTS",
+    "FIG2B_VARIANTS",
+    "PAPER_VARIANTS",
+    "VariantSpec",
+    "variant_config",
+    "variant_specs",
+]

@@ -1,0 +1,370 @@
+"""Top-level SpeedLLM accelerator model.
+
+:class:`SpeedLLMAccelerator` ties every piece together for one design
+point: it quantises the model weights for the datapath, builds decode-step
+graphs, optionally fuses them, compiles them to tile programs, simulates
+the programs on the pipeline executor, and accumulates latency / traffic /
+energy over a whole generation (prefill + decode), while the functional
+graph executor produces the actual tokens.
+
+The per-position cost of a decode step varies only through the attention
+window length, and it varies smoothly, so long generations can be
+simulated with a ``position_stride > 1``: positions at the stride points
+are simulated cycle-accurately and the positions in between are
+interpolated linearly.  ``position_stride=1`` (the default) simulates
+every position exactly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..fpga.power import EnergyBreakdown
+from ..fpga.resources import UtilizationReport
+from ..fpga.u280 import FpgaPlatform, u280
+from ..graph.builder import GraphBuilder
+from ..graph.fusion import fuse_graph
+from ..graph.graph import Graph
+from ..llama.checkpoint import Checkpoint
+from ..llama.kv_cache import KVCache
+from ..llama.quantization import QuantSpec, dequantize, quantize
+from ..llama.sampler import Sampler
+from ..llama.tokenizer import EOS_ID
+from ..sim.stats import RunCounters
+from .compiler import ProgramCompiler
+from .config import AcceleratorConfig
+from .executor import GraphExecutor
+from .instructions import Program
+from .pipeline import PipelineExecutor, StepResult
+
+__all__ = ["SpeedLLMAccelerator", "GenerationMetrics", "AcceleratorGeneration"]
+
+
+@dataclass
+class GenerationMetrics:
+    """Latency / throughput / energy of one simulated generation."""
+
+    variant: str
+    n_prompt: int
+    n_generated: int
+    prefill_cycles: int
+    decode_cycles: int
+    prefill_seconds: float
+    decode_seconds: float
+    counters: RunCounters
+    energy: EnergyBreakdown
+    mean_mpe_utilization: float = 0.0
+    n_buffer_flushes: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.prefill_cycles + self.decode_cycles
+
+    @property
+    def total_seconds(self) -> float:
+        return self.prefill_seconds + self.decode_seconds
+
+    @property
+    def decode_tokens_per_second(self) -> float:
+        """Throughput as the paper defines it (decode stage only)."""
+        if self.decode_seconds <= 0:
+            return 0.0
+        return self.n_generated / self.decode_seconds
+
+    @property
+    def tokens_per_joule(self) -> float:
+        """Energy efficiency as the paper defines it."""
+        if self.energy.total_j <= 0:
+            return 0.0
+        return self.n_generated / self.energy.total_j
+
+    @property
+    def average_power_w(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.energy.total_j / self.total_seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "variant": self.variant,
+            "n_prompt": self.n_prompt,
+            "n_generated": self.n_generated,
+            "total_cycles": self.total_cycles,
+            "total_seconds": self.total_seconds,
+            "decode_tokens_per_second": self.decode_tokens_per_second,
+            "tokens_per_joule": self.tokens_per_joule,
+            "average_power_w": self.average_power_w,
+            "hbm_bytes": self.counters.hbm_bytes,
+            "mean_mpe_utilization": self.mean_mpe_utilization,
+        }
+
+
+@dataclass
+class AcceleratorGeneration:
+    """Functional + timing outcome of :meth:`SpeedLLMAccelerator.generate`."""
+
+    prompt_tokens: List[int]
+    generated_tokens: List[int]
+    metrics: GenerationMetrics
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.generated_tokens)
+
+
+class SpeedLLMAccelerator:
+    """One accelerator design point bound to one model checkpoint."""
+
+    def __init__(
+        self,
+        checkpoint: Checkpoint,
+        config: Optional[AcceleratorConfig] = None,
+        platform: Optional[FpgaPlatform] = None,
+        quantize_weights: bool = True,
+    ) -> None:
+        self.checkpoint = checkpoint
+        self.model_config = checkpoint.config
+        self.config = config or AcceleratorConfig()
+        self.platform = platform or u280()
+        self._builder = GraphBuilder(
+            self.model_config, weight_dtype_bytes=self.config.weight_dtype_bytes
+        )
+        self._compiler = ProgramCompiler(self.config)
+        self._executor = PipelineExecutor(self.config, self.platform)
+        self._graph_cache: Dict[int, Graph] = {}
+        self._program_cache: Dict[int, Program] = {}
+        self._step_cache: Dict[int, StepResult] = {}
+        # Functional weights: quantise+dequantise so the functional result
+        # reflects the int8 datapath; keep float32 when quantisation is off.
+        if quantize_weights and self.config.weight_bits < 32:
+            # Group size must divide every matrix's reduction axis (dim for
+            # the projections, hidden for w2); cap at 64 for fidelity.
+            group = math.gcd(
+                self.model_config.dim, self.model_config.resolved_hidden_dim()
+            )
+            group = math.gcd(group, 64) or 1
+            spec = QuantSpec(bits=self.config.weight_bits, group_size=group)
+            weights = {}
+            for name, tensor in checkpoint.weights.items():
+                if tensor.ndim >= 2:
+                    weights[name] = dequantize(quantize(tensor, spec))
+                else:
+                    weights[name] = tensor
+            self._functional_weights = weights
+        else:
+            self._functional_weights = dict(checkpoint.weights)
+        self._graph_executor = GraphExecutor(self.model_config, self._functional_weights)
+
+    # ------------------------------------------------------------------
+    def functional_checkpoint(self) -> Checkpoint:
+        """Checkpoint holding the weights the datapath actually computes with.
+
+        When the accelerator quantises weights to int8, these are the
+        dequantised values; a CPU reference run over this checkpoint is
+        bit-comparable with the accelerator's functional output.
+        """
+        return Checkpoint(config=self.model_config,
+                          weights=dict(self._functional_weights))
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def graph_for(self, context_len: int) -> Graph:
+        """Decode-step graph at ``context_len`` (fused if enabled), cached."""
+        if context_len not in self._graph_cache:
+            graph = self._builder.build_decode_step(context_len)
+            if self.config.operator_fusion:
+                graph = fuse_graph(graph).graph
+            self._graph_cache[context_len] = graph
+        return self._graph_cache[context_len]
+
+    def program_for(self, context_len: int) -> Program:
+        """Compiled tile program at ``context_len``, cached."""
+        if context_len not in self._program_cache:
+            self._program_cache[context_len] = self._compiler.compile(
+                self.graph_for(context_len)
+            )
+        return self._program_cache[context_len]
+
+    def resource_report(self) -> UtilizationReport:
+        """Place the design against the platform budget and report utilisation."""
+        budget = self.platform.new_budget()
+        budget.allocate("mpe", self.config.mpe.resources())
+        budget.allocate("sfu", self.config.sfu.resources())
+        budget.allocate("buffers", self.config.buffers.resources())
+        return budget.utilization()
+
+    # ------------------------------------------------------------------
+    # Timing simulation
+    # ------------------------------------------------------------------
+    def simulate_step(self, context_len: int) -> StepResult:
+        """Cycle-accurate simulation of one decode step, cached by context."""
+        if context_len not in self._step_cache:
+            self._step_cache[context_len] = self._executor.run(
+                self.program_for(context_len)
+            )
+        return self._step_cache[context_len]
+
+    def _sample_positions(self, n_positions: int, stride: int) -> List[int]:
+        if stride <= 0:
+            raise ValueError("position_stride must be positive")
+        sampled = sorted(set(range(0, n_positions, stride)) | {n_positions - 1})
+        return sampled
+
+    def simulate_generation(
+        self,
+        n_prompt: int,
+        n_generated: int,
+        position_stride: int = 1,
+    ) -> GenerationMetrics:
+        """Simulate the timing of prefill (``n_prompt``) + decode (``n_generated``).
+
+        Positions are simulated at ``position_stride`` granularity and
+        interpolated in between (see the module docstring).
+        """
+        if n_prompt <= 0:
+            raise ValueError("n_prompt must be positive")
+        if n_generated < 0:
+            raise ValueError("n_generated must be >= 0")
+        total_positions = n_prompt + n_generated
+        if total_positions > self.model_config.max_seq_len:
+            raise ValueError(
+                f"{total_positions} positions exceed the context window "
+                f"({self.model_config.max_seq_len})"
+            )
+
+        sampled = self._sample_positions(total_positions, position_stride)
+        results = {pos: self.simulate_step(pos) for pos in sampled}
+        cycles_at = {pos: results[pos].cycles for pos in sampled}
+
+        def interpolated_cycles(pos: int) -> float:
+            if pos in cycles_at:
+                return float(cycles_at[pos])
+            idx = bisect.bisect_left(sampled, pos)
+            lo, hi = sampled[idx - 1], sampled[idx]
+            frac = (pos - lo) / (hi - lo)
+            return cycles_at[lo] + frac * (cycles_at[hi] - cycles_at[lo])
+
+        prefill_cycles = sum(interpolated_cycles(p) for p in range(n_prompt))
+        decode_cycles = sum(
+            interpolated_cycles(p) for p in range(n_prompt, total_positions)
+        )
+
+        # Aggregate counters: scale each sampled step's counters by the
+        # number of positions it represents.
+        counters = RunCounters()
+        weights = self._position_weights(total_positions, sampled)
+        utilizations: List[float] = []
+        flushes = 0
+        busy_cycles = 0.0
+        for pos in sampled:
+            step = results[pos]
+            w = weights[pos]
+            scaled = RunCounters()
+            for name, value in step.counters.as_dict().items():
+                setattr(scaled, name, int(round(value * w)))
+            counters = counters + scaled
+            utilizations.append(step.mpe_utilization)
+            flushes += int(round(step.n_flushes * w))
+            busy_cycles += w * (
+                step.engine_busy.get("mpe", 0) + step.engine_busy.get("sfu", 0)
+            )
+
+        prefill_seconds = self.platform.cycles_to_seconds(int(round(prefill_cycles)))
+        decode_seconds = self.platform.cycles_to_seconds(int(round(decode_cycles)))
+        total_seconds = prefill_seconds + decode_seconds
+        busy_seconds = min(total_seconds, self.platform.cycles_to_seconds(int(round(busy_cycles))))
+        energy = self.platform.energy_model().energy(
+            elapsed_seconds=total_seconds,
+            clock_mhz=self.platform.clock_mhz,
+            int8_macs=counters.int8_macs,
+            sfu_flops=counters.sfu_flops,
+            onchip_bytes=counters.onchip_bytes,
+            hbm_bytes=counters.hbm_bytes,
+            busy_seconds=busy_seconds,
+        )
+        return GenerationMetrics(
+            variant=self.config.name,
+            n_prompt=n_prompt,
+            n_generated=n_generated,
+            prefill_cycles=int(round(prefill_cycles)),
+            decode_cycles=int(round(decode_cycles)),
+            prefill_seconds=prefill_seconds,
+            decode_seconds=decode_seconds,
+            counters=counters,
+            energy=energy,
+            mean_mpe_utilization=float(np.mean(utilizations)) if utilizations else 0.0,
+            n_buffer_flushes=flushes,
+        )
+
+    @staticmethod
+    def _position_weights(total_positions: int, sampled: Sequence[int]) -> Dict[int, float]:
+        """How many real positions each sampled position stands in for."""
+        weights = {pos: 0.0 for pos in sampled}
+        for pos in range(total_positions):
+            if pos in weights:
+                weights[pos] += 1.0
+                continue
+            idx = bisect.bisect_left(sampled, pos)
+            lo, hi = sampled[idx - 1], sampled[idx]
+            frac = (pos - lo) / (hi - lo)
+            weights[lo] += 1.0 - frac
+            weights[hi] += frac
+        return weights
+
+    # ------------------------------------------------------------------
+    # Functional generation
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        prompt_tokens: Sequence[int],
+        max_new_tokens: int,
+        sampler: Optional[Sampler] = None,
+        stop_at_eos: bool = True,
+        position_stride: int = 1,
+    ) -> AcceleratorGeneration:
+        """Generate tokens functionally and report simulated timing/energy."""
+        if not prompt_tokens:
+            raise ValueError("prompt_tokens must not be empty")
+        prompt_tokens = [int(t) for t in prompt_tokens]
+        sampler = sampler or Sampler()
+        max_len = self.model_config.max_seq_len
+        if len(prompt_tokens) >= max_len:
+            raise ValueError("prompt does not fit in the context window")
+
+        cache = KVCache(self.model_config)
+        logits = np.zeros(self.model_config.vocab_size, dtype=np.float32)
+        for pos, token in enumerate(prompt_tokens):
+            logits = self._graph_executor.execute(
+                self.graph_for(pos), token, pos, cache
+            )
+        generated: List[int] = []
+        pos = len(prompt_tokens)
+        budget = min(max_new_tokens, max_len - len(prompt_tokens))
+        for _ in range(budget):
+            token = sampler.sample(logits)
+            generated.append(token)
+            if stop_at_eos and token == EOS_ID:
+                break
+            if pos >= max_len:
+                break
+            logits = self._graph_executor.execute(
+                self.graph_for(pos), token, pos, cache
+            )
+            pos += 1
+
+        metrics = self.simulate_generation(
+            n_prompt=len(prompt_tokens),
+            n_generated=len(generated),
+            position_stride=position_stride,
+        )
+        return AcceleratorGeneration(
+            prompt_tokens=prompt_tokens,
+            generated_tokens=generated,
+            metrics=metrics,
+        )

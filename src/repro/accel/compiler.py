@@ -1,0 +1,278 @@
+"""Lower an operator graph into tile-level accelerator programs.
+
+The compiler walks the (optionally fused) decode-step graph in topological
+order and emits one :class:`~repro.accel.instructions.OpProgram` per
+operator:
+
+* **Matmul-like operators** (projections, classifier, attention score /
+  context) are split into weight tiles matching the MPE geometry.  Each
+  tile packet loads its slice of the weight matrix (plus, on the first
+  tile, any off-chip activation inputs), computes on the MPE and stores
+  its slice of the result if the result leaves the chip.
+* **SFU operators** (norms, RoPE, softmax, element-wise, KV append,
+  embedding gather) become a single packet on the SFU with their
+  analytical cycle count.
+* **Fused operators** expand their members in order, but tensors internal
+  to the fused region generate no load/store traffic — that is precisely
+  the benefit of operator fusion, and it falls out of the graph structure
+  because the fusion pass removed those tensors.
+
+Activation residency model: activations travelling between *separate*
+graph operators live in off-chip memory (the host-visible activation
+buffer), so they cost a store on the producer and a load on the consumer.
+Weights always stream from HBM.  The KV cache lives in HBM; appends write
+only the new position, while attention reads the whole cached window.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..graph.graph import Graph
+from ..graph.ops import ComputeUnit, Operator, OpKind, TensorSpec
+from .config import AcceleratorConfig
+from .instructions import OpProgram, Program, TilePacket
+from .mpe import MPETimingModel
+from .sfu import SFUTimingModel
+
+__all__ = ["ProgramCompiler"]
+
+_ACT_BYTES = 4
+
+
+class ProgramCompiler:
+    """Compiles decode-step graphs for a given accelerator configuration."""
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+        self.mpe = MPETimingModel(config.mpe)
+        self.sfu = SFUTimingModel(config.sfu)
+
+    # ------------------------------------------------------------------
+    def compile(self, graph: Graph, name: Optional[str] = None) -> Program:
+        """Lower ``graph`` to a :class:`Program`."""
+        program = Program(name=name or graph.name)
+        order = graph.topological_order()
+        for op in order:
+            program.add(self._compile_op(graph, op))
+        program.metadata["graph"] = graph.name
+        program.metadata["n_graph_ops"] = len(graph)
+        return program
+
+    # ------------------------------------------------------------------
+    # Residency helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_cache_view(spec: TensorSpec) -> bool:
+        return ".cache_" in spec.name or spec.name.startswith("cache_")
+
+    def _activation_load_bytes(self, graph: Graph, op: Operator) -> int:
+        """Bytes of non-weight inputs that must be fetched from off-chip."""
+        total = 0
+        for tname in op.inputs:
+            spec = graph.tensor(tname)
+            if spec.is_weight:
+                continue  # weights are accounted per-tile
+            if spec.resident == "offchip":
+                total += spec.nbytes
+        return total
+
+    def _activation_store_bytes(self, graph: Graph, op: Operator) -> int:
+        """Bytes of outputs written back to off-chip memory."""
+        total = 0
+        for tname in op.outputs:
+            spec = graph.tensor(tname)
+            if spec.resident != "offchip":
+                continue
+            if op.kind is OpKind.KV_APPEND or (
+                op.kind is OpKind.FUSED
+                and any(m.kind is OpKind.KV_APPEND for m in op.fused_ops)
+            ):
+                # The cache views have the full window shape, but an append
+                # only writes the newly produced position.
+                if self._is_cache_view(spec):
+                    total += spec.shape[-1] * spec.dtype_bytes
+                    continue
+            total += spec.nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    # Per-operator lowering
+    # ------------------------------------------------------------------
+    def _compile_op(self, graph: Graph, op: Operator) -> OpProgram:
+        if op.kind is OpKind.FUSED:
+            return self._compile_fused(graph, op)
+        load_act = self._activation_load_bytes(graph, op)
+        store_act = self._activation_store_bytes(graph, op)
+        if op.kind is OpKind.MATMUL:
+            packets = self._matmul_packets(op, load_act, store_act)
+        elif op.kind in (OpKind.ATTN_SCORE, OpKind.ATTN_CONTEXT):
+            packets = self._attention_packets(op, load_act, store_act)
+        else:
+            packets = [self._sfu_packet(op, load_act, store_act)]
+        return OpProgram(op_name=op.name, unit=op.unit, packets=packets)
+
+    def _compile_fused(self, graph: Graph, fused: Operator) -> OpProgram:
+        """Expand a fused region: members run back to back.
+
+        Each member loads only the *external* inputs it consumes itself and
+        stores only its outputs that leave the region; tensors internal to
+        the region are forwarded on chip (charged as on-chip traffic on the
+        producing member's first packet) and generate no HBM transactions.
+        """
+        produced_inside = {t for m in fused.fused_ops for t in m.outputs}
+        external_outputs = set(fused.outputs)
+        packets: List[TilePacket] = []
+        for member in fused.fused_ops:
+            load_act = 0
+            for tname in member.inputs:
+                if tname in produced_inside:
+                    continue
+                spec = graph.tensor(tname) if tname in graph.tensors else None
+                if spec is None or spec.is_weight:
+                    continue
+                if spec.resident == "offchip":
+                    load_act += spec.nbytes
+            store_act = self._member_store_bytes(graph, member, external_outputs)
+            onchip_forwarded = sum(
+                self._internal_tensor_bytes(graph, member, t)
+                for t in member.outputs if t not in external_outputs
+            )
+            if member.kind is OpKind.MATMUL:
+                member_packets = self._matmul_packets(member, load_act, store_act)
+            elif member.kind in (OpKind.ATTN_SCORE, OpKind.ATTN_CONTEXT):
+                member_packets = self._attention_packets(member, load_act, store_act)
+            else:
+                member_packets = [self._sfu_packet(member, load_act, store_act)]
+            if member_packets and onchip_forwarded:
+                first = member_packets[0]
+                member_packets[0] = TilePacket(
+                    op_name=first.op_name, unit=first.unit,
+                    load_bytes=first.load_bytes,
+                    compute_cycles=first.compute_cycles,
+                    store_bytes=first.store_bytes, macs=first.macs,
+                    sfu_flops=first.sfu_flops,
+                    onchip_bytes=first.onchip_bytes + onchip_forwarded,
+                    label=first.label,
+                )
+            packets.extend(member_packets)
+        return OpProgram(op_name=fused.name, unit=fused.unit, packets=packets)
+
+    def _member_store_bytes(self, graph: Graph, member: Operator,
+                            external_outputs: set) -> int:
+        """Off-chip bytes stored by one member of a fused region."""
+        total = 0
+        for tname in member.outputs:
+            if tname not in external_outputs or tname not in graph.tensors:
+                continue
+            spec = graph.tensor(tname)
+            if spec.resident != "offchip":
+                continue
+            if member.kind is OpKind.KV_APPEND and self._is_cache_view(spec):
+                total += spec.shape[-1] * spec.dtype_bytes
+            else:
+                total += spec.nbytes
+        return total
+
+    @staticmethod
+    def _internal_tensor_bytes(graph: Graph, member: Operator, tname: str) -> int:
+        """Size of a fusion-internal tensor (removed from the graph).
+
+        The fusion pass drops these tensors from the graph's tensor table,
+        so their size is reconstructed from the member's cost annotations:
+        element-wise members produce as many elements as their FLOP count
+        implies, matmuls produce ``out_features`` elements.
+        """
+        if tname in graph.tensors:
+            return graph.tensor(tname).nbytes
+        if member.kind is OpKind.MATMUL:
+            return int(member.attributes.get("out_features", 0)) * _ACT_BYTES
+        if member.kind is OpKind.RMSNORM:
+            return (member.flops // 4) * _ACT_BYTES
+        if member.kind is OpKind.ROPE:
+            return (member.flops // 6) * _ACT_BYTES
+        if member.kind is OpKind.SILU:
+            return (member.flops // 4) * _ACT_BYTES
+        if member.kind in (OpKind.MUL, OpKind.ADD):
+            return member.flops * _ACT_BYTES
+        if member.kind in (OpKind.SOFTMAX, OpKind.ATTN_SCORE):
+            return (member.flops // 5 if member.kind is OpKind.SOFTMAX
+                    else member.flops // 2) * _ACT_BYTES
+        return 0
+
+    # ------------------------------------------------------------------
+    def _matmul_packets(self, op: Operator, load_act: int, store_act: int) -> List[TilePacket]:
+        out_features = int(op.attributes.get("out_features", 0))
+        in_features = int(op.attributes.get("in_features", 0))
+        if out_features <= 0 or in_features <= 0:
+            raise ValueError(f"matmul {op.name!r} lacks shape attributes")
+        wb = self.config.weight_dtype_bytes
+        tiles = self.mpe.split_matvec(out_features, in_features)
+        n_tiles = len(tiles)
+        packets: List[TilePacket] = []
+        for i, tile in enumerate(tiles):
+            weight_bytes = int(tile.out_rows * tile.in_features * wb)
+            # With the cyclic memory-reuse strategy the activation vector is
+            # fetched once and stays resident across the operator's tiles;
+            # without it every tile re-fetches its inputs because the
+            # staging segment holding them has already been surrendered.
+            if self.config.memory_reuse:
+                act_load = load_act if i == 0 else 0
+            else:
+                act_load = load_act
+            # output slice bytes, last tile takes any rounding remainder
+            store_slice = store_act // n_tiles if n_tiles else 0
+            if i == n_tiles - 1:
+                store_slice = store_act - store_slice * (n_tiles - 1)
+            packets.append(TilePacket(
+                op_name=op.name,
+                unit=ComputeUnit.MPE,
+                load_bytes=weight_bytes + act_load,
+                compute_cycles=self.mpe.tile_cycles(tile),
+                store_bytes=store_slice,
+                macs=tile.macs,
+                onchip_bytes=tile.out_rows * _ACT_BYTES,
+                label=f"{op.name}#t{i}",
+            ))
+        return packets
+
+    def _attention_packets(self, op: Operator, load_act: int, store_act: int) -> List[TilePacket]:
+        """Score / context products: per-head mat-vecs over the cached window."""
+        attn_len = int(op.attributes.get("attn_len", 1))
+        layer = op.attributes.get("layer", "?")
+        # One packet per operator: its compute time covers all heads
+        # (flops = 2 * heads * head_dim * attn_len, i.e. macs = flops / 2),
+        # and the cache-window read comes from the graph residency of the
+        # cache-view input, so it grows with the context length.
+        macs = op.flops // 2
+        compute = max(
+            self.config.mpe.pipeline_depth,
+            macs // self.config.mpe.macs_per_cycle + self.config.mpe.pipeline_depth,
+        )
+        return [TilePacket(
+            op_name=op.name,
+            unit=ComputeUnit.MPE,
+            load_bytes=load_act,
+            compute_cycles=compute,
+            store_bytes=store_act,
+            macs=macs,
+            onchip_bytes=attn_len * _ACT_BYTES,
+            label=f"{op.name}@L{layer}",
+        )]
+
+    def _sfu_packet(self, op: Operator, load_act: int, store_act: int) -> TilePacket:
+        unit = ComputeUnit.SFU if op.kind is not OpKind.EMBED else ComputeUnit.DMA
+        if op.kind is OpKind.EMBED:
+            # The embedding gather streams one table row from HBM.
+            load_act += op.weight_bytes
+        cycles = self.sfu.op_cycles(op)
+        return TilePacket(
+            op_name=op.name,
+            unit=unit,
+            load_bytes=load_act,
+            compute_cycles=cycles,
+            store_bytes=store_act,
+            sfu_flops=op.flops,
+            onchip_bytes=0,
+            label=op.name,
+        )

@@ -1,0 +1,214 @@
+"""Design-space exploration (DSE) over accelerator configurations.
+
+The "co-design" part of the paper's title is the choice of MPE geometry,
+on-chip buffering and HBM striping that balances DSP usage against the
+streaming bandwidth of the stories-class models.  This module provides a
+small, reusable DSE loop:
+
+1. enumerate candidate :class:`~repro.accel.config.AcceleratorConfig`
+   points from parameter grids,
+2. drop candidates that do not fit the device's resource budget,
+3. cheaply prune with the analytical latency model,
+4. simulate the survivors cycle-accurately and rank them,
+5. report the latency/efficiency Pareto front.
+
+The ``examples/design_space_exploration.py`` script is a thin wrapper
+around this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..fpga.u280 import FpgaPlatform, u280
+from ..llama.checkpoint import Checkpoint
+from .accelerator import SpeedLLMAccelerator
+from .analytical import AnalyticalModel
+from .config import AcceleratorConfig, BufferConfig, MPEConfig
+
+__all__ = ["CandidateResult", "DesignSpace", "DesignSpaceExplorer", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """Parameter grids defining the candidate set."""
+
+    mpe_shapes: Tuple[Tuple[int, int], ...] = ((32, 16), (64, 32), (128, 32))
+    buffer_segments: Tuple[int, ...] = (4, 8)
+    hbm_stripes: Tuple[int, ...] = (8, 16, 32)
+    weight_bits: Tuple[int, ...] = (8,)
+
+    def __post_init__(self) -> None:
+        if not (self.mpe_shapes and self.buffer_segments
+                and self.hbm_stripes and self.weight_bits):
+            raise ValueError("every design-space axis needs at least one value")
+
+    def candidates(self) -> Iterable[AcceleratorConfig]:
+        """Yield every candidate configuration in the space."""
+        for rows, cols in self.mpe_shapes:
+            for segments in self.buffer_segments:
+                for stripe in self.hbm_stripes:
+                    for bits in self.weight_bits:
+                        yield AcceleratorConfig(
+                            name=f"mpe{rows}x{cols}-seg{segments}-st{stripe}-w{bits}",
+                            mpe=MPEConfig(rows=rows, cols=cols),
+                            buffers=BufferConfig(n_segments=segments, segment_kb=128),
+                            hbm_stripe=stripe,
+                            weight_bits=bits,
+                        )
+
+    def __len__(self) -> int:
+        return (len(self.mpe_shapes) * len(self.buffer_segments)
+                * len(self.hbm_stripes) * len(self.weight_bits))
+
+
+@dataclass
+class CandidateResult:
+    """Evaluation outcome of one candidate design."""
+
+    config: AcceleratorConfig
+    fits: bool
+    dsp_fraction: float = 0.0
+    analytical_lower_cycles: int = 0
+    simulated: bool = False
+    latency_seconds: float = float("inf")
+    tokens_per_second: float = 0.0
+    tokens_per_joule: float = 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "design": self.config.name,
+            "fits": self.fits,
+            "dsp_fraction": self.dsp_fraction,
+            "simulated": self.simulated,
+            "latency_ms": (self.latency_seconds * 1e3
+                           if self.latency_seconds != float("inf") else None),
+            "tokens_per_second": self.tokens_per_second,
+            "tokens_per_joule": self.tokens_per_joule,
+        }
+
+
+def pareto_front(results: Sequence[CandidateResult]) -> List[CandidateResult]:
+    """Non-dominated set over (latency minimised, tokens/J maximised)."""
+    evaluated = [r for r in results if r.simulated]
+    front: List[CandidateResult] = []
+    for candidate in evaluated:
+        dominated = any(
+            other is not candidate
+            and other.latency_seconds <= candidate.latency_seconds
+            and other.tokens_per_joule >= candidate.tokens_per_joule
+            and (other.latency_seconds < candidate.latency_seconds
+                 or other.tokens_per_joule > candidate.tokens_per_joule)
+            for other in evaluated
+        )
+        if not dominated:
+            front.append(candidate)
+    front.sort(key=lambda r: r.latency_seconds)
+    return front
+
+
+class DesignSpaceExplorer:
+    """Evaluates a :class:`DesignSpace` for one model checkpoint."""
+
+    def __init__(
+        self,
+        checkpoint: Checkpoint,
+        platform: Optional[FpgaPlatform] = None,
+        n_prompt: int = 8,
+        n_generated: int = 24,
+        position_stride: int = 16,
+    ) -> None:
+        if n_prompt <= 0 or n_generated < 0:
+            raise ValueError("n_prompt must be positive and n_generated >= 0")
+        self.checkpoint = checkpoint
+        self.platform = platform or u280()
+        self.n_prompt = n_prompt
+        self.n_generated = n_generated
+        self.position_stride = position_stride
+
+    # ------------------------------------------------------------------
+    def _fits(self, config: AcceleratorConfig) -> Tuple[bool, float]:
+        usage = config.resources()
+        fits = usage.fits_in(self.platform.resources)
+        dsp_fraction = (usage.dsp / self.platform.resources.dsp
+                        if self.platform.resources.dsp else 0.0)
+        return fits, dsp_fraction
+
+    def evaluate(self, config: AcceleratorConfig) -> CandidateResult:
+        """Fit-check, analytical estimate and simulation of one candidate."""
+        fits, dsp_fraction = self._fits(config)
+        result = CandidateResult(config=config, fits=fits, dsp_fraction=dsp_fraction)
+        if not fits:
+            return result
+        accel = SpeedLLMAccelerator(self.checkpoint, config, platform=self.platform)
+        analytical = AnalyticalModel(config, self.platform)
+        context = min(self.n_prompt + self.n_generated - 1,
+                      self.checkpoint.config.max_seq_len - 1)
+        result.analytical_lower_cycles = analytical.estimate(
+            accel.program_for(context)
+        ).overlapped_cycles
+        metrics = accel.simulate_generation(
+            n_prompt=self.n_prompt, n_generated=self.n_generated,
+            position_stride=self.position_stride,
+        )
+        result.simulated = True
+        result.latency_seconds = metrics.total_seconds
+        result.tokens_per_second = metrics.decode_tokens_per_second
+        result.tokens_per_joule = metrics.tokens_per_joule
+        return result
+
+    def explore(
+        self,
+        space: Optional[DesignSpace] = None,
+        prune_factor: Optional[float] = None,
+    ) -> List[CandidateResult]:
+        """Evaluate every candidate in ``space``.
+
+        ``prune_factor`` optionally skips the (expensive) simulation of
+        candidates whose analytical lower bound is already ``prune_factor``
+        times worse than the best lower bound seen so far; their rows keep
+        ``simulated=False``.
+        """
+        space = space or DesignSpace()
+        results: List[CandidateResult] = []
+        best_lower: Optional[int] = None
+        for config in space.candidates():
+            fits, dsp_fraction = self._fits(config)
+            if not fits:
+                results.append(CandidateResult(config=config, fits=False,
+                                               dsp_fraction=dsp_fraction))
+                continue
+            if prune_factor is not None and best_lower is not None:
+                accel = SpeedLLMAccelerator(self.checkpoint, config,
+                                            platform=self.platform)
+                context = min(self.n_prompt + self.n_generated - 1,
+                              self.checkpoint.config.max_seq_len - 1)
+                lower = AnalyticalModel(config, self.platform).estimate(
+                    accel.program_for(context)
+                ).overlapped_cycles
+                if lower > prune_factor * best_lower:
+                    results.append(CandidateResult(
+                        config=config, fits=True, dsp_fraction=dsp_fraction,
+                        analytical_lower_cycles=lower,
+                    ))
+                    continue
+            result = self.evaluate(config)
+            if result.simulated:
+                lower = result.analytical_lower_cycles
+                best_lower = lower if best_lower is None else min(best_lower, lower)
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    def best(self, results: Sequence[CandidateResult],
+             objective: str = "latency") -> CandidateResult:
+        """Pick the best simulated candidate by ``objective``."""
+        evaluated = [r for r in results if r.simulated]
+        if not evaluated:
+            raise ValueError("no candidate was simulated")
+        if objective == "latency":
+            return min(evaluated, key=lambda r: r.latency_seconds)
+        if objective == "efficiency":
+            return max(evaluated, key=lambda r: r.tokens_per_joule)
+        raise ValueError("objective must be 'latency' or 'efficiency'")

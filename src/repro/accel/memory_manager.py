@@ -1,0 +1,157 @@
+"""On-chip buffer management (paper contribution 2: memory allocation reuse).
+
+The accelerator stages weight tiles and activations in a pool of on-chip
+buffer segments (BRAM/URAM).  The paper's memory reuse strategy recycles
+each segment *as soon as* its data has been consumed ("cyclic or loop-back
+use of memory … without waiting for all processing to conclude").  The
+baseline it is compared against behaves like a conventional
+statically-double-buffered design: segments are handed out from a fixed
+pool and only returned in bulk once the whole pool has drained, paying a
+flush/reallocation penalty each time.
+
+:class:`BufferPool` implements both policies behind the same interface so
+the pipeline executor is policy-agnostic:
+
+* ``reuse=True``  — released segments go straight back to the free list.
+* ``reuse=False`` — released segments are parked as *retired*; only when
+  every segment of the pool is retired does a flush (costing
+  ``reuse_flush_cycles``) return them to the free list.
+
+Acquisition latency experienced by callers is accumulated in
+``RunCounters.buffer_stall_cycles``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from ..sim.engine import Event, Simulator
+from ..sim.stats import RunCounters
+from ..sim.trace import Trace
+from .config import BufferConfig
+
+__all__ = ["BufferPool", "BufferSegment"]
+
+
+@dataclass(frozen=True)
+class BufferSegment:
+    """Handle to one on-chip buffer segment."""
+
+    index: int
+    nbytes: int
+
+
+class BufferPool:
+    """Segment allocator with configurable reuse policy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: BufferConfig,
+        reuse: bool,
+        counters: RunCounters,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.reuse = reuse
+        self.counters = counters
+        self.trace = trace
+        self._free: List[BufferSegment] = [
+            BufferSegment(index=i, nbytes=config.segment_bytes)
+            for i in range(config.n_segments)
+        ]
+        self._retired: List[BufferSegment] = []
+        self._in_flight = 0
+        self._waiters: Deque[Tuple[Event, int]] = deque()
+        self._flush_pending = False
+        # statistics
+        self.n_acquires = 0
+        self.n_flushes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_segments(self) -> int:
+        return self.config.n_segments
+
+    @property
+    def free_segments(self) -> int:
+        return len(self._free)
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    # ------------------------------------------------------------------
+    def acquire(self, label: str = "") -> Event:
+        """Request one segment; the event's value is a :class:`BufferSegment`."""
+        event = self.sim.event(name=f"buffer.acquire({label})")
+        if self._free:
+            self._grant(event, requested_at=self.sim.now)
+        else:
+            self._waiters.append((event, self.sim.now))
+        return event
+
+    def release(self, segment: BufferSegment) -> None:
+        """Return a segment after its data has been consumed."""
+        if not isinstance(segment, BufferSegment):
+            raise TypeError("release expects a BufferSegment")
+        if self._in_flight <= 0:
+            raise RuntimeError("release called with no segment in flight")
+        self._in_flight -= 1
+        if self.reuse:
+            self._free.append(segment)
+            self._serve_waiters()
+            return
+        # No-reuse policy: park until the whole pool has drained.
+        self._retired.append(segment)
+        if (
+            len(self._retired) == self.config.n_segments
+            and not self._flush_pending
+        ):
+            self._start_flush()
+
+    # ------------------------------------------------------------------
+    def _grant(self, event: Event, requested_at: int) -> None:
+        segment = self._free.pop(0)
+        self._in_flight += 1
+        self.n_acquires += 1
+        wait = self.sim.now - requested_at
+        if wait > 0:
+            self.counters.buffer_stall_cycles += wait
+        event.succeed(segment)
+
+    def _serve_waiters(self) -> None:
+        while self._waiters and self._free:
+            event, requested_at = self._waiters.popleft()
+            self._grant(event, requested_at)
+
+    def _start_flush(self) -> None:
+        """Model the bulk reallocation of the drained pool."""
+        self._flush_pending = True
+        self.n_flushes += 1
+        start = self.sim.now
+        flush_done = self.sim.timeout(self.config.reuse_flush_cycles)
+
+        def finish(_event: Event) -> None:
+            self._flush_pending = False
+            self._free.extend(self._retired)
+            self._retired.clear()
+            if self.trace is not None:
+                self.trace.record(
+                    engine="buffer-pool", label="flush",
+                    start=start, end=self.sim.now, category="stall",
+                )
+            self._serve_waiters()
+
+        flush_done.add_callback(finish)
+
+    # ------------------------------------------------------------------
+    def drain_overhead_estimate(self, n_packets: int) -> int:
+        """Analytic estimate of flush cycles for ``n_packets`` (no-reuse only)."""
+        if self.reuse or n_packets <= 0:
+            return 0
+        flushes = n_packets // self.config.n_segments
+        return flushes * self.config.reuse_flush_cycles

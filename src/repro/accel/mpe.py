@@ -1,0 +1,93 @@
+"""Matrix Processing Engine timing model.
+
+The MPE is a ``rows x cols`` int8 MAC array (one output row per array
+row).  For the matrix–vector products that dominate single-token decode,
+the array processes ``cols`` input elements per cycle for ``rows`` output
+elements simultaneously, so a weight tile of ``rows x in_features``
+finishes in ``ceil(in_features / cols)`` cycles plus the systolic
+fill/drain latency.
+
+Attention score / context products are matrix–vector products too (per KV
+head over the cached positions) and reuse the same array; the compiler
+maps them here with the appropriate dimensions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .config import MPEConfig
+
+__all__ = ["MPETimingModel", "TileShape"]
+
+
+@dataclass(frozen=True)
+class TileShape:
+    """One weight tile processed by the array."""
+
+    out_rows: int      # number of output elements produced by the tile
+    in_features: int   # reduction length
+
+    def __post_init__(self) -> None:
+        if self.out_rows <= 0 or self.in_features <= 0:
+            raise ValueError("tile dimensions must be positive")
+
+    @property
+    def macs(self) -> int:
+        return self.out_rows * self.in_features
+
+
+class MPETimingModel:
+    """Analytic cycle counts for the MAC array."""
+
+    def __init__(self, config: MPEConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def split_matvec(self, out_features: int, in_features: int) -> List[TileShape]:
+        """Tile a (out x in) mat-vec into row blocks matching the array."""
+        if out_features <= 0 or in_features <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        rows = self.config.rows
+        tiles: List[TileShape] = []
+        for start in range(0, out_features, rows):
+            tiles.append(TileShape(
+                out_rows=min(rows, out_features - start),
+                in_features=in_features,
+            ))
+        return tiles
+
+    def tile_cycles(self, tile: TileShape) -> int:
+        """Cycles for one tile: reduction passes plus fill latency."""
+        passes = math.ceil(tile.in_features / self.config.cols)
+        return passes + self.config.pipeline_depth
+
+    def matvec_cycles(self, out_features: int, in_features: int) -> int:
+        """Total compute cycles of a full mat-vec (tiles back to back)."""
+        return sum(self.tile_cycles(t) for t in self.split_matvec(out_features, in_features))
+
+    def matvec_macs(self, out_features: int, in_features: int) -> int:
+        """MAC count of the product (for the energy model)."""
+        return out_features * in_features
+
+    # ------------------------------------------------------------------
+    def attention_cycles(self, n_heads: int, head_dim: int, seq_len: int) -> int:
+        """Cycles for a score or context product over ``seq_len`` positions.
+
+        Each head is a ``seq_len x head_dim`` mat-vec; heads are processed
+        as row blocks on the same array.
+        """
+        if n_heads <= 0 or head_dim <= 0 or seq_len <= 0:
+            raise ValueError("attention dimensions must be positive")
+        total = 0
+        for _ in range(n_heads):
+            total += self.matvec_cycles(seq_len, head_dim)
+        return total
+
+    def peak_throughput_gops(self, clock_hz: float) -> float:
+        """Peak int8 throughput in GOPS (2 ops per MAC)."""
+        if clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        return 2.0 * self.config.macs_per_cycle * clock_hz / 1e9

@@ -1,0 +1,277 @@
+"""Read–compute–write pipeline executor (paper contribution 1).
+
+This module turns a compiled :class:`~repro.accel.instructions.Program`
+into a cycle count by simulating it on the discrete-event kernel.  Two
+execution disciplines are supported, selected by the accelerator
+configuration:
+
+* **Pipelined** (``pipeline=True``): three processes — loader, compute,
+  writer — connected by depth-2 streams (ping-pong buffers).  While tile
+  *i* is being computed, tile *i+1* is already streaming in and tile
+  *i-1* is being written back, so the step time approaches
+  ``max(load, compute, store)`` per tile instead of their sum.  This is
+  the paper's "multi-level read-compute-write iteration".
+* **Sequential** (``pipeline=False``): one process performs load, then
+  compute, then store for each tile before touching the next — the
+  "unoptimized" read-compute-write cycle the paper compares against.
+
+Both disciplines acquire an on-chip buffer segment per tile from the
+:class:`~repro.accel.memory_manager.BufferPool`, so the memory-reuse
+policy applies to either.  A fixed dispatch overhead is charged per
+operator program (instruction decode / kernel launch), which is why
+operator fusion — fewer, larger operators — also saves control cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..fpga.u280 import FpgaPlatform
+from ..graph.ops import ComputeUnit
+from ..sim.engine import Simulator
+from ..sim.memory import MemoryPort
+from ..sim.stats import RunCounters
+from ..sim.stream import Stream
+from ..sim.trace import Trace
+from .config import AcceleratorConfig
+from .instructions import Program, TilePacket
+from .memory_manager import BufferPool
+
+__all__ = ["StepResult", "PipelineExecutor", "DISPATCH_CYCLES"]
+
+#: control cycles charged once per operator program (instruction dispatch)
+DISPATCH_CYCLES = 24
+
+
+@dataclass
+class StepResult:
+    """Outcome of simulating one decode-step program."""
+
+    program_name: str
+    cycles: int
+    counters: RunCounters
+    trace: Optional[Trace] = None
+    engine_busy: Dict[str, int] = field(default_factory=dict)
+    n_flushes: int = 0
+
+    @property
+    def mpe_utilization(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return min(1.0, self.engine_busy.get("mpe", 0) / self.cycles)
+
+    @property
+    def load_utilization(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return min(1.0, self.engine_busy.get("load", 0) / self.cycles)
+
+
+class PipelineExecutor:
+    """Simulates compiled programs on the accelerator micro-architecture."""
+
+    def __init__(self, config: AcceleratorConfig, platform: FpgaPlatform) -> None:
+        self.config = config
+        self.platform = platform
+
+    # ------------------------------------------------------------------
+    def run(self, program: Program) -> StepResult:
+        """Simulate one program and return its cycle count and counters."""
+        sim = Simulator()
+        counters = RunCounters()
+        trace = Trace(enabled=self.config.trace_enabled)
+        memory = MemoryPort(
+            sim, self.platform.hbm, self.platform.clock_hz, counters,
+            trace if self.config.trace_enabled else None,
+        )
+        buffers = BufferPool(
+            sim, self.config.buffers, reuse=self.config.memory_reuse,
+            counters=counters,
+            trace=trace if self.config.trace_enabled else None,
+        )
+        busy: Dict[str, int] = {"load": 0, "mpe": 0, "sfu": 0, "store": 0}
+
+        if self.config.pipeline:
+            self._run_pipelined(sim, program, memory, buffers, counters, busy, trace)
+        else:
+            self._run_sequential(sim, program, memory, buffers, counters, busy, trace)
+
+        cycles = sim.run()
+        self._accumulate_packet_counters(program, counters)
+        return StepResult(
+            program_name=program.name,
+            cycles=cycles,
+            counters=counters,
+            trace=trace if self.config.trace_enabled else None,
+            engine_busy=dict(busy),
+            n_flushes=buffers.n_flushes,
+        )
+
+    # ------------------------------------------------------------------
+    def _accumulate_packet_counters(self, program: Program, counters: RunCounters) -> None:
+        for packet in program.packets():
+            counters.instructions += 1
+            counters.int8_macs += packet.macs
+            counters.sfu_flops += packet.sfu_flops
+            counters.onchip_read_bytes += packet.onchip_bytes
+            counters.onchip_write_bytes += packet.onchip_bytes
+            if packet.unit is ComputeUnit.MPE:
+                counters.mpe_tiles += 1
+            elif packet.unit is ComputeUnit.SFU:
+                counters.sfu_ops += 1
+
+    @staticmethod
+    def _engine_for(packet: TilePacket) -> str:
+        return "mpe" if packet.unit is ComputeUnit.MPE else "sfu"
+
+    # ------------------------------------------------------------------
+    # Sequential (unoptimized) discipline
+    # ------------------------------------------------------------------
+    def _run_sequential(
+        self,
+        sim: Simulator,
+        program: Program,
+        memory: MemoryPort,
+        buffers: BufferPool,
+        counters: RunCounters,
+        busy: Dict[str, int],
+        trace: Trace,
+    ) -> None:
+        stripe = self.config.hbm_stripe
+
+        def release_when_stored(segment, start_cycle):
+            def _done(_event):
+                busy["store"] += sim.now - start_cycle
+                buffers.release(segment)
+            return _done
+
+        def body():
+            for op_program in program.ops:
+                yield sim.timeout(DISPATCH_CYCLES)
+                for packet in op_program.packets:
+                    segment = yield buffers.acquire(packet.label)
+                    # read: the sequential controller has a single
+                    # outstanding request, so it is exposed to the full
+                    # access latency of every transfer.
+                    if packet.load_bytes:
+                        start = sim.now
+                        yield memory.read_striped(packet.load_bytes, stripe, packet.label)
+                        busy["load"] += sim.now - start
+                    # compute
+                    engine = self._engine_for(packet)
+                    start = sim.now
+                    yield sim.timeout(packet.compute_cycles)
+                    busy[engine] += sim.now - start
+                    trace.record(engine, packet.label, start, sim.now)
+                    # write back: stores are posted (the controller does not
+                    # wait for the write acknowledgement), but the staging
+                    # segment is only recycled once the data has left it.
+                    if packet.store_bytes:
+                        store_done = memory.write_striped(
+                            packet.store_bytes, stripe, packet.label
+                        )
+                        store_done.add_callback(release_when_stored(segment, sim.now))
+                    else:
+                        buffers.release(segment)
+
+        sim.process(body(), name="sequential")
+
+    # ------------------------------------------------------------------
+    # Pipelined (data-stream parallel) discipline
+    # ------------------------------------------------------------------
+    def _run_pipelined(
+        self,
+        sim: Simulator,
+        program: Program,
+        memory: MemoryPort,
+        buffers: BufferPool,
+        counters: RunCounters,
+        busy: Dict[str, int],
+        trace: Trace,
+    ) -> None:
+        stripe = self.config.hbm_stripe
+        # Depth-2 streams model ping-pong (double) buffering between stages.
+        loaded = Stream(sim, capacity=2, name="loaded")
+        computed = Stream(sim, capacity=2, name="computed")
+        done = sim.event("pipeline-done")
+        packets: List[TilePacket] = []
+        dispatch_before: Dict[int, int] = {}
+        index = 0
+        for op_program in program.ops:
+            dispatch_before[index] = DISPATCH_CYCLES
+            for packet in op_program.packets:
+                packets.append(packet)
+                index += 1
+        n_packets = len(packets)
+
+        def loader():
+            # The loader *issues* each tile's read as soon as a buffer
+            # segment is available and hands the in-flight transfer to the
+            # compute stage through the stream; it does not wait for the
+            # data itself.  Together with the depth-2 streams this keeps
+            # several memory requests outstanding, which is what hides the
+            # HBM access latency ("data stream parallelism").
+            for i, packet in enumerate(packets):
+                # Instruction dispatch for a new operator happens in the
+                # front-end and briefly stalls the fetch stage.
+                if i in dispatch_before:
+                    yield sim.timeout(dispatch_before[i])
+                segment = yield buffers.acquire(packet.label)
+                issue_cycle = sim.now
+                if packet.load_bytes:
+                    load_done = memory.read_striped(
+                        packet.load_bytes, stripe, packet.label
+                    )
+                else:
+                    load_done = sim.timeout(0)
+                yield loaded.put((packet, segment, load_done, issue_cycle))
+
+        def computer():
+            for _ in range(n_packets):
+                packet, segment, load_done, issue_cycle = yield loaded.get()
+                if not load_done.triggered:
+                    wait_start = sim.now
+                    yield load_done
+                    counters.memory_stall_cycles += sim.now - wait_start
+                if packet.load_bytes:
+                    busy["load"] += sim.now - issue_cycle
+                engine = self._engine_for(packet)
+                start = sim.now
+                yield sim.timeout(packet.compute_cycles)
+                busy[engine] += sim.now - start
+                trace.record(engine, packet.label, start, sim.now)
+                yield computed.put((packet, segment))
+
+        def writer():
+            # Write-back is fire-and-forget: the store is issued and the
+            # buffer segment is released when the memory system confirms it,
+            # so small result slices never stall the compute stage.
+            outstanding = {"count": 0, "finished": False}
+
+            def release_later(segment, start_cycle):
+                def _done(_event):
+                    busy["store"] += sim.now - start_cycle
+                    buffers.release(segment)
+                    outstanding["count"] -= 1
+                    if outstanding["finished"] and outstanding["count"] == 0:
+                        done.succeed()
+                return _done
+
+            for _ in range(n_packets):
+                packet, segment = yield computed.get()
+                if packet.store_bytes:
+                    outstanding["count"] += 1
+                    store_done = memory.write_striped(
+                        packet.store_bytes, stripe, packet.label
+                    )
+                    store_done.add_callback(release_later(segment, sim.now))
+                else:
+                    buffers.release(segment)
+            outstanding["finished"] = True
+            if outstanding["count"] == 0:
+                done.succeed()
+
+        sim.process(loader(), name="loader")
+        sim.process(computer(), name="computer")
+        sim.process(writer(), name="writer")

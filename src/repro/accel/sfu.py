@@ -1,0 +1,84 @@
+"""Special Function Unit timing model.
+
+The SFU executes the non-matmul operators of the decode step: RMSNorm,
+softmax, RoPE rotation, SiLU, element-wise multiply/add, and the KV-cache
+append.  It is a vector unit with ``lanes`` parallel float pipelines and a
+fixed start-up latency per operator; reductions (norm, softmax) take two
+passes over the data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..graph.ops import Operator, OpKind
+from .config import SFUConfig
+
+__all__ = ["SFUTimingModel"]
+
+
+class SFUTimingModel:
+    """Analytic cycle counts for the vector special-function unit."""
+
+    def __init__(self, config: SFUConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def _passes(self, n_elements: int, passes: int = 1) -> int:
+        if n_elements < 0:
+            raise ValueError("n_elements must be >= 0")
+        per_pass = math.ceil(n_elements / self.config.lanes)
+        return passes * per_pass + self.config.op_latency
+
+    def rmsnorm_cycles(self, dim: int) -> int:
+        """Two passes: sum of squares, then scale."""
+        return self._passes(dim, passes=2)
+
+    def softmax_cycles(self, n_elements: int) -> int:
+        """Three passes: max, exp+sum, normalise."""
+        return self._passes(n_elements, passes=3)
+
+    def rope_cycles(self, dim: int) -> int:
+        """One pass over the rotated pairs (two mults + add each)."""
+        return self._passes(dim, passes=1)
+
+    def silu_cycles(self, n_elements: int) -> int:
+        return self._passes(n_elements, passes=1)
+
+    def elementwise_cycles(self, n_elements: int) -> int:
+        """Element-wise multiply or add."""
+        return self._passes(n_elements, passes=1)
+
+    def kv_append_cycles(self, kv_dim: int) -> int:
+        """Copy of the new K and V vectors into the cache banks."""
+        return self._passes(2 * kv_dim, passes=1)
+
+    def embed_cycles(self, dim: int) -> int:
+        """Embedding gather is a streaming copy of one row."""
+        return self._passes(dim, passes=1)
+
+    # ------------------------------------------------------------------
+    def op_cycles(self, op: Operator) -> int:
+        """Cycles for a (non-matmul) graph operator.
+
+        The element counts are recovered from the operator's analytic FLOP
+        annotation, which the builder derives from the tensor shapes.
+        """
+        kind = op.kind
+        if kind is OpKind.RMSNORM:
+            return self.rmsnorm_cycles(op.flops // 4 if op.flops else 1)
+        if kind is OpKind.SOFTMAX:
+            return self.softmax_cycles(max(1, op.flops // 5))
+        if kind is OpKind.ROPE:
+            return self.rope_cycles(max(1, op.flops // 6))
+        if kind is OpKind.SILU:
+            return self.silu_cycles(max(1, op.flops // 4))
+        if kind in (OpKind.MUL, OpKind.ADD):
+            return self.elementwise_cycles(max(1, op.flops))
+        if kind is OpKind.KV_APPEND:
+            kv_dim = int(op.attributes.get("kv_dim", 64))
+            return self.kv_append_cycles(kv_dim)
+        if kind is OpKind.EMBED:
+            return self.embed_cycles(max(1, op.weight_bytes))
+        raise ValueError(f"operator kind {kind} is not an SFU operator")

@@ -1,0 +1,192 @@
+"""Command-line interface of the SpeedLLM reproduction.
+
+Four subcommands cover the everyday workflows:
+
+* ``generate``  — run text generation on the simulated accelerator and
+  print the completion plus the latency/throughput/energy metrics;
+* ``bench``     — run the Fig. 2 experiment (all design variants on one
+  workload) and print the normalized-latency and energy tables;
+* ``validate``  — check that the accelerator's functional output matches
+  the reference engine on a prompt suite;
+* ``export-graph`` — dump one decode-step operator graph (optionally
+  fused) as Graphviz DOT or JSON.
+
+Invoke via ``python -m repro.cli <subcommand>`` or the ``speedllm``
+console script installed with the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .accel.variants import PAPER_VARIANTS
+from .core.report import format_table, render_bar_chart, write_json
+from .core.runner import ExperimentConfig, ExperimentRunner
+from .core.speedllm import SpeedLLM
+from .core.validation import validate_accelerator
+from .graph.builder import build_decode_graph
+from .graph.export import to_dot, to_json
+from .graph.fusion import fuse_graph
+from .llama.config import available_presets, preset
+from .workloads.prompts import default_suite
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="speedllm",
+        description="SpeedLLM reproduction: simulated FPGA LLM inference accelerator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # generate ----------------------------------------------------------
+    gen = sub.add_parser("generate", help="generate text on the simulated accelerator")
+    gen.add_argument("prompt", help="prompt text")
+    gen.add_argument("--model", default="stories15M", choices=available_presets())
+    gen.add_argument("--variant", default="full", choices=sorted(PAPER_VARIANTS))
+    gen.add_argument("--tokens", type=int, default=48)
+    gen.add_argument("--temperature", type=float, default=0.0)
+    gen.add_argument("--top-p", type=float, default=1.0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--stride", type=int, default=16,
+                     help="timing-simulation position stride")
+    gen.add_argument("--checkpoint", default=None,
+                     help="optional llama2.c .bin checkpoint to load")
+    gen.add_argument("--tokenizer", default=None,
+                     help="optional tokenizer.bin to load")
+
+    # bench -------------------------------------------------------------
+    bench = sub.add_parser("bench", help="run the Fig. 2 variant comparison")
+    bench.add_argument("--model", default="stories15M", choices=available_presets())
+    bench.add_argument("--prompt-tokens", type=int, default=8)
+    bench.add_argument("--tokens", type=int, default=64)
+    bench.add_argument("--stride", type=int, default=16)
+    bench.add_argument("--energy", choices=("effective", "board"), default="effective")
+    bench.add_argument("--json", default=None, help="write result rows to this path")
+
+    # validate ----------------------------------------------------------
+    val = sub.add_parser("validate",
+                         help="compare accelerator output against the reference engine")
+    val.add_argument("--model", default="test-small", choices=available_presets())
+    val.add_argument("--variant", default="full", choices=sorted(PAPER_VARIANTS))
+    val.add_argument("--prompts", type=int, default=3)
+    val.add_argument("--tokens", type=int, default=12)
+    val.add_argument("--seed", type=int, default=0)
+
+    # export-graph ------------------------------------------------------
+    export = sub.add_parser("export-graph",
+                            help="export a decode-step operator graph")
+    export.add_argument("--model", default="stories15M", choices=available_presets())
+    export.add_argument("--context", type=int, default=0,
+                        help="context length of the decode step")
+    export.add_argument("--fused", action="store_true",
+                        help="apply the operator-fusion pass first")
+    export.add_argument("--format", choices=("dot", "json"), default="dot")
+    export.add_argument("--output", default="-",
+                        help="output file ('-' for stdout)")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.checkpoint:
+        llm = SpeedLLM.from_checkpoint(
+            args.checkpoint, args.tokenizer, variant=args.variant,
+            position_stride=args.stride,
+        )
+    else:
+        llm = SpeedLLM(model=args.model, variant=args.variant, seed=args.seed,
+                       position_stride=args.stride)
+    out = llm.generate(args.prompt, max_new_tokens=args.tokens,
+                       temperature=args.temperature, top_p=args.top_p,
+                       seed=args.seed)
+    print(out.text)
+    print()
+    print(f"latency            {out.latency_ms:.3f} ms")
+    print(f"decode throughput  {out.decode_tokens_per_second:.1f} tokens/s")
+    print(f"energy efficiency  {out.tokens_per_joule:.1f} tokens/J")
+    print(f"average power      {out.metrics.average_power_w:.1f} W")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        model=args.model,
+        n_prompt=args.prompt_tokens,
+        n_generated=args.tokens,
+        position_stride=args.stride,
+        energy_accounting=args.energy,
+    )
+    runner = ExperimentRunner(config)
+    rows = runner.result_rows()
+    normalized = runner.fig2a_normalized_latency()
+    efficiency = runner.fig2b_energy_efficiency()
+    for row in rows:
+        row["normalized_latency"] = normalized[row["variant"]]
+        row["relative_efficiency"] = efficiency[row["variant"]]
+    print(format_table(rows, columns=[
+        "variant", "latency_ms", "normalized_latency",
+        "decode_tokens_per_second", "tokens_per_joule", "relative_efficiency",
+    ]))
+    print()
+    print(render_bar_chart({v: 1.0 / n for v, n in normalized.items()}, unit="x"))
+    print(f"\nheadline speedup: {runner.headline_speedup():.2f}x (paper: up to 4.8x)")
+    if args.json:
+        write_json(args.json, rows)
+        print(f"rows written to {args.json}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    llm = SpeedLLM(model=args.model, variant=args.variant, seed=args.seed,
+                   position_stride=8)
+    suite = default_suite(n_prompts=args.prompts, max_new_tokens=args.tokens,
+                          seed=args.seed)
+    report = validate_accelerator(llm.accelerator, llm.tokenizer, suite,
+                                  n_decode=args.tokens)
+    print(format_table(report.as_rows()))
+    print(f"\nagreement {report.agreement:.4f}, "
+          f"max logit error {report.max_logit_error:.2e}, "
+          f"{'PASS' if report.passed else 'FAIL'}")
+    return 0 if report.passed else 1
+
+
+def _cmd_export_graph(args: argparse.Namespace) -> int:
+    graph = build_decode_graph(preset(args.model), args.context)
+    if args.fused:
+        graph = fuse_graph(graph).graph
+    text = to_dot(graph) if args.format == "dot" else to_json(graph)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.format} graph ({len(graph)} operators) to {args.output}",
+              file=sys.stderr)
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "bench": _cmd_bench,
+    "validate": _cmd_validate,
+    "export-graph": _cmd_export_graph,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _HANDLERS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,191 @@
+"""Cost-efficiency comparison against GPUs (paper §3.2.2).
+
+The paper argues that SpeedLLM on the U280 ($8,000) has better cost
+efficiency (tokens per second per dollar) than a V100S ($12,000) or an
+A100 ($17,000).  The GPU numbers in the paper come from measured
+throughput and list prices; we substitute an analytical roofline model of
+single-batch decode throughput for the GPUs (documented in DESIGN.md):
+
+``tokens/s = min(peak_flops / flops_per_token,
+                 memory_bandwidth / bytes_per_token) * efficiency``
+
+Single-token decode of a small model is strongly memory-bandwidth bound,
+so the model is dominated by the ``bytes_per_token`` term (weights are
+re-read every token), which is the same first-order model used by most
+LLM-serving roofline analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..llama.config import LlamaConfig
+
+__all__ = [
+    "DeviceSpec",
+    "CostEfficiencyEntry",
+    "GPU_V100S",
+    "GPU_A100",
+    "gpu_decode_throughput",
+    "gpu_kernels_per_token",
+    "cost_efficiency_table",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A comparison device: peak compute, bandwidth, overheads and price."""
+
+    name: str
+    peak_tflops: float           # dense FP16/INT8 tensor throughput used for LLMs
+    memory_bandwidth_gbps: float
+    price_usd: float
+    typical_power_w: float
+    efficiency: float = 0.6      # achievable fraction of the roofline in practice
+    kernel_launch_us: float = 5.0  # per-kernel launch/synchronisation overhead
+
+    def __post_init__(self) -> None:
+        if self.peak_tflops <= 0 or self.memory_bandwidth_gbps <= 0:
+            raise ValueError("peak_tflops and memory_bandwidth_gbps must be positive")
+        if self.price_usd <= 0:
+            raise ValueError("price_usd must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+        if self.kernel_launch_us < 0:
+            raise ValueError("kernel_launch_us must be >= 0")
+
+
+# Paper §3.2.2 list prices: V100S ≈ $12k, A100 ≈ $17k, U280 ≈ $8k.
+GPU_V100S = DeviceSpec(
+    name="NVIDIA V100S",
+    peak_tflops=130.0,             # FP16 tensor-core peak
+    memory_bandwidth_gbps=1134.0,  # HBM2
+    price_usd=12_000.0,
+    typical_power_w=250.0,
+    kernel_launch_us=5.0,
+)
+
+GPU_A100 = DeviceSpec(
+    name="NVIDIA A100",
+    peak_tflops=312.0,             # FP16/BF16 tensor-core peak
+    memory_bandwidth_gbps=1935.0,  # HBM2e (40 GB SXM)
+    price_usd=17_000.0,
+    typical_power_w=400.0,
+    kernel_launch_us=4.0,
+)
+
+
+def gpu_kernels_per_token(config: LlamaConfig) -> int:
+    """Approximate number of kernel launches per decoded token.
+
+    A framework-level Llama decoder issues roughly a dozen kernels per
+    layer (norms, four projections, RoPE, attention score/softmax/context,
+    two FFN matmuls, activation, residuals) plus the final norm and
+    classifier.  Kernel launch overhead dominates single-batch decode of
+    *small* models on GPUs, which is why a spatial FPGA dataflow design is
+    competitive on cost for this workload.
+    """
+    return config.n_layers * 12 + 4
+
+
+def gpu_decode_throughput(
+    device: DeviceSpec,
+    config: LlamaConfig,
+    weight_bytes_per_element: float = 2.0,
+    context_len: int = 128,
+    include_launch_overhead: bool = True,
+) -> float:
+    """Roofline + launch-overhead estimate of single-batch decode tokens/s.
+
+    ``weight_bytes_per_element`` reflects the precision the GPU runtime
+    streams weights in (2 bytes for FP16 checkpoints, which is how the
+    llama2 family is normally served on these parts).  The per-token time
+    is the roofline time (max of compute- and bandwidth-bound terms,
+    derated by ``efficiency``) plus the kernel launch overhead, which is
+    what actually limits tiny-model decode on data-centre GPUs.
+    """
+    if weight_bytes_per_element <= 0:
+        raise ValueError("weight_bytes_per_element must be positive")
+    if context_len < 0:
+        raise ValueError("context_len must be >= 0")
+    flops_per_token = config.flops_per_token(context_len)
+    weight_elements = config.n_params()
+    kv_bytes = config.kv_cache_elements(context_len) * weight_bytes_per_element
+    bytes_per_token = weight_elements * weight_bytes_per_element + kv_bytes
+
+    compute_seconds = flops_per_token / (device.peak_tflops * 1e12)
+    memory_seconds = bytes_per_token / (device.memory_bandwidth_gbps * 1e9)
+    roofline_seconds = max(compute_seconds, memory_seconds) / device.efficiency
+    overhead_seconds = 0.0
+    if include_launch_overhead:
+        overhead_seconds = gpu_kernels_per_token(config) * device.kernel_launch_us * 1e-6
+    return 1.0 / (roofline_seconds + overhead_seconds)
+
+
+@dataclass
+class CostEfficiencyEntry:
+    """One row of the cost-efficiency comparison."""
+
+    device: str
+    tokens_per_second: float
+    price_usd: float
+    power_w: float
+    source: str = "roofline"
+
+    @property
+    def tokens_per_second_per_dollar(self) -> float:
+        if self.price_usd <= 0:
+            return 0.0
+        return self.tokens_per_second / self.price_usd
+
+    @property
+    def tokens_per_joule(self) -> float:
+        if self.power_w <= 0:
+            return 0.0
+        return self.tokens_per_second / self.power_w
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "device": self.device,
+            "tokens_per_second": self.tokens_per_second,
+            "price_usd": self.price_usd,
+            "tokens_per_second_per_dollar": self.tokens_per_second_per_dollar,
+            "power_w": self.power_w,
+            "tokens_per_joule": self.tokens_per_joule,
+            "source": self.source,
+        }
+
+
+def cost_efficiency_table(
+    fpga_tokens_per_second: float,
+    fpga_power_w: float,
+    config: LlamaConfig,
+    fpga_price_usd: float = 8_000.0,
+    gpus: Sequence[DeviceSpec] = (GPU_V100S, GPU_A100),
+    context_len: int = 128,
+) -> List[CostEfficiencyEntry]:
+    """Build the tokens/s/$ comparison of §3.2.2.
+
+    The FPGA row uses the simulated SpeedLLM throughput and power; the GPU
+    rows use the roofline comparator.
+    """
+    if fpga_tokens_per_second < 0 or fpga_power_w < 0:
+        raise ValueError("FPGA throughput and power must be >= 0")
+    entries = [
+        CostEfficiencyEntry(
+            device="Alveo U280 (SpeedLLM)",
+            tokens_per_second=fpga_tokens_per_second,
+            price_usd=fpga_price_usd,
+            power_w=fpga_power_w,
+            source="simulated",
+        )
+    ]
+    for gpu in gpus:
+        entries.append(CostEfficiencyEntry(
+            device=gpu.name,
+            tokens_per_second=gpu_decode_throughput(gpu, config, context_len=context_len),
+            price_usd=gpu.price_usd,
+            power_w=gpu.typical_power_w,
+        ))
+    return entries

@@ -1,0 +1,124 @@
+"""Result records and metric helpers shared by the experiment harness.
+
+The benchmarks produce one :class:`VariantResult` per accelerator design
+point; this module provides the normalisation helpers that turn those
+records into the rows the paper's figures report (normalized latency,
+effective energy, throughput) plus small statistics utilities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..accel.accelerator import GenerationMetrics
+
+__all__ = [
+    "VariantResult",
+    "normalized_latency",
+    "normalized_energy_efficiency",
+    "speedup",
+    "geometric_mean",
+]
+
+
+@dataclass
+class VariantResult:
+    """Measured outcome of one accelerator variant on one workload."""
+
+    variant: str
+    paper_label: str
+    workload: str
+    metrics: GenerationMetrics
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def latency_seconds(self) -> float:
+        """End-to-end inference latency (the paper's latency metric)."""
+        return self.metrics.total_seconds
+
+    @property
+    def decode_tokens_per_second(self) -> float:
+        return self.metrics.decode_tokens_per_second
+
+    @property
+    def tokens_per_joule(self) -> float:
+        return self.metrics.tokens_per_joule
+
+    @property
+    def average_power_w(self) -> float:
+        return self.metrics.average_power_w
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dictionary for table rendering / JSON export."""
+        return {
+            "variant": self.variant,
+            "label": self.paper_label,
+            "workload": self.workload,
+            "latency_ms": self.latency_seconds * 1e3,
+            "decode_tokens_per_second": self.decode_tokens_per_second,
+            "tokens_per_joule": self.tokens_per_joule,
+            "average_power_w": self.average_power_w,
+            "total_cycles": self.metrics.total_cycles,
+            "hbm_gbytes": self.metrics.counters.hbm_bytes / 1e9,
+            **self.extra,
+        }
+
+
+def _by_variant(results: Sequence[VariantResult]) -> Dict[str, VariantResult]:
+    out: Dict[str, VariantResult] = {}
+    for result in results:
+        if result.variant in out:
+            raise ValueError(f"duplicate variant {result.variant!r} in results")
+        out[result.variant] = result
+    return out
+
+
+def speedup(results: Sequence[VariantResult], baseline: str, target: str) -> float:
+    """Latency ratio ``baseline / target`` (how much faster ``target`` is)."""
+    table = _by_variant(results)
+    if table[target].latency_seconds <= 0:
+        return 0.0
+    return table[baseline].latency_seconds / table[target].latency_seconds
+
+
+def normalized_latency(
+    results: Sequence[VariantResult],
+    baseline: str = "unoptimized",
+) -> Dict[str, float]:
+    """Latency of each variant normalised to ``baseline`` (baseline = 1.0).
+
+    This is the quantity plotted in the paper's Fig. 2(a).
+    """
+    table = _by_variant(results)
+    if baseline not in table:
+        raise KeyError(f"baseline variant {baseline!r} not in results")
+    base = table[baseline].latency_seconds
+    if base <= 0:
+        raise ValueError("baseline latency must be positive")
+    return {name: r.latency_seconds / base for name, r in table.items()}
+
+
+def normalized_energy_efficiency(
+    results: Sequence[VariantResult],
+    baseline: str = "unoptimized",
+) -> Dict[str, float]:
+    """Tokens/J of each variant relative to ``baseline`` (Fig. 2(b))."""
+    table = _by_variant(results)
+    if baseline not in table:
+        raise KeyError(f"baseline variant {baseline!r} not in results")
+    base = table[baseline].tokens_per_joule
+    if base <= 0:
+        raise ValueError("baseline energy efficiency must be positive")
+    return {name: r.tokens_per_joule / base for name, r in table.items()}
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0 if the iterable is empty)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

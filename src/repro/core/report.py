@@ -1,0 +1,106 @@
+"""Plain-text and JSON rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+report; this module holds the formatting so the benchmarks, examples and
+tests share one implementation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "render_bar_chart", "write_json", "Report"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of dict rows as an aligned fixed-width text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max((len(r[i]) for r in rendered), default=0))
+        for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns)),
+        "  ".join("-" * widths[i] for i in range(len(columns))),
+    ]
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """ASCII horizontal bar chart (a stand-in for the paper's figure panels)."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(k) for k in values)
+    lines = []
+    for name, value in values.items():
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(f"{name.ljust(label_width)}  {bar} {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def write_json(path: str | Path, payload: Any) -> Path:
+    """Write ``payload`` as pretty-printed JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    return path
+
+
+class Report:
+    """Accumulates named sections of text/tables and renders them together."""
+
+    def __init__(self, title: str) -> None:
+        if not title:
+            raise ValueError("report title must not be empty")
+        self.title = title
+        self._sections: List[tuple[str, str]] = []
+
+    def add_section(self, heading: str, body: str) -> None:
+        """Append a titled section."""
+        self._sections.append((heading, body))
+
+    def add_table(self, heading: str, rows: Sequence[Mapping[str, Any]],
+                  columns: Sequence[str] | None = None) -> None:
+        """Append a section containing a formatted table."""
+        self.add_section(heading, format_table(rows, columns))
+
+    def render(self) -> str:
+        """Render the full report as text."""
+        lines = [self.title, "=" * len(self.title), ""]
+        for heading, body in self._sections:
+            lines.append(heading)
+            lines.append("-" * len(heading))
+            lines.append(body)
+            lines.append("")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,265 @@
+"""Construct the Llama-2 decode-step operator graph from a model config.
+
+The accelerator (like llama2.c) processes one token position at a time, so
+the unit of compilation is the *decode-step graph*: every operator needed
+to turn the current token's embedding into next-token logits, given a KV
+cache holding ``context_len`` previous positions.  Prefill is modelled as
+a sequence of decode steps with growing context, exactly how the llama2.c
+host loop feeds the hardware.
+
+The builder annotates each operator with its analytic cost (FLOPs and
+weight bytes) and each tensor with its size and residency, which is what
+the simulator's timing and traffic models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..llama.config import LlamaConfig
+from .graph import Graph
+from .ops import Operator, OpKind, TensorSpec
+
+__all__ = ["GraphBuilder", "build_decode_graph"]
+
+_ACT_BYTES = 4  # activations stay float32 in the datapath
+
+
+@dataclass
+class GraphBuilder:
+    """Builds decode-step graphs for a given model configuration.
+
+    Parameters
+    ----------
+    config:
+        Model architecture.
+    weight_dtype_bytes:
+        Storage bytes per weight element as streamed from HBM (1 for the
+        int8 datapath the accelerator uses, 4 for float32 baselines).
+    """
+
+    config: LlamaConfig
+    weight_dtype_bytes: float = 1
+
+    def __post_init__(self) -> None:
+        if self.weight_dtype_bytes not in (0.5, 1, 2, 4):
+            raise ValueError(
+                "weight_dtype_bytes must be 0.5 (int4), 1, 2 or 4, got "
+                f"{self.weight_dtype_bytes}"
+            )
+
+    # ------------------------------------------------------------------
+    def build_decode_step(self, context_len: int, name: Optional[str] = None) -> Graph:
+        """Build the graph of one decode step.
+
+        Parameters
+        ----------
+        context_len:
+            Number of positions already in the KV cache (the new token
+            attends over ``context_len + 1`` positions including itself).
+        """
+        cfg = self.config
+        if context_len < 0:
+            raise ValueError("context_len must be >= 0")
+        if context_len >= cfg.max_seq_len:
+            raise ValueError(
+                f"context_len {context_len} must be below max_seq_len {cfg.max_seq_len}"
+            )
+        attn_len = context_len + 1
+        g = Graph(name=name or f"{cfg.name}-decode-ctx{context_len}")
+        dim, kv_dim, hidden = cfg.dim, cfg.kv_dim, cfg.resolved_hidden_dim()
+        wb = self.weight_dtype_bytes
+        # TensorSpec element sizes are whole bytes; sub-byte weights keep
+        # their true footprint in the operators' weight_bytes annotations.
+        wb_store = max(1, int(wb))
+
+        def tensor(tname: str, *shape: int, resident: str = "offchip",
+                   weight: bool = False, dtype_bytes: int = _ACT_BYTES) -> str:
+            g.add_tensor(TensorSpec(
+                name=tname, shape=tuple(shape), dtype_bytes=dtype_bytes,
+                resident=resident, is_weight=weight,
+            ))
+            return tname
+
+        # Graph inputs -------------------------------------------------
+        token = tensor("token", 1, dtype_bytes=4)
+        emb_table = tensor("tok_embeddings.weight", cfg.vocab_size, dim,
+                           weight=True, dtype_bytes=wb_store)
+        x = tensor("x.0", dim)
+        g.add_operator(Operator(
+            name="embed", kind=OpKind.EMBED,
+            inputs=[token, emb_table], outputs=[x],
+            flops=0, weight_bytes=int(dim * wb),
+            attributes={"rows": 1},
+        ))
+
+        for layer in range(cfg.n_layers):
+            x = self._decoder_block(g, tensor, x, layer, attn_len)
+
+        # Final norm + classifier ---------------------------------------
+        norm_w = tensor("norm.weight", dim, weight=True)
+        xn = tensor("x.final_norm", dim)
+        g.add_operator(Operator(
+            name="final_norm", kind=OpKind.RMSNORM,
+            inputs=[x, norm_w], outputs=[xn],
+            flops=4 * dim, weight_bytes=dim * 4,
+        ))
+        cls_name = (
+            "tok_embeddings.weight(classifier)"
+            if cfg.shared_classifier else "output.weight"
+        )
+        cls_w = tensor(cls_name, cfg.vocab_size, dim, weight=True,
+                       dtype_bytes=wb_store)
+        logits = tensor("logits", cfg.vocab_size)
+        g.add_operator(Operator(
+            name="classifier", kind=OpKind.MATMUL,
+            inputs=[xn, cls_w], outputs=[logits],
+            flops=2 * cfg.vocab_size * dim,
+            weight_bytes=int(cfg.vocab_size * dim * wb),
+            attributes={"out_features": cfg.vocab_size, "in_features": dim},
+        ))
+        g.validate()
+        return g
+
+    # ------------------------------------------------------------------
+    def _decoder_block(self, g: Graph, tensor, x: str, layer: int, attn_len: int) -> str:
+        cfg = self.config
+        dim, kv_dim, hidden = cfg.dim, cfg.kv_dim, cfg.resolved_hidden_dim()
+        head_dim, n_heads = cfg.head_dim, cfg.n_heads
+        wb = self.weight_dtype_bytes
+        wb_store = max(1, int(wb))
+        p = f"L{layer}."
+
+        def matmul(op_name: str, w_name: str, out_feat: int, in_feat: int,
+                   inp: str, out: str) -> None:
+            w = tensor(w_name, out_feat, in_feat, weight=True,
+                       dtype_bytes=wb_store)
+            g.add_operator(Operator(
+                name=op_name, kind=OpKind.MATMUL,
+                inputs=[inp, w], outputs=[out],
+                flops=2 * out_feat * in_feat,
+                weight_bytes=int(out_feat * in_feat * wb),
+                attributes={"out_features": out_feat, "in_features": in_feat,
+                            "layer": layer},
+            ))
+
+        # --- attention -------------------------------------------------
+        attn_norm_w = tensor(p + "attention_norm.weight", dim, weight=True)
+        xn = tensor(p + "attn_norm_out", dim)
+        g.add_operator(Operator(
+            name=p + "attn_norm", kind=OpKind.RMSNORM,
+            inputs=[x, attn_norm_w], outputs=[xn],
+            flops=4 * dim, weight_bytes=dim * 4,
+            attributes={"layer": layer},
+        ))
+
+        q = tensor(p + "q", dim)
+        k = tensor(p + "k", kv_dim)
+        v = tensor(p + "v", kv_dim)
+        matmul(p + "wq", p + "attention.wq.weight", dim, dim, xn, q)
+        matmul(p + "wk", p + "attention.wk.weight", kv_dim, dim, xn, k)
+        matmul(p + "wv", p + "attention.wv.weight", kv_dim, dim, xn, v)
+
+        q_rot = tensor(p + "q_rot", dim)
+        k_rot = tensor(p + "k_rot", kv_dim)
+        g.add_operator(Operator(
+            name=p + "rope_q", kind=OpKind.ROPE,
+            inputs=[q], outputs=[q_rot],
+            flops=6 * dim, attributes={"layer": layer},
+        ))
+        g.add_operator(Operator(
+            name=p + "rope_k", kind=OpKind.ROPE,
+            inputs=[k], outputs=[k_rot],
+            flops=6 * kv_dim, attributes={"layer": layer},
+        ))
+
+        # Cache append produces the updated cache views used by attention.
+        cache_k = tensor(p + "cache_k", attn_len, kv_dim)
+        cache_v = tensor(p + "cache_v", attn_len, kv_dim)
+        g.add_operator(Operator(
+            name=p + "kv_append", kind=OpKind.KV_APPEND,
+            inputs=[k_rot, v], outputs=[cache_k, cache_v],
+            flops=0,
+            attributes={"layer": layer, "attn_len": attn_len, "kv_dim": kv_dim},
+        ))
+
+        scores = tensor(p + "scores", n_heads, attn_len)
+        g.add_operator(Operator(
+            name=p + "attn_score", kind=OpKind.ATTN_SCORE,
+            inputs=[q_rot, cache_k], outputs=[scores],
+            flops=2 * n_heads * head_dim * attn_len,
+            attributes={"layer": layer, "attn_len": attn_len},
+        ))
+        probs = tensor(p + "probs", n_heads, attn_len)
+        g.add_operator(Operator(
+            name=p + "softmax", kind=OpKind.SOFTMAX,
+            inputs=[scores], outputs=[probs],
+            flops=5 * n_heads * attn_len,
+            attributes={"layer": layer},
+        ))
+        attn_out = tensor(p + "attn_out", dim)
+        g.add_operator(Operator(
+            name=p + "attn_context", kind=OpKind.ATTN_CONTEXT,
+            inputs=[probs, cache_v], outputs=[attn_out],
+            flops=2 * n_heads * head_dim * attn_len,
+            attributes={"layer": layer, "attn_len": attn_len},
+        ))
+
+        proj = tensor(p + "attn_proj", dim)
+        matmul(p + "wo", p + "attention.wo.weight", dim, dim, attn_out, proj)
+
+        x_attn = tensor(p + "x_attn", dim)
+        g.add_operator(Operator(
+            name=p + "residual_attn", kind=OpKind.ADD,
+            inputs=[x, proj], outputs=[x_attn],
+            flops=dim, attributes={"layer": layer},
+        ))
+
+        # --- feed forward ----------------------------------------------
+        ffn_norm_w = tensor(p + "ffn_norm.weight", dim, weight=True)
+        ffn_in = tensor(p + "ffn_norm_out", dim)
+        g.add_operator(Operator(
+            name=p + "ffn_norm", kind=OpKind.RMSNORM,
+            inputs=[x_attn, ffn_norm_w], outputs=[ffn_in],
+            flops=4 * dim, weight_bytes=dim * 4,
+            attributes={"layer": layer},
+        ))
+        gate = tensor(p + "gate", hidden)
+        up = tensor(p + "up", hidden)
+        matmul(p + "w1", p + "feed_forward.w1.weight", hidden, dim, ffn_in, gate)
+        matmul(p + "w3", p + "feed_forward.w3.weight", hidden, dim, ffn_in, up)
+
+        gate_act = tensor(p + "gate_act", hidden)
+        g.add_operator(Operator(
+            name=p + "silu", kind=OpKind.SILU,
+            inputs=[gate], outputs=[gate_act],
+            flops=4 * hidden, attributes={"layer": layer},
+        ))
+        h = tensor(p + "ffn_hidden", hidden)
+        g.add_operator(Operator(
+            name=p + "swiglu_mul", kind=OpKind.MUL,
+            inputs=[gate_act, up], outputs=[h],
+            flops=hidden, attributes={"layer": layer},
+        ))
+        ffn_out = tensor(p + "ffn_out", dim)
+        matmul(p + "w2", p + "feed_forward.w2.weight", dim, hidden, h, ffn_out)
+
+        x_out = tensor(f"x.{layer + 1}", dim)
+        g.add_operator(Operator(
+            name=p + "residual_ffn", kind=OpKind.ADD,
+            inputs=[x_attn, ffn_out], outputs=[x_out],
+            flops=dim, attributes={"layer": layer},
+        ))
+        return x_out
+
+
+def build_decode_graph(
+    config: LlamaConfig,
+    context_len: int,
+    weight_dtype_bytes: float = 1,
+) -> Graph:
+    """Convenience wrapper: build one decode-step graph."""
+    return GraphBuilder(config, weight_dtype_bytes=weight_dtype_bytes).build_decode_step(
+        context_len
+    )

@@ -1,0 +1,105 @@
+"""Graph-level scheduling and cost summaries.
+
+This module provides the *architecture-independent* scheduling layer: a
+deterministic topological execution order, per-compute-unit work
+partitioning, and aggregate traffic/FLOP summaries.  The cycle-accurate
+placement of work onto the MPE/SFU/DMA engines is done later by the
+accelerator compiler; the quantities computed here are used by tests,
+reports and the roofline-style analytical comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from .graph import Graph
+from .ops import ComputeUnit, Operator, OpKind
+
+__all__ = ["ScheduledOp", "Schedule", "schedule_graph", "GraphCostSummary", "summarize_graph"]
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One operator with its position in the execution order."""
+
+    index: int
+    op: Operator
+    unit: ComputeUnit
+
+
+@dataclass
+class Schedule:
+    """A total execution order over the graph's operators."""
+
+    graph: Graph
+    entries: List[ScheduledOp] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def by_unit(self) -> Dict[ComputeUnit, List[ScheduledOp]]:
+        """Partition scheduled ops by compute unit."""
+        out: Dict[ComputeUnit, List[ScheduledOp]] = {u: [] for u in ComputeUnit}
+        for entry in self.entries:
+            out[entry.unit].append(entry)
+        return out
+
+    def unit_flops(self) -> Dict[ComputeUnit, int]:
+        """Total FLOPs assigned to each compute unit."""
+        out: Dict[ComputeUnit, int] = {u: 0 for u in ComputeUnit}
+        for entry in self.entries:
+            out[entry.unit] += entry.op.total_flops()
+        return out
+
+
+def schedule_graph(graph: Graph) -> Schedule:
+    """Produce the deterministic topological schedule of ``graph``."""
+    order = graph.topological_order()
+    entries = [
+        ScheduledOp(index=i, op=op, unit=op.unit) for i, op in enumerate(order)
+    ]
+    return Schedule(graph=graph, entries=entries)
+
+
+@dataclass(frozen=True)
+class GraphCostSummary:
+    """Aggregate cost figures of one decode-step graph.
+
+    ``offchip_bytes`` is the total off-chip traffic of a naive execution
+    (weights + off-chip intermediate writes and re-reads);
+    ``arithmetic_intensity`` is FLOPs per off-chip byte — the quantity
+    operator fusion improves.
+    """
+
+    n_ops: int
+    total_flops: int
+    weight_bytes: int
+    intermediate_bytes: int
+    kind_histogram: Mapping[str, int]
+
+    @property
+    def offchip_bytes(self) -> int:
+        # A naive (unfused, un-reused) execution writes each off-chip
+        # intermediate once and reads it once.
+        return self.weight_bytes + 2 * self.intermediate_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        if self.offchip_bytes == 0:
+            return 0.0
+        return self.total_flops / self.offchip_bytes
+
+
+def summarize_graph(graph: Graph) -> GraphCostSummary:
+    """Compute the :class:`GraphCostSummary` of ``graph``."""
+    return GraphCostSummary(
+        n_ops=len(graph),
+        total_flops=graph.total_flops(),
+        weight_bytes=graph.total_weight_bytes(),
+        intermediate_bytes=graph.intermediate_activation_bytes(),
+        kind_histogram={k.value: v for k, v in graph.count_kinds().items()},
+    )

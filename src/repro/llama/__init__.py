@@ -1,0 +1,88 @@
+"""Llama-2 / TinyLlama inference substrate (llama2.c equivalent).
+
+This subpackage is the functional ground truth of the reproduction: a
+NumPy port of llama2.c covering model configuration, checkpoints,
+tokenisation, the forward pass with KV caching, sampling, the generation
+loop and the weight quantisation used by the accelerator datapath.
+"""
+
+from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint, synthesize_weights
+from .config import LlamaConfig, available_presets, preset
+from .evaluate import (
+    EvaluationReport,
+    cross_entropy,
+    evaluate_corpus,
+    perplexity,
+    token_agreement,
+)
+from .generation import GenerationResult, GenerationTiming, generate, generate_text
+from .kv_cache import KVCache
+from .model import (
+    ForwardTrace,
+    LlamaModel,
+    apply_rope,
+    rmsnorm,
+    rope_frequencies,
+    silu,
+    softmax,
+    swiglu,
+)
+from .quantization import (
+    INT4,
+    INT8,
+    QuantizedTensor,
+    QuantSpec,
+    dequantize,
+    quantization_error,
+    quantize,
+    quantize_state_dict,
+    quantized_matvec,
+)
+from .sampler import Sampler, greedy, sample_temperature, sample_top_p
+from .tokenizer import BOS_ID, EOS_ID, UNK_ID, Tokenizer, train_bpe
+
+__all__ = [
+    "Checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "synthesize_weights",
+    "EvaluationReport",
+    "cross_entropy",
+    "evaluate_corpus",
+    "perplexity",
+    "token_agreement",
+    "LlamaConfig",
+    "available_presets",
+    "preset",
+    "GenerationResult",
+    "GenerationTiming",
+    "generate",
+    "generate_text",
+    "KVCache",
+    "ForwardTrace",
+    "LlamaModel",
+    "apply_rope",
+    "rmsnorm",
+    "rope_frequencies",
+    "silu",
+    "softmax",
+    "swiglu",
+    "INT4",
+    "INT8",
+    "QuantizedTensor",
+    "QuantSpec",
+    "dequantize",
+    "quantization_error",
+    "quantize",
+    "quantize_state_dict",
+    "quantized_matvec",
+    "Sampler",
+    "greedy",
+    "sample_temperature",
+    "sample_top_p",
+    "BOS_ID",
+    "EOS_ID",
+    "UNK_ID",
+    "Tokenizer",
+    "train_bpe",
+]

@@ -1,0 +1,145 @@
+"""Model-quality evaluation: cross-entropy, perplexity, agreement.
+
+The paper's accelerator changes *how* the model is executed (int8 weight
+streaming, fused operators), not *what* it computes — so the reproduction
+needs a way to quantify any functional drift.  This module provides:
+
+* :func:`cross_entropy` / :func:`perplexity` — teacher-forced next-token
+  loss of a model over a text corpus (the metric TinyStories models are
+  trained against);
+* :func:`token_agreement` — fraction of positions where two models pick
+  the same greedy next token, used to compare the quantised accelerator
+  datapath against the float32 reference;
+* :class:`EvaluationReport` — a small container the examples and tests
+  share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .model import LlamaModel, softmax
+from .tokenizer import Tokenizer
+
+__all__ = [
+    "EvaluationReport",
+    "cross_entropy",
+    "perplexity",
+    "token_agreement",
+    "evaluate_corpus",
+]
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """Aggregate quality metrics over an evaluation corpus."""
+
+    n_documents: int
+    n_tokens: int
+    cross_entropy: float
+    perplexity: float
+
+    def as_dict(self) -> dict:
+        return {
+            "n_documents": self.n_documents,
+            "n_tokens": self.n_tokens,
+            "cross_entropy": self.cross_entropy,
+            "perplexity": self.perplexity,
+        }
+
+
+def _sequence_nll(model: LlamaModel, tokens: Sequence[int]) -> tuple[float, int]:
+    """Sum of negative log-likelihoods of ``tokens[1:]`` given their prefix."""
+    if len(tokens) < 2:
+        return 0.0, 0
+    cache = model.new_cache()
+    total = 0.0
+    count = 0
+    limit = min(len(tokens), model.config.max_seq_len)
+    for pos in range(limit - 1):
+        logits = model.forward(tokens[pos], pos, cache)
+        probs = softmax(logits)
+        target = tokens[pos + 1]
+        total += -float(np.log(max(probs[target], 1e-12)))
+        count += 1
+    return total, count
+
+
+def cross_entropy(model: LlamaModel, token_sequences: Iterable[Sequence[int]]) -> float:
+    """Mean per-token negative log-likelihood over the sequences (nats)."""
+    total = 0.0
+    count = 0
+    for tokens in token_sequences:
+        nll, n = _sequence_nll(model, list(tokens))
+        total += nll
+        count += n
+    if count == 0:
+        raise ValueError("no scorable tokens in the evaluation set")
+    return total / count
+
+
+def perplexity(model: LlamaModel, token_sequences: Iterable[Sequence[int]]) -> float:
+    """exp(cross entropy)."""
+    return float(np.exp(cross_entropy(model, token_sequences)))
+
+
+def evaluate_corpus(
+    model: LlamaModel,
+    tokenizer: Tokenizer,
+    corpus: Sequence[str],
+    max_documents: int | None = None,
+) -> EvaluationReport:
+    """Tokenise ``corpus`` and report cross-entropy / perplexity."""
+    docs = list(corpus if max_documents is None else corpus[:max_documents])
+    if not docs:
+        raise ValueError("evaluation corpus is empty")
+    sequences = [tokenizer.encode(doc, bos=True, eos=True) for doc in docs]
+    total = 0.0
+    count = 0
+    for tokens in sequences:
+        nll, n = _sequence_nll(model, tokens)
+        total += nll
+        count += n
+    if count == 0:
+        raise ValueError("evaluation corpus produced no scorable tokens")
+    ce = total / count
+    return EvaluationReport(
+        n_documents=len(docs),
+        n_tokens=count,
+        cross_entropy=ce,
+        perplexity=float(np.exp(ce)),
+    )
+
+
+def token_agreement(
+    model_a: LlamaModel,
+    model_b: LlamaModel,
+    token_sequences: Iterable[Sequence[int]],
+) -> float:
+    """Fraction of positions where both models pick the same greedy token.
+
+    Used to quantify the functional impact of the accelerator's weight
+    quantisation: 1.0 means the int8 datapath decodes identically to the
+    float32 reference under teacher forcing.
+    """
+    agree = 0
+    total = 0
+    for tokens in token_sequences:
+        tokens = list(tokens)
+        if len(tokens) < 2:
+            continue
+        cache_a = model_a.new_cache()
+        cache_b = model_b.new_cache()
+        limit = min(len(tokens),
+                    model_a.config.max_seq_len, model_b.config.max_seq_len)
+        for pos in range(limit - 1):
+            la = model_a.forward(tokens[pos], pos, cache_a)
+            lb = model_b.forward(tokens[pos], pos, cache_b)
+            agree += int(np.argmax(la) == np.argmax(lb))
+            total += 1
+    if total == 0:
+        raise ValueError("no comparable positions in the evaluation set")
+    return agree / total

@@ -1,0 +1,107 @@
+"""Key/value cache for autoregressive decoding.
+
+The cache is the dominant on-chip/off-chip data structure during the decode
+stage and is what the paper's memory-reuse strategy is largely about.  This
+implementation keeps one pre-allocated ``(max_seq_len, kv_dim)`` buffer per
+layer for keys and one for values, exposing views for attention and an
+append operation for new tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .config import LlamaConfig
+
+__all__ = ["KVCache"]
+
+
+class KVCache:
+    """Pre-allocated per-layer key/value cache.
+
+    Parameters
+    ----------
+    config:
+        Model configuration (provides layer count, kv width, max length).
+    max_seq_len:
+        Optional override of the cache capacity (defaults to the model's
+        ``max_seq_len``).
+    dtype:
+        Storage dtype; float32 by default, float16 models HBM-resident
+        half-precision caches.
+    """
+
+    def __init__(
+        self,
+        config: LlamaConfig,
+        max_seq_len: int | None = None,
+        dtype: np.dtype = np.float32,
+    ) -> None:
+        self.config = config
+        self.capacity = int(
+            config.max_seq_len if max_seq_len is None else max_seq_len
+        )
+        if self.capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.dtype = np.dtype(dtype)
+        shape = (config.n_layers, self.capacity, config.kv_dim)
+        self._keys = np.zeros(shape, dtype=self.dtype)
+        self._values = np.zeros(shape, dtype=self.dtype)
+        self._length = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of cached positions."""
+        return self._length
+
+    @property
+    def nbytes(self) -> int:
+        """Total allocated cache storage in bytes."""
+        return int(self._keys.nbytes + self._values.nbytes)
+
+    def used_nbytes(self) -> int:
+        """Bytes of cache actually occupied by cached tokens."""
+        per_pos = 2 * self.config.n_layers * self.config.kv_dim * self.dtype.itemsize
+        return per_pos * self._length
+
+    def reset(self) -> None:
+        """Clear the cache (start a new sequence)."""
+        self._length = 0
+
+    # ------------------------------------------------------------------
+    def append(self, layer: int, key: np.ndarray, value: np.ndarray, pos: int) -> None:
+        """Store the key/value vectors for ``pos`` in ``layer``.
+
+        ``pos`` must equal the current cache length when ``layer`` is the
+        final layer appended for that position; out-of-range positions
+        raise.
+        """
+        if not 0 <= layer < self.config.n_layers:
+            raise IndexError(f"layer {layer} out of range")
+        if not 0 <= pos < self.capacity:
+            raise IndexError(
+                f"position {pos} exceeds cache capacity {self.capacity}"
+            )
+        key = np.asarray(key, dtype=self.dtype).reshape(self.config.kv_dim)
+        value = np.asarray(value, dtype=self.dtype).reshape(self.config.kv_dim)
+        self._keys[layer, pos] = key
+        self._values[layer, pos] = value
+        if layer == self.config.n_layers - 1:
+            self._length = max(self._length, pos + 1)
+
+    def keys(self, layer: int, length: int | None = None) -> np.ndarray:
+        """Return a view of the cached keys of ``layer`` up to ``length``."""
+        length = self._length if length is None else length
+        return self._keys[layer, :length]
+
+    def values(self, layer: int, length: int | None = None) -> np.ndarray:
+        """Return a view of the cached values of ``layer`` up to ``length``."""
+        length = self._length if length is None else length
+        return self._values[layer, :length]
+
+    def view(self, layer: int, length: int | None = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(keys, values)`` views for attention in ``layer``."""
+        return self.keys(layer, length), self.values(layer, length)

@@ -1,0 +1,208 @@
+"""Group quantization used by the accelerator datapath.
+
+The SpeedLLM accelerator streams weights from HBM into the Matrix
+Processing Engine as narrow integers (int8 by default; int4 is also
+supported for scale studies).  This module implements symmetric
+group-wise quantization identical in spirit to the ``Q8_0`` format used by
+``llama2.c``: each contiguous group of ``group_size`` values shares one
+float32 scale, values are stored as signed integers in
+``[-qmax, qmax]``.
+
+All functions are vectorised NumPy and operate on the flattened last axis
+of the input tensor, which must be divisible by the group size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "QuantSpec",
+    "QuantizedTensor",
+    "quantize",
+    "dequantize",
+    "quantized_matvec",
+    "quantization_error",
+    "INT8",
+    "INT4",
+]
+
+
+@dataclass(frozen=True)
+class QuantSpec:
+    """Describes a symmetric group quantization format.
+
+    Attributes
+    ----------
+    bits:
+        Bit width of the stored integers (4 or 8).
+    group_size:
+        Number of consecutive elements sharing one scale factor.
+    """
+
+    bits: int = 8
+    group_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.bits not in (4, 8, 16):
+            raise ValueError(f"unsupported bit width: {self.bits}")
+        if self.group_size <= 0:
+            raise ValueError(f"group_size must be positive, got {self.group_size}")
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable magnitude."""
+        return (1 << (self.bits - 1)) - 1
+
+    @property
+    def bytes_per_element(self) -> float:
+        """Storage cost per element including the amortised scale."""
+        return self.bits / 8.0 + 4.0 / self.group_size
+
+    def storage_bytes(self, n_elements: int) -> int:
+        """Total bytes needed to store ``n_elements`` quantised values."""
+        if n_elements % self.group_size != 0:
+            raise ValueError(
+                f"element count {n_elements} not divisible by group size "
+                f"{self.group_size}"
+            )
+        n_groups = n_elements // self.group_size
+        int_bytes = (n_elements * self.bits + 7) // 8
+        return int_bytes + 4 * n_groups
+
+
+INT8 = QuantSpec(bits=8, group_size=64)
+INT4 = QuantSpec(bits=4, group_size=64)
+
+
+@dataclass
+class QuantizedTensor:
+    """A tensor stored as group-quantised integers plus per-group scales.
+
+    ``q`` has the same shape as the original tensor (stored as ``int8``
+    regardless of the logical bit width for simplicity); ``scales`` has the
+    original shape with the last axis divided by ``group_size``.
+    """
+
+    q: np.ndarray
+    scales: np.ndarray
+    spec: QuantSpec
+    original_shape: Tuple[int, ...]
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.original_shape
+
+    @property
+    def nbytes(self) -> int:
+        """Logical storage footprint in bytes (per the quantisation spec)."""
+        n = int(np.prod(self.original_shape))
+        return self.spec.storage_bytes(n)
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the float32 tensor."""
+        return dequantize(self)
+
+
+def _check_divisible(n: int, group_size: int) -> None:
+    if n % group_size != 0:
+        raise ValueError(
+            f"last axis of size {n} is not divisible by group size {group_size}"
+        )
+
+
+def quantize(x: np.ndarray, spec: QuantSpec = INT8) -> QuantizedTensor:
+    """Quantise ``x`` symmetrically with per-group scales along the last axis.
+
+    Parameters
+    ----------
+    x:
+        Input tensor of any shape whose last axis is divisible by
+        ``spec.group_size``.
+    spec:
+        Quantisation format.
+
+    Returns
+    -------
+    QuantizedTensor
+        The quantised representation.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    if x.ndim == 0:
+        raise ValueError("cannot quantise a scalar")
+    last = x.shape[-1]
+    _check_divisible(last, spec.group_size)
+    grouped = x.reshape(*x.shape[:-1], last // spec.group_size, spec.group_size)
+    absmax = np.abs(grouped).max(axis=-1)
+    scales = absmax / float(spec.qmax)
+    # Avoid division by zero for all-zero groups: scale 0 encodes to 0.
+    safe_scales = np.where(scales == 0.0, 1.0, scales)
+    q = np.round(grouped / safe_scales[..., None]).astype(np.int32)
+    q = np.clip(q, -spec.qmax, spec.qmax).astype(np.int8)
+    return QuantizedTensor(
+        q=q.reshape(x.shape),
+        scales=scales.astype(np.float32),
+        spec=spec,
+        original_shape=tuple(x.shape),
+    )
+
+
+def dequantize(qt: QuantizedTensor) -> np.ndarray:
+    """Reconstruct the float32 tensor from its quantised form."""
+    spec = qt.spec
+    last = qt.original_shape[-1]
+    grouped = qt.q.astype(np.float32).reshape(
+        *qt.original_shape[:-1], last // spec.group_size, spec.group_size
+    )
+    out = grouped * qt.scales[..., None]
+    return out.reshape(qt.original_shape).astype(np.float32)
+
+
+def quantized_matvec(w: QuantizedTensor, x: np.ndarray) -> np.ndarray:
+    """Compute ``w @ x`` where ``w`` is a quantised (out, in) matrix.
+
+    The activation vector ``x`` stays in float32 (weight-only
+    quantisation), matching the accelerator datapath where DSP multipliers
+    take int8 weights and dequantisation happens at the accumulator.
+    """
+    if len(w.original_shape) != 2:
+        raise ValueError("quantized_matvec expects a 2-D weight tensor")
+    x = np.asarray(x, dtype=np.float32)
+    if x.shape[-1] != w.original_shape[1]:
+        raise ValueError(
+            f"shape mismatch: weight {w.original_shape} @ x {x.shape}"
+        )
+    return dequantize(w) @ x
+
+
+def quantization_error(x: np.ndarray, spec: QuantSpec = INT8) -> float:
+    """Return the relative L2 error introduced by quantising ``x``."""
+    x = np.asarray(x, dtype=np.float32)
+    approx = dequantize(quantize(x, spec))
+    denom = float(np.linalg.norm(x))
+    if denom == 0.0:
+        return 0.0
+    return float(np.linalg.norm(x - approx)) / denom
+
+
+def quantize_state_dict(
+    weights: Dict[str, np.ndarray],
+    spec: QuantSpec = INT8,
+    skip_1d: bool = True,
+) -> Dict[str, QuantizedTensor | np.ndarray]:
+    """Quantise every matrix in a weight dictionary.
+
+    One-dimensional tensors (norm scales) stay in float32 when
+    ``skip_1d`` is true, matching the accelerator which keeps them
+    on-chip in full precision.
+    """
+    out: Dict[str, QuantizedTensor | np.ndarray] = {}
+    for name, tensor in weights.items():
+        if skip_1d and tensor.ndim == 1:
+            out[name] = np.asarray(tensor, dtype=np.float32)
+        else:
+            out[name] = quantize(tensor, spec)
+    return out

@@ -1,0 +1,98 @@
+"""Token sampling strategies for the decode loop.
+
+Mirrors llama2.c's sampler: greedy (argmax), temperature sampling and
+nucleus (top-p) sampling, all driven by an explicit seeded generator so
+generation is reproducible across the reference engine and the simulated
+accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Sampler", "greedy", "sample_temperature", "sample_top_p"]
+
+
+def greedy(logits: np.ndarray) -> int:
+    """Return the argmax token id."""
+    return int(np.argmax(np.asarray(logits)))
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - np.max(x)
+    e = np.exp(shifted)
+    return e / e.sum()
+
+
+def sample_temperature(
+    logits: np.ndarray,
+    temperature: float,
+    rng: np.random.Generator,
+) -> int:
+    """Sample from the temperature-scaled categorical distribution."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive for stochastic sampling")
+    probs = _softmax(np.asarray(logits, dtype=np.float64) / temperature)
+    return int(rng.choice(len(probs), p=probs))
+
+
+def sample_top_p(
+    logits: np.ndarray,
+    temperature: float,
+    top_p: float,
+    rng: np.random.Generator,
+) -> int:
+    """Nucleus sampling: restrict to the smallest set with mass >= top_p."""
+    if not 0.0 < top_p <= 1.0:
+        raise ValueError(f"top_p must be in (0, 1], got {top_p}")
+    probs = _softmax(np.asarray(logits, dtype=np.float64) / temperature)
+    order = np.argsort(probs)[::-1]
+    sorted_probs = probs[order]
+    cumulative = np.cumsum(sorted_probs)
+    cutoff = int(np.searchsorted(cumulative, top_p) + 1)
+    kept = order[:cutoff]
+    kept_probs = probs[kept]
+    kept_probs = kept_probs / kept_probs.sum()
+    return int(rng.choice(kept, p=kept_probs))
+
+
+@dataclass
+class Sampler:
+    """Configured sampling policy.
+
+    Attributes
+    ----------
+    temperature:
+        0.0 selects greedy decoding; otherwise logits are divided by the
+        temperature before sampling.
+    top_p:
+        Nucleus threshold; 1.0 disables nucleus filtering.
+    seed:
+        Seed of the internal generator (used only for stochastic modes).
+    """
+
+    temperature: float = 0.0
+    top_p: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.temperature < 0:
+            raise ValueError("temperature must be >= 0")
+        if not 0.0 < self.top_p <= 1.0:
+            raise ValueError("top_p must be in (0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Re-seed the internal generator (for reproducible reruns)."""
+        self._rng = np.random.default_rng(self.seed if seed is None else seed)
+
+    def sample(self, logits: np.ndarray) -> int:
+        """Pick the next token id from ``logits`` under this policy."""
+        if self.temperature == 0.0:
+            return greedy(logits)
+        if self.top_p < 1.0:
+            return sample_top_p(logits, self.temperature, self.top_p, self._rng)
+        return sample_temperature(logits, self.temperature, self._rng)

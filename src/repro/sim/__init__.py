@@ -1,0 +1,20 @@
+"""Cycle-level discrete-event simulation kernel and common components."""
+
+from .engine import Event, Process, SimulationError, Simulator, Timeout
+from .memory import MemoryPort
+from .stats import RunCounters
+from .stream import Stream
+from .trace import Trace, TraceEvent
+
+__all__ = [
+    "Event",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "MemoryPort",
+    "RunCounters",
+    "Stream",
+    "Trace",
+    "TraceEvent",
+]

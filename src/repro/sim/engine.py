@@ -1,0 +1,213 @@
+"""Discrete-event simulation kernel.
+
+A minimal but complete process-based event simulator in the style of
+SimPy, specialised for cycle-level hardware modelling: simulated time is
+an integer cycle count, processes are Python generators that ``yield``
+events (timeouts, other processes, or custom events), and the engine
+advances time by popping a priority queue of scheduled events.
+
+The accelerator model (:mod:`repro.accel`) builds its loader / compute /
+writer pipelines as communicating processes on top of this kernel, with
+:class:`~repro.sim.stream.Stream` FIFOs between them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = ["Event", "Timeout", "Process", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. negative delays)."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*, is *triggered* with an optional value via
+    :meth:`succeed`, and then calls back every waiter.  Waiting on an
+    already-triggered event resumes the waiter immediately (same cycle).
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, resuming all waiters at the current cycle."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self.value = value
+        for callback in self._callbacks:
+            self.sim._schedule(0, callback, self)
+        self._callbacks.clear()
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)``; fires now if already triggered."""
+        if self.triggered:
+            self.sim._schedule(0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event {self.name or hex(id(self))} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically ``delay`` cycles in the future."""
+
+    def __init__(self, sim: "Simulator", delay: int) -> None:
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        sim._schedule(delay, self._fire, self)
+
+    def _fire(self, _event: Event) -> None:
+        if not self.triggered:
+            self.triggered = True
+            self.value = None
+            for callback in self._callbacks:
+                callback(self)
+            self._callbacks.clear()
+
+
+class Process(Event):
+    """A generator-based simulation process.
+
+    The generator yields :class:`Event` objects; the process resumes when
+    the yielded event triggers, receiving the event's value as the result
+    of the ``yield`` expression.  The process itself is an event that
+    triggers (with the generator's return value) when the generator
+    finishes, so processes can wait on each other.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator[Event, Any, Any],
+                 name: str = "") -> None:
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        sim._schedule(0, self._resume, None)
+
+    def _resume(self, event: Optional[Event]) -> None:
+        value = event.value if isinstance(event, Event) else None
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """The event queue and simulated clock.
+
+    Notes
+    -----
+    * Time is an integer cycle counter starting at 0.
+    * Events scheduled at the same cycle run in FIFO order of scheduling,
+      which keeps runs fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._queue: List[tuple[int, int, Callable[[Any], None], Any]] = []
+        self._counter = itertools.count()
+        self._processes: List[Process] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation cycle."""
+        return self._now
+
+    def _schedule(self, delay: int, callback: Callable[[Any], None], payload: Any) -> None:
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), callback, payload))
+
+    # ------------------------------------------------------------------
+    # Public construction API
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: int) -> Timeout:
+        """Create an event that triggers ``delay`` cycles from now."""
+        return Timeout(self, delay)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    def all_of(self, events: Iterable[Event], name: str = "all_of") -> Event:
+        """Event that triggers once every event in ``events`` has triggered."""
+        events = list(events)
+        done = self.event(name=name)
+        if not events:
+            done.succeed([])
+            return done
+        remaining = {"count": len(events)}
+        values: List[Any] = [None] * len(events)
+
+        def make_callback(index: int) -> Callable[[Event], None]:
+            def callback(ev: Event) -> None:
+                values[index] = ev.value
+                remaining["count"] -= 1
+                if remaining["count"] == 0 and not done.triggered:
+                    done.succeed(values)
+            return callback
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_callback(i))
+        return done
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next scheduled callback; returns False when idle."""
+        if not self._queue:
+            return False
+        time, _, callback, payload = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("event queue corrupted: time went backwards")
+        self._now = time
+        callback(payload)
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: int = 50_000_000) -> int:
+        """Run until the queue drains (or cycle ``until`` is reached).
+
+        Returns the final simulation cycle.  ``max_events`` guards against
+        accidental infinite event loops in model code.
+        """
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                break
+            self.step()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; possible livelock in the model"
+                )
+        return self._now

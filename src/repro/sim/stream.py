@@ -1,0 +1,96 @@
+"""Bounded FIFO streams connecting simulation processes.
+
+Streams model the AXI-stream / ping-pong buffer links between the
+accelerator's loader, compute and write-back stages.  ``put`` blocks (the
+producing process suspends) when the FIFO is full; ``get`` blocks when it
+is empty.  The FIFO depth is the knob that turns the paper's
+"read–compute–write pipeline" on and off: depth ≥ 2 gives double
+buffering and overlap, depth 1 with a blocking handshake degenerates to
+sequential execution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Tuple
+
+from .engine import Event, SimulationError, Simulator
+
+__all__ = ["Stream"]
+
+
+class Stream:
+    """A bounded, order-preserving FIFO channel between processes."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "stream") -> None:
+        if capacity <= 0:
+            raise SimulationError("stream capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._pending_puts: Deque[Tuple[Event, Any]] = deque()
+        self._pending_gets: Deque[Event] = deque()
+        # statistics
+        self.total_puts = 0
+        self.total_gets = 0
+        self.max_occupancy = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of items currently buffered."""
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    # ------------------------------------------------------------------
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; the returned event triggers when accepted."""
+        event = self.sim.event(name=f"{self.name}.put")
+        if not self.is_full:
+            self._accept(item)
+            event.succeed(item)
+        else:
+            self._pending_puts.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Request the next item; the event's value is the item."""
+        event = self.sim.event(name=f"{self.name}.get")
+        if self._items:
+            value = self._items.popleft()
+            self.total_gets += 1
+            event.succeed(value)
+            self._drain_pending_puts()
+        else:
+            self._pending_gets.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def _accept(self, item: Any) -> None:
+        """Store ``item``, serving a pending get immediately if one waits."""
+        if self._pending_gets:
+            getter = self._pending_gets.popleft()
+            self.total_puts += 1
+            self.total_gets += 1
+            getter.succeed(item)
+            return
+        self._items.append(item)
+        self.total_puts += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._items))
+
+    def _drain_pending_puts(self) -> None:
+        while self._pending_puts and not self.is_full:
+            event, item = self._pending_puts.popleft()
+            self._accept(item)
+            event.succeed(item)

@@ -1,0 +1,19 @@
+"""Workload generation: synthetic TinyStories corpus, prompt suites, sweeps."""
+
+from .prompts import PromptSuite, Workload, default_suite, latency_suite
+from .sweep import ParameterSweep, SweepResult, run_sweep
+from .tinystories import CorpusStats, StoryGenerator, corpus_stats, generate_corpus
+
+__all__ = [
+    "PromptSuite",
+    "Workload",
+    "default_suite",
+    "latency_suite",
+    "ParameterSweep",
+    "SweepResult",
+    "run_sweep",
+    "CorpusStats",
+    "StoryGenerator",
+    "corpus_stats",
+    "generate_corpus",
+]

@@ -1,0 +1,96 @@
+"""Prompt suites used by the benchmarks.
+
+The paper's evaluation measures complete-inference latency and
+decode-stage throughput on the stories15M model.  The exact prompts are
+not published, so this module defines reproducible prompt suites (short /
+medium / long prompts drawn from the synthetic TinyStories generator) and
+a :class:`Workload` description pairing a prompt with the number of tokens
+to generate — the unit of work every benchmark and example operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .tinystories import StoryGenerator
+
+__all__ = ["Workload", "PromptSuite", "default_suite", "latency_suite"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One generation task: a prompt plus a decode budget."""
+
+    name: str
+    prompt: str
+    max_new_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.max_new_tokens <= 0:
+            raise ValueError("max_new_tokens must be positive")
+        if not self.prompt:
+            raise ValueError("prompt must not be empty")
+
+
+@dataclass(frozen=True)
+class PromptSuite:
+    """A named collection of workloads evaluated together."""
+
+    name: str
+    workloads: tuple[Workload, ...]
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ValueError("a prompt suite needs at least one workload")
+
+    def __iter__(self):
+        return iter(self.workloads)
+
+    def __len__(self) -> int:
+        return len(self.workloads)
+
+    @property
+    def total_new_tokens(self) -> int:
+        return sum(w.max_new_tokens for w in self.workloads)
+
+
+def default_suite(
+    n_prompts: int = 4,
+    max_new_tokens: int = 128,
+    seed: int = 7,
+) -> PromptSuite:
+    """Small mixed suite used by examples and quick benchmarks."""
+    gen = StoryGenerator(seed=seed)
+    workloads: List[Workload] = []
+    for i in range(n_prompts):
+        workloads.append(
+            Workload(
+                name=f"story-{i}",
+                prompt=gen.prompt(max_words=6 + 2 * i),
+                max_new_tokens=max_new_tokens,
+            )
+        )
+    return PromptSuite(name="default", workloads=tuple(workloads))
+
+
+def latency_suite(
+    decode_lengths: Sequence[int] = (32, 64, 128, 192),
+    seed: int = 11,
+) -> PromptSuite:
+    """Suite sweeping decode length, used by the Fig. 2(a) benchmark.
+
+    The paper reports latency for "complete inference"; sweeping the
+    decode budget makes the pipeline/fusion effects visible across the
+    regime the stories15M context window supports (max 256 positions).
+    """
+    gen = StoryGenerator(seed=seed)
+    workloads = tuple(
+        Workload(
+            name=f"decode-{n}",
+            prompt=gen.prompt(max_words=8),
+            max_new_tokens=n,
+        )
+        for n in decode_lengths
+    )
+    return PromptSuite(name="latency", workloads=workloads)

@@ -1,0 +1,107 @@
+"""Parameter-sweep helpers for the benchmark harness and ablations.
+
+A sweep is a cartesian product over named parameter axes, yielding plain
+dictionaries.  The benchmark files use this to express "for every variant
+× decode length × tile size" style grids without nested loops, and the
+results collector turns the outcomes into the row/series structure the
+paper's figures use.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Sequence
+
+__all__ = ["ParameterSweep", "SweepResult", "run_sweep"]
+
+
+@dataclass
+class ParameterSweep:
+    """Cartesian product over named parameter axes.
+
+    Example
+    -------
+    >>> sweep = ParameterSweep({"variant": ["baseline", "full"], "tokens": [32, 64]})
+    >>> len(list(sweep))
+    4
+    """
+
+    axes: Mapping[str, Sequence[Any]]
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ValueError("a sweep needs at least one axis")
+        for name, values in self.axes.items():
+            if len(values) == 0:
+                raise ValueError(f"axis {name!r} has no values")
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        names = list(self.axes)
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            yield dict(zip(names, combo))
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+
+@dataclass
+class SweepResult:
+    """Collected results of a sweep: one record per parameter point."""
+
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add(self, params: Mapping[str, Any], **metrics: Any) -> None:
+        """Append one record combining the parameters and measured metrics."""
+        record = dict(params)
+        overlap = set(record) & set(metrics)
+        if overlap:
+            raise ValueError(f"metric names collide with parameters: {sorted(overlap)}")
+        record.update(metrics)
+        self.records.append(record)
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column across all records."""
+        return [r[name] for r in self.records]
+
+    def where(self, **conditions: Any) -> "SweepResult":
+        """Filter records matching all ``conditions`` exactly."""
+        kept = [
+            r for r in self.records
+            if all(r.get(k) == v for k, v in conditions.items())
+        ]
+        return SweepResult(records=kept)
+
+    def group_by(self, key: str) -> Dict[Any, "SweepResult"]:
+        """Partition records by the value of ``key``."""
+        groups: Dict[Any, SweepResult] = {}
+        for record in self.records:
+            groups.setdefault(record[key], SweepResult()).records.append(record)
+        return groups
+
+    def to_json(self) -> str:
+        """Serialise all records to a JSON string."""
+        return json.dumps(self.records, indent=2, sort_keys=True, default=str)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def run_sweep(
+    sweep: ParameterSweep,
+    fn: Callable[[Dict[str, Any]], Mapping[str, Any]],
+) -> SweepResult:
+    """Evaluate ``fn`` at every sweep point and collect the results.
+
+    ``fn`` receives the parameter dict and returns a mapping of metric
+    names to values.
+    """
+    result = SweepResult()
+    for params in sweep:
+        metrics = fn(params)
+        result.add(params, **dict(metrics))
+    return result

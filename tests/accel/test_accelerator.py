@@ -1,0 +1,128 @@
+"""Tests for the top-level SpeedLLMAccelerator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel.accelerator import SpeedLLMAccelerator
+from repro.accel.config import AcceleratorConfig
+from repro.accel.variants import variant_config
+from repro.llama.generation import generate as reference_generate
+from repro.llama.model import LlamaModel
+from repro.llama.sampler import Sampler
+
+
+@pytest.fixture(scope="module")
+def accel(small_checkpoint):
+    return SpeedLLMAccelerator(small_checkpoint, AcceleratorConfig())
+
+
+class TestCompilationCaches:
+    def test_graph_cached_per_context(self, accel):
+        assert accel.graph_for(3) is accel.graph_for(3)
+        assert accel.graph_for(3) is not accel.graph_for(4)
+
+    def test_program_cached(self, accel):
+        assert accel.program_for(2) is accel.program_for(2)
+
+    def test_fusion_respected(self, small_checkpoint):
+        fused = SpeedLLMAccelerator(small_checkpoint, variant_config("full"))
+        unfused = SpeedLLMAccelerator(small_checkpoint, variant_config("no-fusion"))
+        assert len(fused.graph_for(2)) < len(unfused.graph_for(2))
+
+    def test_step_result_cached(self, accel):
+        assert accel.simulate_step(1) is accel.simulate_step(1)
+
+
+class TestResourceReport:
+    def test_design_fits_u280(self, accel):
+        report = accel.resource_report()
+        assert report.peak_fraction() < 1.0
+        assert report.fraction("dsp") > 0
+
+
+class TestSimulateGeneration:
+    def test_metrics_structure(self, accel):
+        m = accel.simulate_generation(n_prompt=4, n_generated=8)
+        assert m.n_prompt == 4 and m.n_generated == 8
+        assert m.prefill_cycles > 0 and m.decode_cycles > 0
+        assert m.total_cycles == m.prefill_cycles + m.decode_cycles
+        assert m.total_seconds > 0
+        assert m.decode_tokens_per_second > 0
+        assert m.tokens_per_joule > 0
+        assert m.average_power_w > 0
+        assert m.counters.hbm_bytes > 0
+        assert 0 < m.mean_mpe_utilization <= 1
+        assert set(m.as_dict()) >= {"variant", "total_cycles", "tokens_per_joule"}
+
+    def test_more_tokens_take_longer(self, accel):
+        short = accel.simulate_generation(n_prompt=4, n_generated=4)
+        long = accel.simulate_generation(n_prompt=4, n_generated=16)
+        assert long.total_cycles > short.total_cycles
+
+    def test_stride_approximates_exact_simulation(self, small_checkpoint):
+        accel = SpeedLLMAccelerator(small_checkpoint, AcceleratorConfig())
+        exact = accel.simulate_generation(n_prompt=4, n_generated=24, position_stride=1)
+        strided = accel.simulate_generation(n_prompt=4, n_generated=24, position_stride=8)
+        assert strided.total_cycles == pytest.approx(exact.total_cycles, rel=0.02)
+        assert strided.counters.hbm_bytes == pytest.approx(exact.counters.hbm_bytes, rel=0.05)
+
+    def test_invalid_workloads_rejected(self, accel, small_config):
+        with pytest.raises(ValueError):
+            accel.simulate_generation(n_prompt=0, n_generated=4)
+        with pytest.raises(ValueError):
+            accel.simulate_generation(n_prompt=4, n_generated=-1)
+        with pytest.raises(ValueError):
+            accel.simulate_generation(n_prompt=4, n_generated=small_config.max_seq_len)
+        with pytest.raises(ValueError):
+            accel.simulate_generation(n_prompt=4, n_generated=4, position_stride=0)
+
+    def test_quantized_vs_float_functional_weights(self, small_checkpoint):
+        quantized = SpeedLLMAccelerator(small_checkpoint, AcceleratorConfig())
+        unquantized = SpeedLLMAccelerator(small_checkpoint, AcceleratorConfig(),
+                                          quantize_weights=False)
+        name = "layers.0.attention.wq.weight"
+        assert not np.array_equal(
+            quantized._functional_weights[name], small_checkpoint.weights[name]
+        )
+        assert np.array_equal(
+            unquantized._functional_weights[name], small_checkpoint.weights[name]
+        )
+        # quantisation error stays small
+        err = np.abs(quantized._functional_weights[name]
+                     - small_checkpoint.weights[name]).max()
+        assert err < 0.01
+
+
+class TestGenerate:
+    def test_tokens_match_reference_engine(self, small_checkpoint):
+        """Greedy decode through the accelerator equals the NumPy engine."""
+        accel = SpeedLLMAccelerator(small_checkpoint, AcceleratorConfig(),
+                                    quantize_weights=False)
+        model = LlamaModel(small_checkpoint)
+        prompt = [1, 20, 7]
+        accel_out = accel.generate(prompt, max_new_tokens=10, position_stride=4)
+        ref_out = reference_generate(model, prompt, max_new_tokens=10)
+        assert accel_out.generated_tokens == ref_out.generated_tokens
+
+    def test_generation_reports_metrics(self, accel):
+        out = accel.generate([1, 5], max_new_tokens=6, position_stride=4)
+        assert out.n_generated <= 6
+        assert out.metrics.n_generated == out.n_generated
+        assert out.metrics.total_seconds > 0
+
+    def test_stochastic_sampling_reproducible(self, accel):
+        a = accel.generate([1, 5], max_new_tokens=6,
+                           sampler=Sampler(temperature=0.8, seed=3), position_stride=4)
+        b = accel.generate([1, 5], max_new_tokens=6,
+                           sampler=Sampler(temperature=0.8, seed=3), position_stride=4)
+        assert a.generated_tokens == b.generated_tokens
+
+    def test_empty_prompt_rejected(self, accel):
+        with pytest.raises(ValueError):
+            accel.generate([], max_new_tokens=4)
+
+    def test_prompt_too_long_rejected(self, accel, small_config):
+        with pytest.raises(ValueError):
+            accel.generate(list(range(small_config.max_seq_len)), max_new_tokens=1)

@@ -1,0 +1,104 @@
+"""Tests for the functional graph executor (accelerator vs reference model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel.executor import GraphExecutor, _graph_to_checkpoint_name
+from repro.graph.builder import build_decode_graph
+from repro.graph.fusion import fuse_graph
+from repro.llama.kv_cache import KVCache
+from repro.llama.model import LlamaModel
+
+
+class TestNameMapping:
+    def test_layer_tensor(self):
+        assert (_graph_to_checkpoint_name("L3.attention.wq.weight")
+                == "layers.3.attention.wq.weight")
+
+    def test_classifier_alias(self):
+        assert (_graph_to_checkpoint_name("tok_embeddings.weight(classifier)")
+                == "tok_embeddings.weight")
+
+    def test_global_tensor_unchanged(self):
+        assert _graph_to_checkpoint_name("norm.weight") == "norm.weight"
+
+
+class TestGraphExecutorEquivalence:
+    @pytest.fixture(scope="class")
+    def executor(self, small_checkpoint):
+        return GraphExecutor.from_checkpoint(small_checkpoint)
+
+    def _decode_sequence(self, model, executor, config, tokens, fused):
+        cache_ref = model.new_cache()
+        cache_graph = KVCache(config)
+        errors = []
+        for pos, token in enumerate(tokens):
+            ref = model.forward(token, pos, cache_ref)
+            graph = build_decode_graph(config, pos, weight_dtype_bytes=4)
+            if fused:
+                graph = fuse_graph(graph).graph
+            got = executor.execute(graph, token, pos, cache_graph)
+            errors.append(np.max(np.abs(ref - got)))
+        return errors
+
+    def test_unfused_graph_matches_reference_exactly(
+        self, small_model, executor, small_config
+    ):
+        errors = self._decode_sequence(
+            small_model, executor, small_config, [1, 9, 33, 7, 12], fused=False
+        )
+        assert max(errors) < 1e-4
+
+    def test_fused_graph_matches_reference_exactly(
+        self, small_model, executor, small_config
+    ):
+        errors = self._decode_sequence(
+            small_model, executor, small_config, [1, 9, 33, 7, 12], fused=True
+        )
+        assert max(errors) < 1e-4
+
+    def test_fused_and_unfused_identical(self, executor, small_config):
+        graph = build_decode_graph(small_config, 0, weight_dtype_bytes=4)
+        fused = fuse_graph(graph).graph
+        a = executor.execute(graph, 5, 0, KVCache(small_config))
+        b = executor.execute(fused, 5, 0, KVCache(small_config))
+        assert np.array_equal(a, b)
+
+    def test_logits_shape(self, executor, small_config):
+        graph = build_decode_graph(small_config, 0)
+        logits = executor.execute(graph, 1, 0, KVCache(small_config))
+        assert logits.shape == (small_config.vocab_size,)
+
+    def test_kv_cache_updated(self, executor, small_config):
+        cache = KVCache(small_config)
+        graph = build_decode_graph(small_config, 0)
+        executor.execute(graph, 1, 0, cache)
+        assert cache.length == 1
+
+    def test_token_out_of_range(self, executor, small_config):
+        graph = build_decode_graph(small_config, 0)
+        with pytest.raises(IndexError):
+            executor.execute(graph, small_config.vocab_size, 0, KVCache(small_config))
+
+    def test_position_beyond_capacity(self, executor, small_config):
+        graph = build_decode_graph(small_config, 0)
+        with pytest.raises(IndexError):
+            executor.execute(graph, 1, 99, KVCache(small_config, max_seq_len=4))
+
+    def test_missing_weight_reported(self, small_config, small_checkpoint):
+        weights = {k: v for k, v in small_checkpoint.weights.items()
+                   if k != "layers.0.attention.wq.weight"}
+        executor = GraphExecutor(small_config, weights)
+        graph = build_decode_graph(small_config, 0)
+        with pytest.raises(KeyError, match="wq"):
+            executor.execute(graph, 1, 0, KVCache(small_config))
+
+    def test_gqa_heads_handled(self, small_config, executor, small_model):
+        """test-small uses 4 query heads over 2 KV heads."""
+        assert small_config.group_size == 2
+        errors = self._decode_sequence(
+            small_model, executor, small_config, [3, 17], fused=True
+        )
+        assert max(errors) < 1e-4

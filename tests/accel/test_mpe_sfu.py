@@ -1,0 +1,108 @@
+"""Tests for the MPE and SFU timing models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.config import MPEConfig, SFUConfig
+from repro.accel.mpe import MPETimingModel, TileShape
+from repro.accel.sfu import SFUTimingModel
+from repro.graph.builder import build_decode_graph
+from repro.graph.ops import Operator, OpKind
+
+
+class TestTileShape:
+    def test_macs(self):
+        assert TileShape(out_rows=8, in_features=16).macs == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TileShape(out_rows=0, in_features=4)
+
+
+class TestMPETimingModel:
+    @pytest.fixture
+    def mpe(self):
+        return MPETimingModel(MPEConfig(rows=16, cols=8, pipeline_depth=4))
+
+    def test_split_matvec_covers_all_rows(self, mpe):
+        tiles = mpe.split_matvec(40, 64)
+        assert [t.out_rows for t in tiles] == [16, 16, 8]
+        assert all(t.in_features == 64 for t in tiles)
+        assert sum(t.macs for t in tiles) == 40 * 64
+
+    def test_single_tile_when_small(self, mpe):
+        assert len(mpe.split_matvec(8, 32)) == 1
+
+    def test_tile_cycles_reduction_passes(self, mpe):
+        tile = TileShape(out_rows=16, in_features=64)
+        assert mpe.tile_cycles(tile) == 64 // 8 + 4
+
+    def test_matvec_cycles_additive_over_tiles(self, mpe):
+        total = mpe.matvec_cycles(40, 64)
+        assert total == sum(mpe.tile_cycles(t) for t in mpe.split_matvec(40, 64))
+
+    def test_matvec_macs(self, mpe):
+        assert mpe.matvec_macs(40, 64) == 2560
+
+    def test_bigger_array_is_faster(self):
+        small = MPETimingModel(MPEConfig(rows=16, cols=8))
+        big = MPETimingModel(MPEConfig(rows=64, cols=32))
+        assert big.matvec_cycles(512, 512) < small.matvec_cycles(512, 512)
+
+    def test_attention_cycles_grow_with_sequence(self, mpe):
+        assert mpe.attention_cycles(4, 16, 64) > mpe.attention_cycles(4, 16, 8)
+
+    def test_invalid_dimensions(self, mpe):
+        with pytest.raises(ValueError):
+            mpe.split_matvec(0, 8)
+        with pytest.raises(ValueError):
+            mpe.attention_cycles(0, 8, 8)
+
+    def test_peak_throughput(self, mpe):
+        gops = mpe.peak_throughput_gops(225e6)
+        assert gops == pytest.approx(2 * 16 * 8 * 225e6 / 1e9)
+        with pytest.raises(ValueError):
+            mpe.peak_throughput_gops(0)
+
+
+class TestSFUTimingModel:
+    @pytest.fixture
+    def sfu(self):
+        return SFUTimingModel(SFUConfig(lanes=8, op_latency=4))
+
+    def test_rmsnorm_two_passes(self, sfu):
+        assert sfu.rmsnorm_cycles(64) == 2 * 8 + 4
+
+    def test_softmax_three_passes(self, sfu):
+        assert sfu.softmax_cycles(64) == 3 * 8 + 4
+
+    def test_elementwise_single_pass(self, sfu):
+        assert sfu.elementwise_cycles(64) == 8 + 4
+        assert sfu.silu_cycles(64) == 8 + 4
+        assert sfu.rope_cycles(64) == 8 + 4
+
+    def test_more_lanes_is_faster(self):
+        narrow = SFUTimingModel(SFUConfig(lanes=4))
+        wide = SFUTimingModel(SFUConfig(lanes=32))
+        assert wide.rmsnorm_cycles(512) < narrow.rmsnorm_cycles(512)
+
+    def test_negative_elements_rejected(self, sfu):
+        with pytest.raises(ValueError):
+            sfu.silu_cycles(-1)
+
+    def test_op_cycles_for_every_sfu_kind(self, sfu, micro_config):
+        graph = build_decode_graph(micro_config, 2)
+        sfu_kinds = {OpKind.RMSNORM, OpKind.SOFTMAX, OpKind.ROPE, OpKind.SILU,
+                     OpKind.MUL, OpKind.ADD, OpKind.KV_APPEND, OpKind.EMBED}
+        seen = set()
+        for op in graph:
+            if op.kind in sfu_kinds:
+                assert sfu.op_cycles(op) > 0
+                seen.add(op.kind)
+        assert seen == sfu_kinds
+
+    def test_op_cycles_rejects_matmul(self, sfu):
+        op = Operator(name="m", kind=OpKind.MATMUL, inputs=["a"], outputs=["b"])
+        with pytest.raises(ValueError):
+            sfu.op_cycles(op)

@@ -1,0 +1,122 @@
+"""Tests for repro.accel.pipeline (the read-compute-write executor)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.compiler import ProgramCompiler
+from repro.accel.config import AcceleratorConfig, BufferConfig
+from repro.accel.pipeline import PipelineExecutor
+from repro.fpga.u280 import u280
+from repro.graph.builder import build_decode_graph
+from repro.graph.fusion import fuse_graph
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return u280()
+
+
+@pytest.fixture(scope="module")
+def small_graph(small_config):
+    return build_decode_graph(small_config, context_len=4)
+
+
+def _run(config, graph, platform):
+    program = ProgramCompiler(config).compile(graph)
+    return PipelineExecutor(config, platform).run(program)
+
+
+class TestStepResult:
+    def test_counters_populated(self, small_graph, platform):
+        config = AcceleratorConfig()
+        result = _run(config, small_graph, platform)
+        assert result.cycles > 0
+        assert result.counters.instructions > 0
+        assert result.counters.int8_macs > 0
+        assert result.counters.hbm_read_bytes > 0
+        assert result.counters.mpe_tiles > 0
+        assert result.counters.sfu_ops > 0
+
+    def test_macs_match_program(self, small_graph, platform):
+        config = AcceleratorConfig()
+        program = ProgramCompiler(config).compile(small_graph)
+        result = PipelineExecutor(config, platform).run(program)
+        assert result.counters.int8_macs == program.total_macs
+        assert result.counters.instructions == program.n_packets
+
+    def test_utilization_bounds(self, small_graph, platform):
+        result = _run(AcceleratorConfig(), small_graph, platform)
+        assert 0 < result.mpe_utilization <= 1.0
+        assert 0 <= result.load_utilization <= 1.0
+
+    def test_deterministic(self, small_graph, platform):
+        config = AcceleratorConfig()
+        a = _run(config, small_graph, platform)
+        b = _run(config, small_graph, platform)
+        assert a.cycles == b.cycles
+        assert a.counters.as_dict() == b.counters.as_dict()
+
+    def test_trace_enabled_records_events(self, small_graph, platform):
+        config = AcceleratorConfig(trace_enabled=True)
+        result = _run(config, small_graph, platform)
+        assert result.trace is not None
+        assert len(result.trace) > 0
+
+    def test_trace_disabled_by_default(self, small_graph, platform):
+        result = _run(AcceleratorConfig(), small_graph, platform)
+        assert result.trace is None
+
+
+class TestOptimizationEffects:
+    def test_pipelining_is_faster_than_sequential(self, small_graph, platform):
+        pipelined = _run(AcceleratorConfig.variant("full"), small_graph, platform)
+        sequential = _run(AcceleratorConfig.variant("no-pipeline"), small_graph, platform)
+        assert pipelined.cycles < sequential.cycles
+        # identical functional work either way
+        assert pipelined.counters.int8_macs == sequential.counters.int8_macs
+
+    def test_no_reuse_causes_flushes_and_slowdown(self, small_graph, platform):
+        full = _run(AcceleratorConfig.variant("full"), small_graph, platform)
+        noreuse = _run(AcceleratorConfig.variant("no-reuse"), small_graph, platform)
+        assert noreuse.n_flushes > 0
+        assert full.n_flushes == 0
+        assert noreuse.cycles > full.cycles
+
+    def test_unoptimized_is_slowest(self, small_graph, platform):
+        cycles = {
+            name: _run(AcceleratorConfig.variant(name), small_graph, platform).cycles
+            for name in ("full", "no-pipeline", "no-reuse", "unoptimized")
+        }
+        assert cycles["unoptimized"] == max(cycles.values())
+        assert cycles["full"] == min(cycles.values())
+
+    def test_fusion_reduces_traffic_through_executor(self, small_config, platform):
+        graph = build_decode_graph(small_config, 8)
+        fused = fuse_graph(graph).graph
+        config = AcceleratorConfig()
+        plain = _run(config, graph, platform)
+        with_fusion = _run(config, fused, platform)
+        assert with_fusion.counters.hbm_bytes < plain.counters.hbm_bytes
+
+    def test_higher_mpe_utilization_when_pipelined(self, small_graph, platform):
+        pipelined = _run(AcceleratorConfig.variant("full"), small_graph, platform)
+        sequential = _run(AcceleratorConfig.variant("no-pipeline"), small_graph, platform)
+        assert pipelined.mpe_utilization > sequential.mpe_utilization
+
+    def test_tiny_buffer_pool_creates_backpressure(self, small_graph, platform):
+        roomy = AcceleratorConfig()
+        cramped = AcceleratorConfig(
+            buffers=BufferConfig(n_segments=1, segment_kb=128)
+        )
+        fast = _run(roomy, small_graph, platform)
+        slow = _run(cramped, small_graph, platform)
+        assert slow.cycles >= fast.cycles
+        assert slow.counters.buffer_stall_cycles >= fast.counters.buffer_stall_cycles
+
+    def test_memory_stalls_visible_with_narrow_stripe(self, small_graph, platform):
+        narrow = AcceleratorConfig(hbm_stripe=1)
+        wide = AcceleratorConfig(hbm_stripe=16)
+        slow = _run(narrow, small_graph, platform)
+        fast = _run(wide, small_graph, platform)
+        assert slow.cycles > fast.cycles

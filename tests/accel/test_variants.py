@@ -1,0 +1,62 @@
+"""Tests for repro.accel.variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.variants import (
+    ABLATION_VARIANTS,
+    FIG2A_VARIANTS,
+    FIG2B_VARIANTS,
+    PAPER_VARIANTS,
+    variant_config,
+    variant_specs,
+)
+
+
+class TestPaperVariants:
+    def test_paper_design_points_present(self):
+        assert {"full", "no-fusion", "no-pipeline", "no-reuse", "unoptimized"} \
+            <= set(PAPER_VARIANTS)
+
+    def test_labels_match_paper_wording(self):
+        assert PAPER_VARIANTS["full"].paper_label == "SpeedLLM"
+        assert "none fused" in PAPER_VARIANTS["no-fusion"].paper_label
+        assert "none parallel" in PAPER_VARIANTS["no-pipeline"].paper_label
+        assert "unoptimized" in PAPER_VARIANTS["unoptimized"].paper_label
+
+    def test_spec_config_flags(self):
+        cfg = PAPER_VARIANTS["no-pipeline"].config()
+        assert cfg.pipeline is False and cfg.memory_reuse and cfg.operator_fusion
+
+    def test_figure_lists_reference_known_variants(self):
+        for name in FIG2A_VARIANTS + FIG2B_VARIANTS:
+            assert name in PAPER_VARIANTS
+        for name in ABLATION_VARIANTS:
+            variant_config(name)  # must resolve even if not a paper label
+
+    def test_fig2a_starts_at_baseline_ends_at_full(self):
+        assert FIG2A_VARIANTS[0] == "unoptimized"
+        assert FIG2A_VARIANTS[-1] == "full"
+
+    def test_fig2b_contains_the_three_paper_designs(self):
+        assert {"full", "no-fusion", "no-pipeline", "unoptimized"} == set(FIG2B_VARIANTS)
+
+
+class TestHelpers:
+    def test_variant_config_accepts_raw_keys(self):
+        cfg = variant_config("pipeline-only")
+        assert cfg.pipeline and not cfg.memory_reuse and not cfg.operator_fusion
+
+    def test_variant_config_with_overrides(self):
+        cfg = variant_config("full", hbm_stripe=2)
+        assert cfg.hbm_stripe == 2
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(KeyError):
+            variant_config("warp-speed")
+
+    def test_variant_specs_fallback_label(self):
+        specs = variant_specs(["full", "pipeline-only"])
+        assert specs[0].paper_label == "SpeedLLM"
+        assert specs[1].paper_label == "pipeline-only"

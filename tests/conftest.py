@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite.
+
+All fixtures use the tiny model presets so the full suite stays fast; the
+benchmarks (not the tests) exercise the stories15M configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llama import (
+    LlamaModel,
+    Tokenizer,
+    preset,
+    synthesize_weights,
+    train_bpe,
+)
+from repro.workloads import generate_corpus
+
+
+@pytest.fixture(scope="session")
+def micro_config():
+    """Smallest model configuration (dim=16, 2 layers)."""
+    return preset("test-micro")
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """Small GQA configuration (dim=64, 3 layers, 4 heads / 2 kv heads)."""
+    return preset("test-small")
+
+
+@pytest.fixture(scope="session")
+def micro_checkpoint(micro_config):
+    return synthesize_weights(micro_config, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_checkpoint(small_config):
+    return synthesize_weights(small_config, seed=7)
+
+
+@pytest.fixture(scope="session")
+def micro_model(micro_checkpoint):
+    return LlamaModel(micro_checkpoint)
+
+
+@pytest.fixture(scope="session")
+def small_model(small_checkpoint):
+    return LlamaModel(small_checkpoint)
+
+
+@pytest.fixture(scope="session")
+def story_corpus():
+    return generate_corpus(120, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_tokenizer(story_corpus):
+    """BPE tokenizer small enough for the test-small model vocabulary."""
+    return train_bpe(story_corpus, vocab_size=512)
+
+
+@pytest.fixture(scope="session")
+def byte_tokenizer():
+    return Tokenizer.byte_level()

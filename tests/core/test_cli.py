@@ -1,0 +1,109 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "hello"])
+        assert args.command == "generate"
+        assert args.model == "stories15M"
+        assert args.variant == "full"
+        assert args.tokens == 48
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "hi", "--variant", "warp"])
+
+    def test_bench_energy_choices(self):
+        args = build_parser().parse_args(["bench", "--energy", "board"])
+        assert args.energy == "board"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--energy", "solar"])
+
+    def test_export_graph_defaults(self):
+        args = build_parser().parse_args(["export-graph"])
+        assert args.format == "dot"
+        assert args.output == "-"
+
+
+class TestGenerateCommand:
+    def test_generates_and_prints_metrics(self, capsys):
+        code = main([
+            "generate", "Once upon a time",
+            "--model", "test-small", "--tokens", "8", "--stride", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "latency" in out
+        assert "tokens/s" in out
+
+    def test_from_checkpoint_files(self, capsys, tmp_path,
+                                   small_checkpoint, tiny_tokenizer):
+        from repro.llama.checkpoint import save_checkpoint
+        ckpt = save_checkpoint(small_checkpoint, tmp_path / "m.bin")
+        tok = tiny_tokenizer.save(tmp_path / "t.bin")
+        code = main([
+            "generate", "Lily went home",
+            "--checkpoint", str(ckpt), "--tokenizer", str(tok),
+            "--tokens", "6", "--stride", "4",
+        ])
+        assert code == 0
+        assert "tokens/J" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_bench_prints_tables_and_writes_json(self, capsys, tmp_path):
+        json_path = tmp_path / "rows.json"
+        code = main([
+            "bench", "--model", "test-small",
+            "--prompt-tokens", "4", "--tokens", "12", "--stride", "8",
+            "--json", str(json_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "headline speedup" in out
+        assert "normalized_latency" in out
+        rows = json.loads(json_path.read_text())
+        assert {r["variant"] for r in rows} >= {"unoptimized", "full"}
+
+
+class TestValidateCommand:
+    def test_validation_passes_on_small_model(self, capsys):
+        code = main([
+            "validate", "--model", "test-small", "--prompts", "2",
+            "--tokens", "6",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        assert "TOTAL" in out
+
+
+class TestExportGraphCommand:
+    def test_dot_to_stdout(self, capsys):
+        code = main(["export-graph", "--model", "test-micro", "--format", "dot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("digraph")
+
+    def test_json_to_file_fused(self, tmp_path, capsys):
+        path = tmp_path / "graph.json"
+        code = main([
+            "export-graph", "--model", "test-micro", "--fused",
+            "--format", "json", "--output", str(path),
+        ])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        kinds = {op["kind"] for op in payload["operators"]}
+        assert "fused" in kinds

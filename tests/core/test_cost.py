@@ -1,0 +1,103 @@
+"""Tests for repro.core.cost (GPU comparators and cost efficiency)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import (
+    GPU_A100,
+    GPU_V100S,
+    DeviceSpec,
+    cost_efficiency_table,
+    gpu_decode_throughput,
+    gpu_kernels_per_token,
+)
+from repro.llama.config import preset
+
+
+class TestDeviceSpec:
+    def test_paper_prices(self):
+        assert GPU_V100S.price_usd == 12_000
+        assert GPU_A100.price_usd == 17_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("x", peak_tflops=0, memory_bandwidth_gbps=1,
+                       price_usd=1, typical_power_w=1)
+        with pytest.raises(ValueError):
+            DeviceSpec("x", peak_tflops=1, memory_bandwidth_gbps=1,
+                       price_usd=1, typical_power_w=1, efficiency=0)
+        with pytest.raises(ValueError):
+            DeviceSpec("x", peak_tflops=1, memory_bandwidth_gbps=1,
+                       price_usd=1, typical_power_w=1, kernel_launch_us=-1)
+
+
+class TestGpuThroughputModel:
+    def test_kernels_per_token_scale_with_layers(self):
+        assert (gpu_kernels_per_token(preset("stories110M"))
+                > gpu_kernels_per_token(preset("stories15M")))
+
+    def test_throughput_positive_and_finite(self):
+        cfg = preset("stories15M")
+        tput = gpu_decode_throughput(GPU_A100, cfg)
+        assert 0 < tput < 1e7
+
+    def test_a100_faster_than_v100s_without_overhead(self):
+        cfg = preset("stories110M")
+        a100 = gpu_decode_throughput(GPU_A100, cfg, include_launch_overhead=False)
+        v100 = gpu_decode_throughput(GPU_V100S, cfg, include_launch_overhead=False)
+        assert a100 > v100
+
+    def test_launch_overhead_dominates_small_models(self):
+        cfg = preset("stories15M")
+        with_overhead = gpu_decode_throughput(GPU_A100, cfg)
+        without = gpu_decode_throughput(GPU_A100, cfg, include_launch_overhead=False)
+        assert with_overhead < without / 5
+
+    def test_bigger_model_lower_throughput(self):
+        assert (gpu_decode_throughput(GPU_A100, preset("tinyllama1.1B"))
+                < gpu_decode_throughput(GPU_A100, preset("stories15M")))
+
+    def test_larger_context_slower(self):
+        cfg = preset("tinyllama1.1B")
+        assert (gpu_decode_throughput(GPU_A100, cfg, context_len=2000)
+                <= gpu_decode_throughput(GPU_A100, cfg, context_len=1))
+
+    def test_invalid_args(self):
+        cfg = preset("stories15M")
+        with pytest.raises(ValueError):
+            gpu_decode_throughput(GPU_A100, cfg, weight_bytes_per_element=0)
+        with pytest.raises(ValueError):
+            gpu_decode_throughput(GPU_A100, cfg, context_len=-1)
+
+
+class TestCostEfficiencyTable:
+    def test_rows_and_ordering(self):
+        cfg = preset("stories15M")
+        table = cost_efficiency_table(9_000, 34.0, cfg)
+        assert len(table) == 3
+        assert table[0].device.startswith("Alveo U280")
+        assert table[0].source == "simulated"
+        assert {row.source for row in table[1:]} == {"roofline"}
+
+    def test_u280_wins_tokens_per_dollar_for_stories15m(self):
+        """The paper's §3.2.2 claim: the U280 has the best cost efficiency."""
+        cfg = preset("stories15M")
+        table = cost_efficiency_table(9_000, 34.0, cfg)
+        fpga = table[0].tokens_per_second_per_dollar
+        assert all(fpga > row.tokens_per_second_per_dollar for row in table[1:])
+
+    def test_row_dict_fields(self):
+        cfg = preset("stories15M")
+        row = cost_efficiency_table(9_000, 34.0, cfg)[0].as_row()
+        assert row["tokens_per_second_per_dollar"] == pytest.approx(9_000 / 8_000)
+        assert row["tokens_per_joule"] == pytest.approx(9_000 / 34.0)
+
+    def test_zero_power_handled(self):
+        cfg = preset("stories15M")
+        entry = cost_efficiency_table(9_000, 0.0, cfg)[0]
+        assert entry.tokens_per_joule == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            cost_efficiency_table(-1, 10, preset("stories15M"))

@@ -1,0 +1,76 @@
+"""Tests for repro.core.report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.report import Report, format_table, render_bar_chart, write_json
+
+
+class TestFormatTable:
+    def test_renders_columns_and_rows(self):
+        rows = [
+            {"variant": "full", "latency": 1.234567},
+            {"variant": "unoptimized", "latency": 5.0},
+        ]
+        text = format_table(rows)
+        assert "variant" in text and "latency" in text
+        assert "full" in text and "unoptimized" in text
+        assert "1.235" in text  # default float format
+
+    def test_column_selection_and_missing_values(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2" in lines[2]
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+
+class TestBarChart:
+    def test_bars_scale_with_value(self):
+        chart = render_bar_chart({"full": 1.0, "unoptimized": 4.8}, width=48)
+        lines = chart.splitlines()
+        full_line = next(l for l in lines if l.startswith("full"))
+        unopt_line = next(l for l in lines if l.startswith("unoptimized"))
+        assert unopt_line.count("#") > full_line.count("#")
+        assert "4.800" in unopt_line
+
+    def test_empty_and_zero(self):
+        assert render_bar_chart({}) == "(no data)"
+        chart = render_bar_chart({"a": 0.0})
+        assert "a" in chart
+
+
+class TestWriteJson:
+    def test_roundtrip(self, tmp_path):
+        payload = {"speedup": 4.8, "variants": ["full", "unoptimized"]}
+        path = write_json(tmp_path / "out" / "results.json", payload)
+        assert json.loads(path.read_text()) == payload
+
+    def test_non_serialisable_coerced_to_string(self, tmp_path):
+        class Weird:
+            def __str__(self):
+                return "weird"
+
+        path = write_json(tmp_path / "x.json", {"v": Weird()})
+        assert json.loads(path.read_text()) == {"v": "weird"}
+
+
+class TestReport:
+    def test_sections_rendered_in_order(self):
+        report = Report("Fig 2a")
+        report.add_section("Setup", "stories15M, 64 tokens")
+        report.add_table("Results", [{"variant": "full", "x": 1.0}])
+        text = report.render()
+        assert text.index("Setup") < text.index("Results")
+        assert "stories15M" in text
+        assert "variant" in text
+
+    def test_empty_title_rejected(self):
+        with pytest.raises(ValueError):
+            Report("")

@@ -1,0 +1,68 @@
+"""Tests for repro.fpga.u280."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fpga.u280 import U280_RESOURCES, FpgaPlatform, u280
+
+
+class TestU280Platform:
+    def test_datasheet_budget(self):
+        plat = u280()
+        assert plat.resources == U280_RESOURCES
+        assert plat.resources.dsp == 9024
+        assert plat.resources.bram_36k == 2016
+        assert plat.resources.uram == 960
+
+    def test_memory_subsystems(self):
+        plat = u280()
+        assert plat.hbm.n_channels == 32
+        assert plat.ddr is not None and plat.ddr.n_channels == 2
+        assert plat.hbm_bandwidth_gbps > 400
+
+    def test_onchip_capacity_tens_of_megabytes(self):
+        plat = u280()
+        assert 30e6 < plat.onchip_bytes < 50e6
+
+    def test_price_matches_paper(self):
+        assert u280().price_usd == pytest.approx(8000.0)
+
+    def test_cycles_to_seconds(self):
+        plat = u280(clock_mhz=225)
+        assert plat.clock_hz == 225e6
+        assert plat.cycles_to_seconds(225_000_000) == pytest.approx(1.0)
+        assert plat.cycle_seconds == pytest.approx(1 / 225e6)
+        with pytest.raises(ValueError):
+            plat.cycles_to_seconds(-1)
+
+    def test_with_clock_returns_new_platform(self):
+        plat = u280(clock_mhz=225)
+        faster = plat.with_clock(300)
+        assert faster.clock_mhz == 300
+        assert plat.clock_mhz == 225
+        assert faster.resources == plat.resources
+
+    def test_new_budget_is_fresh(self):
+        plat = u280()
+        budget = plat.new_budget()
+        assert budget.used.dsp == 0
+        assert budget.total == plat.resources
+
+    def test_energy_model_uses_platform_config(self):
+        plat = u280()
+        model = plat.energy_model()
+        assert model.config == plat.energy_config
+
+    def test_hbm_channel_subset(self):
+        assert u280(n_hbm_channels=16).hbm.n_channels == 16
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FpgaPlatform(
+                name="bad", resources=U280_RESOURCES,
+                hbm=u280().hbm, ddr=None, clock_mhz=0,
+                price_usd=1, max_power_w=1,
+            )
+        with pytest.raises(ValueError):
+            u280(clock_mhz=-5)

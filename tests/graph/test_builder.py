@@ -1,0 +1,89 @@
+"""Tests for repro.graph.builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, build_decode_graph
+from repro.graph.ops import OpKind
+from repro.llama.config import preset
+
+
+class TestBuildDecodeGraph:
+    def test_graph_validates(self, micro_config):
+        build_decode_graph(micro_config, context_len=3).validate()
+
+    def test_operator_counts_scale_with_layers(self, micro_config, small_config):
+        g_micro = build_decode_graph(micro_config, 0)
+        g_small = build_decode_graph(small_config, 0)
+        kinds_micro = g_micro.count_kinds()
+        kinds_small = g_small.count_kinds()
+        assert kinds_micro[OpKind.MATMUL] == 7 * micro_config.n_layers + 1
+        assert kinds_small[OpKind.MATMUL] == 7 * small_config.n_layers + 1
+        assert kinds_micro[OpKind.RMSNORM] == 2 * micro_config.n_layers + 1
+        assert kinds_micro[OpKind.ATTN_SCORE] == micro_config.n_layers
+        assert kinds_micro[OpKind.EMBED] == 1
+
+    def test_single_logits_output(self, micro_config):
+        g = build_decode_graph(micro_config, 2)
+        outputs = g.graph_outputs()
+        assert "logits" in outputs
+        assert g.tensor("logits").shape == (micro_config.vocab_size,)
+
+    def test_weight_bytes_match_quantization(self, micro_config):
+        g8 = build_decode_graph(micro_config, 0, weight_dtype_bytes=1)
+        g32 = build_decode_graph(micro_config, 0, weight_dtype_bytes=4)
+        # norm weights stay float32, so the ratio is a bit below 4x
+        assert g32.total_weight_bytes() > 3 * g8.total_weight_bytes()
+
+    def test_flops_grow_with_context(self, micro_config):
+        g_short = build_decode_graph(micro_config, 1)
+        g_long = build_decode_graph(micro_config, 16)
+        assert g_long.total_flops() > g_short.total_flops()
+
+    def test_flops_close_to_config_estimate(self):
+        cfg = preset("stories15M")
+        graph_flops = build_decode_graph(cfg, 64).total_flops()
+        estimate = cfg.flops_per_token(64)
+        assert 0.5 * estimate < graph_flops < 2.0 * estimate
+
+    def test_attention_window_in_cache_tensor(self, micro_config):
+        g = build_decode_graph(micro_config, 5)
+        assert g.tensor("L0.cache_k").shape == (6, micro_config.kv_dim)
+
+    def test_residual_structure(self, micro_config):
+        g = build_decode_graph(micro_config, 0)
+        # x.0 (embedding) feeds both the first norm and the first residual add
+        consumers = {op.name for op in g.consumers_of("x.0")}
+        assert consumers == {"L0.attn_norm", "L0.residual_attn"}
+
+    def test_invalid_context_len(self, micro_config):
+        with pytest.raises(ValueError):
+            build_decode_graph(micro_config, -1)
+        with pytest.raises(ValueError):
+            build_decode_graph(micro_config, micro_config.max_seq_len)
+
+    def test_invalid_weight_dtype(self, micro_config):
+        with pytest.raises(ValueError):
+            GraphBuilder(micro_config, weight_dtype_bytes=3)
+
+    def test_gqa_shapes(self, small_config):
+        g = build_decode_graph(small_config, 0)
+        wk = g.tensor("L0.attention.wk.weight")
+        wq = g.tensor("L0.attention.wq.weight")
+        assert wk.shape == (small_config.kv_dim, small_config.dim)
+        assert wq.shape == (small_config.dim, small_config.dim)
+
+    def test_kv_append_attributes(self, micro_config):
+        g = build_decode_graph(micro_config, 4)
+        op = g.op("L1.kv_append")
+        assert op.attributes["attn_len"] == 5
+        assert op.attributes["kv_dim"] == micro_config.kv_dim
+
+    def test_insertion_order_is_topological(self, micro_config):
+        g = build_decode_graph(micro_config, 2)
+        names_inserted = [op.name for op in g]
+        positions = {name: i for i, name in enumerate(names_inserted)}
+        for op in g:
+            for pred in g.predecessors(op):
+                assert positions[pred.name] < positions[op.name]

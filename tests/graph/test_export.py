@@ -1,0 +1,54 @@
+"""Tests for repro.graph.export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.graph.builder import build_decode_graph
+from repro.graph.export import from_json_summary, to_dot, to_json
+from repro.graph.fusion import fuse_graph
+
+
+class TestDotExport:
+    def test_contains_all_operators(self, micro_config):
+        g = build_decode_graph(micro_config, 1)
+        dot = to_dot(g)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for op in g:
+            assert f'"{op.name}"' in dot
+
+    def test_edges_follow_dependencies(self, micro_config):
+        g = build_decode_graph(micro_config, 1)
+        dot = to_dot(g)
+        assert '"L0.attn_norm" -> "L0.wq"' in dot
+
+    def test_fused_nodes_marked(self, micro_config):
+        g = fuse_graph(build_decode_graph(micro_config, 1)).graph
+        dot = to_dot(g)
+        assert "doubleoctagon" in dot
+
+    def test_tensor_nodes_optional(self, micro_config):
+        g = build_decode_graph(micro_config, 1)
+        assert '"t:logits"' not in to_dot(g, include_tensors=False)
+        assert '"t:logits"' in to_dot(g, include_tensors=True)
+
+
+class TestJsonExport:
+    def test_roundtrip_summary(self, micro_config):
+        g = build_decode_graph(micro_config, 2)
+        text = to_json(g)
+        json.loads(text)  # valid JSON
+        summary = from_json_summary(text)
+        assert summary["n_operators"] == len(g)
+        assert summary["n_tensors"] == len(g.tensors)
+        assert summary["total_flops"] == g.total_flops()
+        assert summary["total_weight_bytes"] == g.total_weight_bytes()
+        assert summary["kind_histogram"]["matmul"] > 0
+
+    def test_fused_members_listed(self, micro_config):
+        g = fuse_graph(build_decode_graph(micro_config, 1)).graph
+        payload = json.loads(to_json(g))
+        fused_ops = [op for op in payload["operators"] if op["kind"] == "fused"]
+        assert fused_ops
+        assert all(op["fused_members"] for op in fused_ops)

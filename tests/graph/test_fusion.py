@@ -1,0 +1,130 @@
+"""Tests for repro.graph.fusion (paper contribution 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import build_decode_graph
+from repro.graph.fusion import FusionRule, default_rules, fuse_graph
+from repro.graph.graph import Graph
+from repro.graph.ops import Operator, OpKind, TensorSpec
+
+
+class TestFusionRules:
+    def test_default_rules_cover_paper_patterns(self):
+        names = {r.name for r in default_rules()}
+        assert {"attention-core", "swiglu-down", "proj-residual",
+                "matmul-rope", "norm-classifier"} <= names
+
+    def test_rule_requires_two_ops(self):
+        with pytest.raises(ValueError):
+            FusionRule("bad", (OpKind.MATMUL,))
+
+    def test_rule_cannot_match_fused(self):
+        with pytest.raises(ValueError):
+            FusionRule("bad", (OpKind.FUSED, OpKind.ADD))
+
+
+class TestFuseDecodeGraph:
+    @pytest.fixture(scope="class")
+    def graphs(self, small_config):
+        unfused = build_decode_graph(small_config, context_len=4)
+        result = fuse_graph(unfused)
+        return unfused, result
+
+    def test_reduces_operator_count(self, graphs):
+        unfused, result = graphs
+        assert len(result.graph) < len(unfused)
+        assert result.stats.ops_after == len(result.graph)
+        assert result.stats.ops_removed > 0
+
+    def test_fused_graph_validates(self, graphs):
+        _, result = graphs
+        result.graph.validate()
+
+    def test_preserves_total_flops(self, graphs):
+        unfused, result = graphs
+        assert result.graph.total_flops() == unfused.total_flops()
+
+    def test_preserves_weight_bytes(self, graphs):
+        unfused, result = graphs
+        assert result.graph.total_weight_bytes() == unfused.total_weight_bytes()
+
+    def test_eliminates_intermediate_traffic(self, graphs):
+        unfused, result = graphs
+        assert result.stats.eliminated_tensors > 0
+        assert result.stats.eliminated_bytes > 0
+        assert (result.graph.intermediate_activation_bytes()
+                < unfused.intermediate_activation_bytes())
+
+    def test_rule_counts_per_layer(self, graphs, small_config):
+        _, result = graphs
+        counts = result.stats.rule_counts
+        n = small_config.n_layers
+        assert counts["attention-core"] == n
+        assert counts["swiglu-down"] == n
+        assert counts["matmul-rope"] == 2 * n     # wq->rope_q and wk->rope_k
+        assert counts["norm-classifier"] == 1
+
+    def test_same_inputs_and_outputs(self, graphs):
+        unfused, result = graphs
+        assert set(unfused.graph_inputs()) == set(result.graph.graph_inputs())
+        assert set(unfused.graph_outputs()) == set(result.graph.graph_outputs())
+
+    def test_original_graph_untouched(self, small_config):
+        unfused = build_decode_graph(small_config, context_len=2)
+        n_ops_before = len(unfused)
+        fuse_graph(unfused)
+        assert len(unfused) == n_ops_before
+
+    def test_second_pass_is_noop(self, graphs):
+        _, result = graphs
+        again = fuse_graph(result.graph)
+        assert again.stats.fused_regions == 0
+        assert len(again.graph) == len(result.graph)
+
+    def test_fused_ops_record_rule(self, graphs):
+        _, result = graphs
+        fused_ops = [op for op in result.graph if op.kind is OpKind.FUSED]
+        assert fused_ops
+        assert all("rule" in op.attributes for op in fused_ops)
+
+
+class TestChainMatching:
+    def _linear_graph(self, multi_consumer: bool) -> Graph:
+        g = Graph()
+        for n in ("a", "b", "c"):
+            g.add_tensor(TensorSpec(name=n, shape=(8,)))
+        g.add_operator(Operator(name="s", kind=OpKind.SILU, inputs=["a"],
+                                outputs=["b"], flops=8))
+        g.add_operator(Operator(name="m", kind=OpKind.MUL, inputs=["b", "a"],
+                                outputs=["c"], flops=8))
+        if multi_consumer:
+            g.add_tensor(TensorSpec(name="d", shape=(8,)))
+            g.add_operator(Operator(name="extra", kind=OpKind.ADD,
+                                    inputs=["b"], outputs=["d"], flops=8))
+        return g
+
+    def test_exclusive_chain_fused(self):
+        g = self._linear_graph(multi_consumer=False)
+        result = fuse_graph(g, [FusionRule("silu-mul", (OpKind.SILU, OpKind.MUL))])
+        assert result.stats.fused_regions == 1
+        assert "b" not in result.graph.tensors        # internal tensor removed
+
+    def test_shared_intermediate_blocks_fusion(self):
+        g = self._linear_graph(multi_consumer=True)
+        result = fuse_graph(g, [FusionRule("silu-mul", (OpKind.SILU, OpKind.MUL))])
+        assert result.stats.fused_regions == 0
+        assert "b" in result.graph.tensors
+
+    def test_longer_rules_win(self, small_config):
+        """The 3-op attention rule must beat a 2-op prefix rule."""
+        graph = build_decode_graph(small_config, 1)
+        rules = [
+            FusionRule("score-softmax", (OpKind.ATTN_SCORE, OpKind.SOFTMAX)),
+            FusionRule("attention-core",
+                       (OpKind.ATTN_SCORE, OpKind.SOFTMAX, OpKind.ATTN_CONTEXT)),
+        ]
+        result = fuse_graph(graph, rules)
+        assert result.stats.rule_counts.get("attention-core") == small_config.n_layers
+        assert "score-softmax" not in result.stats.rule_counts

@@ -1,0 +1,61 @@
+"""Tests for repro.graph.scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import build_decode_graph
+from repro.graph.fusion import fuse_graph
+from repro.graph.ops import ComputeUnit
+from repro.graph.scheduling import schedule_graph, summarize_graph
+
+
+class TestSchedule:
+    def test_schedule_covers_all_ops(self, micro_config):
+        g = build_decode_graph(micro_config, 2)
+        sched = schedule_graph(g)
+        assert len(sched) == len(g)
+        assert [e.index for e in sched] == list(range(len(g)))
+
+    def test_schedule_respects_dependencies(self, micro_config):
+        g = build_decode_graph(micro_config, 2)
+        sched = schedule_graph(g)
+        position = {e.op.name: e.index for e in sched}
+        for op in g:
+            for pred in g.predecessors(op):
+                assert position[pred.name] < position[op.name]
+
+    def test_unit_partition(self, micro_config):
+        g = build_decode_graph(micro_config, 2)
+        sched = schedule_graph(g)
+        by_unit = sched.by_unit()
+        assert sum(len(v) for v in by_unit.values()) == len(sched)
+        assert len(by_unit[ComputeUnit.MPE]) > 0
+        assert len(by_unit[ComputeUnit.SFU]) > 0
+
+    def test_mpe_dominates_flops(self, micro_config):
+        g = build_decode_graph(micro_config, 2)
+        flops = schedule_graph(g).unit_flops()
+        assert flops[ComputeUnit.MPE] > flops[ComputeUnit.SFU]
+
+
+class TestSummary:
+    def test_summary_consistent_with_graph(self, micro_config):
+        g = build_decode_graph(micro_config, 4)
+        summary = summarize_graph(g)
+        assert summary.n_ops == len(g)
+        assert summary.total_flops == g.total_flops()
+        assert summary.weight_bytes == g.total_weight_bytes()
+        assert summary.intermediate_bytes == g.intermediate_activation_bytes()
+        assert summary.offchip_bytes == summary.weight_bytes + 2 * summary.intermediate_bytes
+        assert summary.arithmetic_intensity > 0
+
+    def test_fusion_improves_arithmetic_intensity(self, small_config):
+        g = build_decode_graph(small_config, 8)
+        fused = fuse_graph(g).graph
+        assert (summarize_graph(fused).arithmetic_intensity
+                >= summarize_graph(g).arithmetic_intensity)
+
+    def test_kind_histogram_strings(self, micro_config):
+        summary = summarize_graph(build_decode_graph(micro_config, 0))
+        assert summary.kind_histogram["matmul"] > 0

@@ -1,0 +1,84 @@
+"""End-to-end integration: text in, text out, through the whole stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.speedllm import SpeedLLM
+from repro.llama.checkpoint import load_checkpoint, save_checkpoint
+from repro.llama.generation import generate
+from repro.llama.model import LlamaModel
+from repro.llama.sampler import Sampler
+
+
+class TestFullStackGeneration:
+    @pytest.fixture(scope="class")
+    def llm(self, small_checkpoint, tiny_tokenizer):
+        return SpeedLLM(model="test-small", checkpoint=small_checkpoint,
+                        tokenizer=tiny_tokenizer, variant="full",
+                        position_stride=4)
+
+    def test_accelerator_and_reference_agree_token_for_token(self, llm):
+        prompts = [
+            "Once upon a time, Lily went to the park",
+            "Tom saw a red ball",
+            "One day, the little dog",
+        ]
+        for prompt in prompts:
+            accel = llm.generate(prompt, max_new_tokens=12)
+            ref = llm.reference_generate(prompt, max_new_tokens=12)
+            assert accel.text == ref
+
+    def test_variants_produce_identical_text_different_latency(
+        self, small_checkpoint, tiny_tokenizer
+    ):
+        """The optimizations are performance-only: tokens must not change."""
+        outputs = {}
+        for variant in ("full", "no-fusion", "unoptimized"):
+            llm = SpeedLLM(model="test-small", checkpoint=small_checkpoint,
+                           tokenizer=tiny_tokenizer, variant=variant,
+                           position_stride=4)
+            outputs[variant] = llm.generate("Lily found a shiny stone",
+                                            max_new_tokens=10)
+        texts = {v: o.text for v, o in outputs.items()}
+        assert len(set(texts.values())) == 1
+        assert (outputs["unoptimized"].metrics.total_cycles
+                > outputs["full"].metrics.total_cycles)
+
+    def test_energy_and_latency_reported_consistently(self, llm):
+        out = llm.generate("Once upon a time", max_new_tokens=16)
+        m = out.metrics
+        assert m.total_seconds == pytest.approx(
+            (m.prefill_cycles + m.decode_cycles) / llm.platform.clock_hz
+        )
+        assert m.tokens_per_joule == pytest.approx(
+            m.n_generated / m.energy.total_j, rel=1e-6
+        )
+
+
+class TestArtifactRoundtrip:
+    def test_checkpoint_file_to_accelerated_generation(
+        self, small_checkpoint, tiny_tokenizer, tmp_path
+    ):
+        """Mimics the llama2.c workflow: export .bin files, reload, run."""
+        ckpt_path = save_checkpoint(small_checkpoint, tmp_path / "stories.bin")
+        tok_path = tiny_tokenizer.save(tmp_path / "tokenizer.bin")
+
+        reloaded = load_checkpoint(ckpt_path)
+        reference = LlamaModel(reloaded)
+        # Disable datapath quantisation so the accelerator is bit-comparable
+        # with a float32 CPU run of the exported checkpoint.
+        llm = SpeedLLM.from_checkpoint(ckpt_path, tok_path, position_stride=4,
+                                       quantize_weights=False)
+
+        prompt_ids = llm.encode("Sara hid a magic key")
+        ref = generate(reference, prompt_ids, max_new_tokens=8, sampler=Sampler())
+        out = llm.generate("Sara hid a magic key", max_new_tokens=8)
+        assert out.generated_tokens == ref.generated_tokens
+
+    def test_reloaded_weights_bitwise_equal(self, small_checkpoint, tmp_path):
+        path = save_checkpoint(small_checkpoint, tmp_path / "m.bin")
+        reloaded = load_checkpoint(path)
+        for name, tensor in small_checkpoint.weights.items():
+            assert np.array_equal(reloaded.weights[name], tensor)

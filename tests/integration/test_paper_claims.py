@@ -1,0 +1,106 @@
+"""Integration tests checking the *shape* of the paper's claims.
+
+These run on the small test model (so the suite stays fast); the full
+stories15M numbers are produced by the benchmark harness and recorded in
+EXPERIMENTS.md.  What must hold even at test scale:
+
+* the optimization ladder is monotonic — every optimization the paper adds
+  reduces latency, and the full design is the fastest (Fig. 2a shape);
+* the full design is at least as energy-efficient as the unoptimized one,
+  and the fusion-only delta is small (Fig. 2b shape);
+* operator fusion does not change the computed logits (correctness of the
+  co-design);
+* cost efficiency of the simulated U280 beats the GPU comparators for the
+  TinyStories-class model (§3.2.2 shape).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import cost_efficiency_table
+from repro.core.metrics import normalized_energy_efficiency, normalized_latency
+from repro.core.runner import ExperimentConfig, ExperimentRunner
+from repro.llama.config import preset
+
+
+@pytest.fixture(scope="module")
+def results(small_checkpoint):
+    config = ExperimentConfig(
+        model="test-small",
+        variants=("unoptimized", "no-pipeline", "no-reuse", "no-fusion", "full"),
+        n_prompt=4,
+        n_generated=24,
+        position_stride=8,
+    )
+    runner = ExperimentRunner(config, checkpoint=small_checkpoint)
+    return runner.run_all()
+
+
+class TestFig2aShape:
+    def test_full_design_is_fastest(self, results):
+        norm = normalized_latency(results)
+        assert norm["full"] == min(norm.values())
+
+    def test_every_optimization_helps_latency(self, results):
+        norm = normalized_latency(results)
+        assert norm["full"] < norm["no-pipeline"] < norm["unoptimized"]
+        assert norm["full"] < norm["no-reuse"] < norm["unoptimized"]
+        assert norm["full"] <= norm["no-fusion"] * 1.02
+        assert norm["no-fusion"] < norm["unoptimized"]
+
+    def test_substantial_speedup_over_unoptimized(self, results):
+        """The paper reports up to 4.8x on stories15M; at test-model scale
+        the gap is smaller but must still be a multiple, not a few percent."""
+        norm = normalized_latency(results)
+        assert 1.0 / norm["full"] > 2.5
+
+    def test_pipeline_is_largest_single_contributor(self, results):
+        norm = normalized_latency(results)
+        pipeline_gain = norm["no-pipeline"] / norm["full"]
+        fusion_gain = norm["no-fusion"] / norm["full"]
+        assert pipeline_gain > fusion_gain
+
+
+class TestFig2bShape:
+    def test_full_design_most_energy_efficient(self, results):
+        eff = normalized_energy_efficiency(results)
+        assert eff["full"] >= max(v for k, v in eff.items() if k != "full") * 0.99
+
+    def test_fusion_energy_delta_is_marginal(self, results):
+        """Paper: 1.01x vs the no-fusion design."""
+        eff = normalized_energy_efficiency(results)
+        ratio = eff["full"] / eff["no-fusion"]
+        assert 0.98 < ratio < 1.2
+
+    def test_efficiency_gain_much_smaller_than_speedup(self, results):
+        """Paper: 4.8x faster but only 1.18x more energy-efficient, because
+        the faster design draws proportionally more power."""
+        norm = normalized_latency(results)
+        eff = normalized_energy_efficiency(results)
+        speedup = 1.0 / norm["full"]
+        efficiency_gain = eff["full"]
+        assert efficiency_gain < speedup / 1.5
+
+    def test_power_scales_with_throughput(self, results):
+        by_variant = {r.variant: r for r in results}
+        assert (by_variant["full"].average_power_w
+                > by_variant["unoptimized"].average_power_w)
+
+
+class TestCostEfficiencyShape:
+    def test_u280_best_tokens_per_dollar(self, results):
+        full = next(r for r in results if r.variant == "full")
+        # Use the stories15M model for the GPU side, as the paper does; the
+        # simulated throughput here is from the test model, which is *lower*
+        # than stories15M throughput, making this a conservative check.
+        table = cost_efficiency_table(
+            fpga_tokens_per_second=full.decode_tokens_per_second,
+            fpga_power_w=full.average_power_w,
+            config=preset("stories15M"),
+        )
+        fpga_row = table[0]
+        assert all(
+            fpga_row.tokens_per_second_per_dollar > row.tokens_per_second_per_dollar
+            for row in table[1:]
+        )

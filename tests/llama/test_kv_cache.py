@@ -1,0 +1,84 @@
+"""Tests for repro.llama.kv_cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llama.kv_cache import KVCache
+
+
+class TestKVCache:
+    def test_initial_state(self, micro_config):
+        cache = KVCache(micro_config)
+        assert cache.length == 0
+        assert cache.capacity == micro_config.max_seq_len
+
+    def test_capacity_override(self, micro_config):
+        assert KVCache(micro_config, max_seq_len=8).capacity == 8
+
+    def test_invalid_capacity(self, micro_config):
+        with pytest.raises(ValueError):
+            KVCache(micro_config, max_seq_len=0)
+
+    def test_append_and_view(self, micro_config):
+        cache = KVCache(micro_config)
+        k = np.arange(micro_config.kv_dim, dtype=np.float32)
+        v = -k
+        for layer in range(micro_config.n_layers):
+            cache.append(layer, k, v, pos=0)
+        assert cache.length == 1
+        keys, values = cache.view(0)
+        assert keys.shape == (1, micro_config.kv_dim)
+        assert np.array_equal(keys[0], k)
+        assert np.array_equal(values[0], v)
+
+    def test_length_advances_only_after_last_layer(self, micro_config):
+        cache = KVCache(micro_config)
+        k = np.zeros(micro_config.kv_dim, dtype=np.float32)
+        cache.append(0, k, k, pos=0)
+        assert cache.length == 0
+        cache.append(micro_config.n_layers - 1, k, k, pos=0)
+        assert cache.length == 1
+
+    def test_out_of_range_layer(self, micro_config):
+        cache = KVCache(micro_config)
+        k = np.zeros(micro_config.kv_dim, dtype=np.float32)
+        with pytest.raises(IndexError):
+            cache.append(micro_config.n_layers, k, k, pos=0)
+
+    def test_out_of_range_position(self, micro_config):
+        cache = KVCache(micro_config, max_seq_len=4)
+        k = np.zeros(micro_config.kv_dim, dtype=np.float32)
+        with pytest.raises(IndexError):
+            cache.append(0, k, k, pos=4)
+
+    def test_reset(self, micro_config):
+        cache = KVCache(micro_config)
+        k = np.ones(micro_config.kv_dim, dtype=np.float32)
+        for layer in range(micro_config.n_layers):
+            cache.append(layer, k, k, pos=0)
+        cache.reset()
+        assert cache.length == 0
+
+    def test_views_do_not_copy(self, micro_config):
+        cache = KVCache(micro_config)
+        k = np.ones(micro_config.kv_dim, dtype=np.float32)
+        for layer in range(micro_config.n_layers):
+            cache.append(layer, k, k, pos=0)
+        view = cache.keys(0)
+        assert view.base is not None  # it is a view into the cache storage
+
+    def test_nbytes_and_used(self, micro_config):
+        cache = KVCache(micro_config, max_seq_len=8)
+        expected = 2 * micro_config.n_layers * 8 * micro_config.kv_dim * 4
+        assert cache.nbytes == expected
+        assert cache.used_nbytes() == 0
+        k = np.zeros(micro_config.kv_dim, dtype=np.float32)
+        for layer in range(micro_config.n_layers):
+            cache.append(layer, k, k, pos=0)
+        assert cache.used_nbytes() == expected // 8
+
+    def test_float16_storage(self, micro_config):
+        cache = KVCache(micro_config, dtype=np.float16)
+        assert cache.nbytes == micro_config.kv_cache_elements() * 2

@@ -1,0 +1,82 @@
+"""Tests for repro.llama.sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llama.sampler import Sampler, greedy, sample_temperature, sample_top_p
+
+
+class TestGreedy:
+    def test_returns_argmax(self):
+        logits = np.array([0.1, 5.0, -2.0, 4.9], dtype=np.float32)
+        assert greedy(logits) == 1
+
+    def test_sampler_default_is_greedy(self):
+        logits = np.array([0.0, 1.0, 10.0], dtype=np.float32)
+        assert Sampler().sample(logits) == 2
+
+
+class TestTemperature:
+    def test_reproducible_with_seed(self):
+        logits = np.random.default_rng(0).normal(size=32).astype(np.float32)
+        a = Sampler(temperature=1.0, seed=42)
+        b = Sampler(temperature=1.0, seed=42)
+        seq_a = [a.sample(logits) for _ in range(10)]
+        seq_b = [b.sample(logits) for _ in range(10)]
+        assert seq_a == seq_b
+
+    def test_different_seeds_can_differ(self):
+        logits = np.zeros(64, dtype=np.float32)
+        a = [Sampler(temperature=1.0, seed=1).sample(logits) for _ in range(5)]
+        b = [Sampler(temperature=1.0, seed=2).sample(logits) for _ in range(5)]
+        assert a != b
+
+    def test_low_temperature_concentrates_on_argmax(self):
+        logits = np.array([0.0, 3.0, 0.5], dtype=np.float32)
+        rng = np.random.default_rng(0)
+        draws = [sample_temperature(logits, 0.05, rng) for _ in range(50)]
+        assert all(d == 1 for d in draws)
+
+    def test_zero_temperature_rejected_in_helper(self):
+        with pytest.raises(ValueError):
+            sample_temperature(np.zeros(4), 0.0, np.random.default_rng(0))
+
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            Sampler(temperature=-0.1)
+
+    def test_reset_reseeds(self):
+        logits = np.zeros(16, dtype=np.float32)
+        s = Sampler(temperature=1.0, seed=3)
+        first = [s.sample(logits) for _ in range(5)]
+        s.reset()
+        second = [s.sample(logits) for _ in range(5)]
+        assert first == second
+
+
+class TestTopP:
+    def test_restricts_to_nucleus(self):
+        # Token 0 carries ~88% of the mass, so top_p=0.5 must always pick it.
+        logits = np.array([4.0, 2.0, 0.0, -2.0], dtype=np.float32)
+        rng = np.random.default_rng(0)
+        draws = [sample_top_p(logits, 1.0, 0.5, rng) for _ in range(50)]
+        assert set(draws) == {0}
+
+    def test_top_p_one_equals_full_distribution(self):
+        logits = np.zeros(8, dtype=np.float32)
+        rng = np.random.default_rng(1)
+        draws = {sample_top_p(logits, 1.0, 1.0, rng) for _ in range(200)}
+        assert len(draws) > 4
+
+    def test_invalid_top_p(self):
+        with pytest.raises(ValueError):
+            sample_top_p(np.zeros(4), 1.0, 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            Sampler(top_p=1.5)
+
+    def test_sampler_uses_top_p_path(self):
+        logits = np.array([6.0, 0.0, 0.0, 0.0], dtype=np.float32)
+        s = Sampler(temperature=1.0, top_p=0.6, seed=0)
+        assert all(s.sample(logits) == 0 for _ in range(20))

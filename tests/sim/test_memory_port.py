@@ -1,0 +1,146 @@
+"""Tests for repro.sim.memory (the MemoryPort simulation wrapper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fpga.hbm import MemorySystemSpec
+from repro.sim.engine import Simulator
+from repro.sim.memory import MemoryPort
+from repro.sim.stats import RunCounters
+from repro.sim.trace import Trace
+
+CLOCK = 225e6
+
+
+def _port(n_channels=4, trace=None, counters=None):
+    sim = Simulator()
+    counters = counters if counters is not None else RunCounters()
+    port = MemoryPort(sim, MemorySystemSpec.u280_hbm(n_channels), CLOCK,
+                      counters, trace)
+    return sim, port, counters
+
+
+class TestMemoryPort:
+    def test_read_advances_time_and_counts_bytes(self):
+        sim, port, counters = _port()
+        finished = []
+
+        def proc():
+            yield port.read(1 << 16, "weights")
+            finished.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert finished and finished[0] > 0
+        assert counters.hbm_read_bytes == 1 << 16
+        assert counters.hbm_write_bytes == 0
+        assert counters.dma_transfers == 1
+
+    def test_write_counts_separately(self):
+        sim, port, counters = _port()
+
+        def proc():
+            yield port.write(4096, "result")
+
+        sim.process(proc())
+        sim.run()
+        assert counters.hbm_write_bytes == 4096
+        assert counters.hbm_read_bytes == 0
+
+    def test_zero_byte_transfer_is_free(self):
+        sim, port, counters = _port()
+        times = []
+
+        def proc():
+            yield port.read(0)
+            times.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert times == [0]
+        assert counters.dma_transfers == 0
+
+    def test_negative_bytes_rejected(self):
+        _, port, _ = _port()
+        with pytest.raises(ValueError):
+            port.read(-1)
+
+    def test_striped_read_faster_than_single_channel(self):
+        n_bytes = 1 << 20
+
+        def run(stripe):
+            sim, port, _ = _port(n_channels=8)
+            end = []
+
+            def proc():
+                yield port.read_striped(n_bytes, stripe)
+                end.append(sim.now)
+
+            sim.process(proc())
+            sim.run()
+            return end[0]
+
+        assert run(8) < run(1)
+
+    def test_striped_counts_total_bytes_once(self):
+        sim, port, counters = _port(n_channels=8)
+
+        def proc():
+            yield port.read_striped(1 << 20, 8)
+
+        sim.process(proc())
+        sim.run()
+        assert counters.hbm_read_bytes == 1 << 20
+        assert counters.dma_transfers == 8
+
+    def test_stripe_clamped_to_channel_count(self):
+        sim, port, counters = _port(n_channels=2)
+
+        def proc():
+            yield port.read_striped(1 << 12, 16)
+
+        sim.process(proc())
+        sim.run()
+        assert counters.dma_transfers == 2
+
+    def test_invalid_stripe_rejected(self):
+        _, port, _ = _port()
+        with pytest.raises(ValueError):
+            port.read_striped(1024, 0)
+
+    def test_trace_records_transfers(self):
+        trace = Trace()
+        sim, port, _ = _port(trace=trace)
+
+        def proc():
+            yield port.read(4096, "tile0")
+
+        sim.process(proc())
+        sim.run()
+        assert len(trace) == 1
+        assert trace.events[0].category == "transfer"
+        assert "tile0" in trace.events[0].label
+
+    def test_ideal_cycles_lower_bound(self):
+        sim, port, _ = _port(n_channels=4)
+        measured = []
+
+        def proc():
+            yield port.read_striped(1 << 20, 4)
+            measured.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert port.ideal_cycles(1 << 20) <= measured[0] + 64
+
+    def test_reset_clears_channel_state(self):
+        sim, port, _ = _port(n_channels=1)
+
+        def proc():
+            yield port.read(1 << 20)
+
+        sim.process(proc())
+        sim.run()
+        port.reset()
+        assert port.model.total_bytes_transferred == 0

@@ -1,0 +1,115 @@
+"""Tests for repro.sim.trace and repro.sim.stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.stats import RunCounters
+from repro.sim.trace import Trace, TraceEvent
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        assert TraceEvent("mpe", "t0", 10, 25).duration == 15
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent("mpe", "t0", 10, 5)
+        with pytest.raises(ValueError):
+            TraceEvent("mpe", "t0", -1, 5)
+
+
+class TestTrace:
+    def _trace(self):
+        trace = Trace()
+        trace.record("mpe", "a", 0, 10)
+        trace.record("mpe", "b", 12, 20)
+        trace.record("load", "x", 0, 15, category="transfer")
+        trace.record("buffer-pool", "flush", 20, 30, category="stall")
+        return trace
+
+    def test_busy_cycles_by_category(self):
+        trace = self._trace()
+        assert trace.busy_cycles("mpe") == 18
+        assert trace.busy_cycles("load") == 0              # transfer, not work
+        assert trace.busy_cycles("load", category="transfer") == 15
+        assert trace.busy_cycles("buffer-pool", category=None) == 10
+
+    def test_span_and_utilization(self):
+        trace = self._trace()
+        assert trace.span() == 30
+        assert trace.utilization("mpe") == pytest.approx(18 / 30)
+        assert trace.utilization("mpe", total_cycles=18) == 1.0
+        assert trace.utilization("mpe", total_cycles=0) == 0.0
+
+    def test_engines_listed_in_order(self):
+        assert self._trace().engines() == ["mpe", "load", "buffer-pool"]
+
+    def test_utilizations_dict(self):
+        utils = self._trace().utilizations()
+        assert set(utils) == {"mpe", "load", "buffer-pool"}
+
+    def test_disabled_trace_records_nothing(self):
+        trace = Trace(enabled=False)
+        trace.record("mpe", "a", 0, 5)
+        assert len(trace) == 0
+        assert trace.span() == 0
+
+    def test_merge_with_offset(self):
+        a = self._trace()
+        b = Trace()
+        b.record("mpe", "later", 0, 5)
+        a.merge(b, offset=100)
+        assert a.events[-1].start == 100
+        assert a.span() == 105
+
+    def test_render_contains_labels(self):
+        text = self._trace().render(max_events=2)
+        assert "mpe" in text
+        assert "more events" in text
+
+    def test_chrome_trace_export(self):
+        trace = self._trace()
+        events = trace.to_chrome_trace(cycle_ns=2.0)
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {m["args"]["name"] for m in meta} == set(trace.engines())
+        assert len(spans) == len(trace)
+        first = next(e for e in spans if e["name"] == "a")
+        assert first["dur"] == pytest.approx(10 * 2.0 / 1000.0)
+        with pytest.raises(ValueError):
+            trace.to_chrome_trace(cycle_ns=0)
+
+
+class TestRunCounters:
+    def test_defaults_zero(self):
+        counters = RunCounters()
+        assert counters.hbm_bytes == 0
+        assert counters.stall_cycles == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RunCounters(int8_macs=-1)
+
+    def test_derived_sums(self):
+        counters = RunCounters(hbm_read_bytes=10, hbm_write_bytes=5,
+                               onchip_read_bytes=3, onchip_write_bytes=4,
+                               buffer_stall_cycles=7, memory_stall_cycles=2)
+        assert counters.hbm_bytes == 15
+        assert counters.onchip_bytes == 7
+        assert counters.stall_cycles == 9
+
+    def test_merge_adds_every_field(self):
+        a = RunCounters(int8_macs=5, instructions=2)
+        b = RunCounters(int8_macs=7, sfu_ops=3)
+        merged = a + b
+        assert merged.int8_macs == 12
+        assert merged.instructions == 2
+        assert merged.sfu_ops == 3
+        # operands untouched
+        assert a.int8_macs == 5 and b.int8_macs == 7
+
+    def test_as_dict_covers_all_counters(self):
+        d = RunCounters().as_dict()
+        assert "hbm_read_bytes" in d and "buffer_stall_cycles" in d
+        assert all(v == 0 for v in d.values())

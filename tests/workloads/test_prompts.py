@@ -1,0 +1,43 @@
+"""Tests for repro.workloads.prompts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.prompts import PromptSuite, Workload, default_suite, latency_suite
+
+
+class TestWorkload:
+    def test_valid_workload(self):
+        w = Workload(name="a", prompt="Once upon a time", max_new_tokens=16)
+        assert w.max_new_tokens == 16
+
+    def test_empty_prompt_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(name="a", prompt="", max_new_tokens=4)
+
+    def test_non_positive_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(name="a", prompt="x", max_new_tokens=0)
+
+
+class TestSuites:
+    def test_default_suite_sizes(self):
+        suite = default_suite(n_prompts=3, max_new_tokens=32)
+        assert len(suite) == 3
+        assert suite.total_new_tokens == 3 * 32
+        assert all(isinstance(w, Workload) for w in suite)
+
+    def test_default_suite_deterministic(self):
+        a = default_suite(seed=1)
+        b = default_suite(seed=1)
+        assert [w.prompt for w in a] == [w.prompt for w in b]
+
+    def test_latency_suite_decode_lengths(self):
+        suite = latency_suite(decode_lengths=(16, 32, 64))
+        assert [w.max_new_tokens for w in suite] == [16, 32, 64]
+        assert [w.name for w in suite] == ["decode-16", "decode-32", "decode-64"]
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            PromptSuite(name="x", workloads=())

@@ -1,0 +1,82 @@
+"""Tests for repro.workloads.sweep."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.sweep import ParameterSweep, SweepResult, run_sweep
+
+
+class TestParameterSweep:
+    def test_cartesian_product(self):
+        sweep = ParameterSweep({"a": [1, 2], "b": ["x", "y", "z"]})
+        points = list(sweep)
+        assert len(points) == 6
+        assert len(sweep) == 6
+        assert {"a": 1, "b": "x"} in points
+        assert {"a": 2, "b": "z"} in points
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSweep({})
+        with pytest.raises(ValueError):
+            ParameterSweep({"a": []})
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(1, 4), min_size=1, max_size=4))
+    def test_length_is_product_of_axis_sizes(self, sizes):
+        axes = {f"axis{i}": list(range(n)) for i, n in enumerate(sizes)}
+        sweep = ParameterSweep(axes)
+        expected = 1
+        for n in sizes:
+            expected *= n
+        assert len(list(sweep)) == expected == len(sweep)
+
+
+class TestSweepResult:
+    def test_add_and_column(self):
+        result = SweepResult()
+        result.add({"variant": "full"}, latency=1.5)
+        result.add({"variant": "base"}, latency=3.0)
+        assert result.column("latency") == [1.5, 3.0]
+        assert len(result) == 2
+
+    def test_name_collision_rejected(self):
+        result = SweepResult()
+        with pytest.raises(ValueError, match="collide"):
+            result.add({"x": 1}, x=2)
+
+    def test_where_filters(self):
+        result = SweepResult()
+        result.add({"v": "a", "n": 1}, t=1.0)
+        result.add({"v": "b", "n": 1}, t=2.0)
+        result.add({"v": "a", "n": 2}, t=3.0)
+        assert len(result.where(v="a")) == 2
+        assert len(result.where(v="a", n=2)) == 1
+        assert len(result.where(v="c")) == 0
+
+    def test_group_by(self):
+        result = SweepResult()
+        result.add({"v": "a"}, t=1.0)
+        result.add({"v": "b"}, t=2.0)
+        result.add({"v": "a"}, t=3.0)
+        groups = result.group_by("v")
+        assert set(groups) == {"a", "b"}
+        assert groups["a"].column("t") == [1.0, 3.0]
+
+    def test_to_json_parses(self):
+        result = SweepResult()
+        result.add({"v": "a"}, t=1.0)
+        assert json.loads(result.to_json()) == [{"v": "a", "t": 1.0}]
+
+
+class TestRunSweep:
+    def test_evaluates_every_point(self):
+        sweep = ParameterSweep({"x": [1, 2, 3]})
+        result = run_sweep(sweep, lambda p: {"double": p["x"] * 2})
+        assert result.column("double") == [2, 4, 6]
+        assert result.column("x") == [1, 2, 3]
