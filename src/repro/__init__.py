@@ -32,8 +32,17 @@ from .core import (
 )
 from .fpga import FpgaPlatform, u280
 from .llama import LlamaConfig, LlamaModel, Tokenizer, preset, synthesize_weights
+from .serve import (
+    AsyncServingEngine,
+    Request,
+    RequestState,
+    Scheduler,
+    SchedulerConfig,
+    ServeReport,
+    ServingEngine,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AcceleratorConfig",
@@ -52,5 +61,12 @@ __all__ = [
     "Tokenizer",
     "preset",
     "synthesize_weights",
+    "AsyncServingEngine",
+    "Request",
+    "RequestState",
+    "Scheduler",
+    "SchedulerConfig",
+    "ServeReport",
+    "ServingEngine",
     "__version__",
 ]

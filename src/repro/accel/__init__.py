@@ -2,6 +2,7 @@
 
 from .accelerator import AcceleratorGeneration, GenerationMetrics, SpeedLLMAccelerator
 from .analytical import AnalyticalEstimate, AnalyticalModel
+from .batching import BatchSlot, merge_batch_programs
 from .compiler import ProgramCompiler
 from .dse import CandidateResult, DesignSpace, DesignSpaceExplorer, pareto_front
 from .config import AcceleratorConfig, BufferConfig, MPEConfig, SFUConfig, VARIANT_NAMES
@@ -27,6 +28,8 @@ __all__ = [
     "SpeedLLMAccelerator",
     "AnalyticalEstimate",
     "AnalyticalModel",
+    "BatchSlot",
+    "merge_batch_programs",
     "CandidateResult",
     "DesignSpace",
     "DesignSpaceExplorer",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import bisect
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -36,6 +37,7 @@ from ..llama.quantization import QuantSpec, dequantize, quantize
 from ..llama.sampler import Sampler
 from ..llama.tokenizer import EOS_ID
 from ..sim.stats import RunCounters
+from .batching import BatchSlot, merge_batch_programs
 from .compiler import ProgramCompiler
 from .config import AcceleratorConfig
 from .executor import GraphExecutor
@@ -136,9 +138,15 @@ class SpeedLLMAccelerator:
         )
         self._compiler = ProgramCompiler(self.config)
         self._executor = PipelineExecutor(self.config, self.platform)
-        self._graph_cache: Dict[int, Graph] = {}
-        self._program_cache: Dict[int, Program] = {}
-        self._step_cache: Dict[int, StepResult] = {}
+        self._graph_cache: Dict[tuple, Graph] = {}
+        self._program_cache: Dict[tuple, Program] = {}
+        self._step_cache: Dict[tuple, StepResult] = {}
+        # Batch compositions rarely repeat (every decode step advances the
+        # context lengths), so this cache is bounded LRU to keep a
+        # long-lived serving engine from accumulating one StepResult per
+        # step it ever ran.
+        self._batch_step_cache: "OrderedDict[tuple, StepResult]" = OrderedDict()
+        self._batch_step_cache_size = 256
         # Functional weights: quantise+dequantise so the functional result
         # reflects the int8 datapath; keep float32 when quantisation is off.
         if quantize_weights and self.config.weight_bits < 32:
@@ -174,22 +182,31 @@ class SpeedLLMAccelerator:
     # ------------------------------------------------------------------
     # Compilation
     # ------------------------------------------------------------------
-    def graph_for(self, context_len: int) -> Graph:
-        """Decode-step graph at ``context_len`` (fused if enabled), cached."""
-        if context_len not in self._graph_cache:
-            graph = self._builder.build_decode_step(context_len)
+    def graph_for(self, context_len: int, include_logits: bool = True) -> Graph:
+        """Decode-step graph at ``context_len`` (fused if enabled), cached.
+
+        ``include_logits=False`` builds the reduced graph without the
+        final norm and classifier; batched serving uses it for prompt
+        positions whose logits are never sampled.
+        """
+        key = (context_len, include_logits)
+        if key not in self._graph_cache:
+            graph = self._builder.build_decode_step(
+                context_len, include_logits=include_logits
+            )
             if self.config.operator_fusion:
                 graph = fuse_graph(graph).graph
-            self._graph_cache[context_len] = graph
-        return self._graph_cache[context_len]
+            self._graph_cache[key] = graph
+        return self._graph_cache[key]
 
-    def program_for(self, context_len: int) -> Program:
+    def program_for(self, context_len: int, include_logits: bool = True) -> Program:
         """Compiled tile program at ``context_len``, cached."""
-        if context_len not in self._program_cache:
-            self._program_cache[context_len] = self._compiler.compile(
-                self.graph_for(context_len)
+        key = (context_len, include_logits)
+        if key not in self._program_cache:
+            self._program_cache[key] = self._compiler.compile(
+                self.graph_for(context_len, include_logits)
             )
-        return self._program_cache[context_len]
+        return self._program_cache[key]
 
     def resource_report(self) -> UtilizationReport:
         """Place the design against the platform budget and report utilisation."""
@@ -202,13 +219,59 @@ class SpeedLLMAccelerator:
     # ------------------------------------------------------------------
     # Timing simulation
     # ------------------------------------------------------------------
-    def simulate_step(self, context_len: int) -> StepResult:
+    def simulate_step(self, context_len: int, include_logits: bool = True) -> StepResult:
         """Cycle-accurate simulation of one decode step, cached by context."""
-        if context_len not in self._step_cache:
-            self._step_cache[context_len] = self._executor.run(
-                self.program_for(context_len)
+        key = (context_len, include_logits)
+        if key not in self._step_cache:
+            self._step_cache[key] = self._executor.run(
+                self.program_for(context_len, include_logits)
             )
-        return self._step_cache[context_len]
+        return self._step_cache[key]
+
+    def batch_program_for(
+        self,
+        context_lens: Sequence[int],
+        need_logits: Optional[Sequence[bool]] = None,
+    ) -> Program:
+        """Merged weight-stationary program for one batched step.
+
+        ``context_lens`` lists the context length of every token position
+        executed in the step (one entry per batch slot); ``need_logits``
+        marks the slots that must run the classifier (all of them by
+        default).  Weight tiles are streamed once for the whole batch; see
+        :mod:`repro.accel.batching`.
+        """
+        if need_logits is None:
+            need_logits = [True] * len(context_lens)
+        if len(need_logits) != len(context_lens):
+            raise ValueError("need_logits must match context_lens in length")
+        programs = [self.program_for(ctx, logits)
+                    for ctx, logits in zip(context_lens, need_logits)]
+        return merge_batch_programs(programs, self.config.mpe)
+
+    def simulate_batched_step(
+        self,
+        context_lens: Sequence[int],
+        need_logits: Optional[Sequence[bool]] = None,
+    ) -> StepResult:
+        """Cycle-accurate simulation of one batched decode step, cached."""
+        if need_logits is None:
+            need_logits = [True] * len(context_lens)
+        key = (tuple(context_lens), tuple(need_logits))
+        cache = self._batch_step_cache
+        if key in cache:
+            cache.move_to_end(key)
+            return cache[key]
+        if len(context_lens) == 1:
+            result = self.simulate_step(context_lens[0], need_logits[0])
+        else:
+            result = self._executor.run(
+                self.batch_program_for(context_lens, need_logits)
+            )
+        cache[key] = result
+        while len(cache) > self._batch_step_cache_size:
+            cache.popitem(last=False)
+        return result
 
     def _sample_positions(self, n_positions: int, stride: int) -> List[int]:
         if stride <= 0:
@@ -278,16 +341,7 @@ class SpeedLLMAccelerator:
         prefill_seconds = self.platform.cycles_to_seconds(int(round(prefill_cycles)))
         decode_seconds = self.platform.cycles_to_seconds(int(round(decode_cycles)))
         total_seconds = prefill_seconds + decode_seconds
-        busy_seconds = min(total_seconds, self.platform.cycles_to_seconds(int(round(busy_cycles))))
-        energy = self.platform.energy_model().energy(
-            elapsed_seconds=total_seconds,
-            clock_mhz=self.platform.clock_mhz,
-            int8_macs=counters.int8_macs,
-            sfu_flops=counters.sfu_flops,
-            onchip_bytes=counters.onchip_bytes,
-            hbm_bytes=counters.hbm_bytes,
-            busy_seconds=busy_seconds,
-        )
+        energy = self.energy_for(counters, busy_cycles, total_seconds)
         return GenerationMetrics(
             variant=self.config.name,
             n_prompt=n_prompt,
@@ -300,6 +354,32 @@ class SpeedLLMAccelerator:
             energy=energy,
             mean_mpe_utilization=float(np.mean(utilizations)) if utilizations else 0.0,
             n_buffer_flushes=flushes,
+        )
+
+    def energy_for(
+        self,
+        counters: RunCounters,
+        busy_cycles: float,
+        elapsed_seconds: float,
+    ) -> EnergyBreakdown:
+        """Board energy for a run described by its counters and busy time.
+
+        Single source of truth for feeding the platform energy model —
+        both single-request generation and the batched serving engine
+        aggregate their step counters through this.
+        """
+        busy_seconds = min(
+            elapsed_seconds,
+            self.platform.cycles_to_seconds(int(round(busy_cycles))),
+        )
+        return self.platform.energy_model().energy(
+            elapsed_seconds=elapsed_seconds,
+            clock_mhz=self.platform.clock_mhz,
+            int8_macs=counters.int8_macs,
+            sfu_flops=counters.sfu_flops,
+            onchip_bytes=counters.onchip_bytes,
+            hbm_bytes=counters.hbm_bytes,
+            busy_seconds=busy_seconds,
         )
 
     @staticmethod
@@ -368,3 +448,20 @@ class SpeedLLMAccelerator:
             generated_tokens=generated,
             metrics=metrics,
         )
+
+    def execute_slots(self, slots: Sequence[BatchSlot]) -> List[np.ndarray]:
+        """Functionally execute one batched step of token positions.
+
+        Slots are executed in order against their own KV caches, so a
+        request may contribute several consecutive prefill positions in a
+        single step.  Returns one array per slot: the logits where the
+        slot asked for them, the last hidden state otherwise.  Timing for
+        the same step comes from :meth:`simulate_batched_step` with the
+        slots' positions as context lengths.
+        """
+        steps = [
+            (self.graph_for(slot.pos, slot.need_logits),
+             slot.token, slot.pos, slot.cache)
+            for slot in slots
+        ]
+        return self._graph_executor.execute_batch(steps)

@@ -1,0 +1,142 @@
+"""Merging per-sequence decode-step programs into one batched program.
+
+Continuous batching executes one decode position for several in-flight
+sequences in a single pass over the model.  On the accelerator that pass
+is *weight stationary*: every weight tile is streamed from HBM once and
+all sequences' activation vectors are pushed through it before the next
+tile is fetched.  The merger reproduces that cost structure from the
+already-compiled single-sequence programs:
+
+* **Weight-bearing MPE tiles** (``weight_bytes > 0``) collapse into one
+  packet per tile: the weight transfer and the systolic fill/drain
+  latency are charged once, while reduction passes, activation loads,
+  result stores and MAC counts scale with the batch size.  This is where
+  batched serving wins — single-token decode is HBM-bound on weight
+  streaming, and the batch amortizes exactly that traffic.
+* **Attention packets** read each sequence's own KV window, so they stay
+  per-sequence: one packet per sequence with its own context-dependent
+  load and compute.
+* **SFU / DMA packets** (norms, RoPE, softmax, element-wise, embedding
+  gather, KV append) operate on per-sequence activations and also stay
+  per-sequence, but they share the operator's single instruction
+  dispatch, so the per-operator control overhead is amortized too.
+
+The merged program runs on the unmodified
+:class:`~repro.accel.pipeline.PipelineExecutor`, so pipelining, buffer
+reuse and HBM channel contention apply to batched steps exactly as they
+do to single-sequence steps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..llama.kv_cache import KVCache
+from .config import MPEConfig
+from .instructions import OpProgram, Program, TilePacket
+
+__all__ = ["BatchSlot", "merge_batch_programs"]
+
+
+@dataclass
+class BatchSlot:
+    """One token position executed in a batched accelerator step.
+
+    A slot binds a token to the position it is fed at and the KV cache of
+    the sequence it belongs to.  A prefill request contributes several
+    consecutive slots in one step; a decoding request contributes one.
+    ``need_logits`` is False for prompt positions whose logits are never
+    sampled — those slots skip the final norm and classifier entirely.
+    """
+
+    token: int
+    pos: int
+    cache: KVCache
+    need_logits: bool = True
+    request_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.pos < 0:
+            raise ValueError("pos must be >= 0")
+
+
+def _merged_weight_tile(packets: Sequence[TilePacket], mpe: MPEConfig) -> TilePacket:
+    """Collapse one weight tile's per-sequence packets into a batched packet.
+
+    ``tile_cycles = passes + pipeline_depth`` for a single activation
+    vector; with the tile held stationary the array streams one vector per
+    set of reduction passes and pays the fill/drain latency once, giving
+    ``sum(passes_i) + pipeline_depth`` for the batch.
+    """
+    first = packets[0]
+    depth = mpe.pipeline_depth
+    compute = sum(max(p.compute_cycles - depth, 1) for p in packets) + depth
+    return dataclasses.replace(
+        first,
+        load_bytes=first.weight_bytes
+        + sum(p.load_bytes - p.weight_bytes for p in packets),
+        compute_cycles=compute,
+        store_bytes=sum(p.store_bytes for p in packets),
+        macs=sum(p.macs for p in packets),
+        sfu_flops=sum(p.sfu_flops for p in packets),
+        onchip_bytes=sum(p.onchip_bytes for p in packets),
+    )
+
+
+def merge_batch_programs(
+    programs: Sequence[Program],
+    mpe: MPEConfig,
+    name: Optional[str] = None,
+) -> Program:
+    """Merge per-sequence decode-step programs into one batched program.
+
+    All programs must come from the same decode-step graph topology (they
+    may differ in context length: only the attention packets' costs vary
+    with it).  The result orders work exactly like the single-sequence
+    programs — operator by operator — with weight tiles batched and
+    per-sequence packets interleaved behind a single dispatch.
+    """
+    if not programs:
+        raise ValueError("at least one program is required")
+    if len(programs) == 1:
+        return programs[0]
+    # Programs may differ in length: positions that skip the classifier
+    # compile to a strict prefix of the full decode step (the final norm
+    # and classifier are the topologically last operators).  Operators are
+    # aligned from the front; each one merges the sequences that have it.
+    n_ops = max(len(program.ops) for program in programs)
+    merged = Program(name=name or f"{programs[0].name}-batch{len(programs)}")
+    for j in range(n_ops):
+        op_versions = [program.ops[j] for program in programs
+                       if j < len(program.ops)]
+        lead = op_versions[0]
+        if any(op.op_name != lead.op_name for op in op_versions):
+            raise ValueError(
+                f"operator mismatch at index {j} "
+                f"({sorted({op.op_name for op in op_versions})}); batched "
+                "steps require a common decode-step topology prefix"
+            )
+        n_packets = {len(op.packets) for op in op_versions}
+        if len(n_packets) != 1:
+            raise ValueError(
+                f"operator {lead.op_name!r} has mismatched packet counts "
+                "across the batch"
+            )
+        packets: List[TilePacket] = []
+        for k in range(len(lead.packets)):
+            versions = [op.packets[k] for op in op_versions]
+            first = versions[0]
+            if first.weight_bytes > 0:
+                packets.append(_merged_weight_tile(versions, mpe))
+            else:
+                for i, packet in enumerate(versions):
+                    packets.append(dataclasses.replace(
+                        packet, label=f"{packet.label}#b{i}"
+                    ))
+        merged.add(OpProgram(op_name=lead.op_name, unit=lead.unit,
+                             packets=packets))
+    merged.metadata["batch_size"] = len(programs)
+    merged.metadata["graph"] = programs[0].metadata.get("graph")
+    return merged

@@ -153,6 +153,7 @@ class ProgramCompiler:
                     store_bytes=first.store_bytes, macs=first.macs,
                     sfu_flops=first.sfu_flops,
                     onchip_bytes=first.onchip_bytes + onchip_forwarded,
+                    weight_bytes=first.weight_bytes,
                     label=first.label,
                 )
             packets.extend(member_packets)
@@ -232,6 +233,7 @@ class ProgramCompiler:
                 store_bytes=store_slice,
                 macs=tile.macs,
                 onchip_bytes=tile.out_rows * _ACT_BYTES,
+                weight_bytes=weight_bytes,
                 label=f"{op.name}#t{i}",
             ))
         return packets

@@ -21,7 +21,7 @@ datapath.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -96,6 +96,23 @@ class GraphExecutor:
         if len(outputs) == 1:
             return values[outputs[0]]
         raise RuntimeError("graph did not produce a 'logits' tensor")
+
+    def execute_batch(
+        self,
+        steps: Sequence[Tuple[Graph, int, int, KVCache]],
+    ) -> List[np.ndarray]:
+        """Run a batch of decode steps and return one logits vector per step.
+
+        Each step is ``(graph, token, pos, cache)``.  Steps are executed in
+        order, so several consecutive positions of the *same* sequence
+        (chunked prefill) may appear in one batch: later steps see the KV
+        entries appended by earlier ones.  Functionally this is exactly
+        ``[execute(*step) for step in steps]`` — the batched *timing* gain
+        is modelled separately by the program merger in
+        :mod:`repro.accel.batching`.
+        """
+        return [self.execute(graph, token, pos, cache)
+                for graph, token, pos, cache in steps]
 
     # ------------------------------------------------------------------
     def _execute_op(

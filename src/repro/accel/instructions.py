@@ -24,7 +24,14 @@ __all__ = ["TilePacket", "OpProgram", "Program"]
 
 @dataclass(frozen=True)
 class TilePacket:
-    """One unit of pipelined work (load → compute → store)."""
+    """One unit of pipelined work (load → compute → store).
+
+    ``weight_bytes`` records how much of ``load_bytes`` is model-weight
+    streaming (as opposed to per-token activations).  Weights are shared
+    by every sequence in a batched decode step, so the batch merger uses
+    this split to charge the weight transfer once per batch while the
+    activation traffic scales with the number of sequences.
+    """
 
     op_name: str
     unit: ComputeUnit
@@ -34,13 +41,16 @@ class TilePacket:
     macs: int = 0
     sfu_flops: int = 0
     onchip_bytes: int = 0
+    weight_bytes: int = 0
     label: str = ""
 
     def __post_init__(self) -> None:
         for name in ("load_bytes", "compute_cycles", "store_bytes",
-                     "macs", "sfu_flops", "onchip_bytes"):
+                     "macs", "sfu_flops", "onchip_bytes", "weight_bytes"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
+        if self.weight_bytes > self.load_bytes:
+            raise ValueError("weight_bytes cannot exceed load_bytes")
 
     @property
     def moves_data(self) -> bool:

@@ -1,18 +1,22 @@
 """Command-line interface of the SpeedLLM reproduction.
 
-Four subcommands cover the everyday workflows:
+Five subcommands cover the everyday workflows:
 
-* ``generate``  — run text generation on the simulated accelerator and
-  print the completion plus the latency/throughput/energy metrics;
+* ``generate``  — run one text generation on the simulated accelerator
+  and print the completion plus the latency/throughput/energy metrics;
 * ``bench``     — run the Fig. 2 experiment (all design variants on one
   workload) and print the normalized-latency and energy tables;
+* ``serve-bench`` — serve a suite of concurrent requests through the
+  continuous-batching :class:`~repro.serve.ServingEngine` and compare
+  aggregate throughput against the sequential one-shot baseline;
 * ``validate``  — check that the accelerator's functional output matches
   the reference engine on a prompt suite;
 * ``export-graph`` — dump one decode-step operator graph (optionally
   fused) as Graphviz DOT or JSON.
 
 Invoke via ``python -m repro.cli <subcommand>`` or the ``speedllm``
-console script installed with the package.
+console script installed with the package.  See ``docs/ARCHITECTURE.md``
+for how a request travels through the stack each command exercises.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from .core.runner import ExperimentConfig, ExperimentRunner
 from .core.speedllm import SpeedLLM
 from .core.validation import validate_accelerator
 from .graph.builder import build_decode_graph
+from .serve import SchedulerConfig, ServingEngine
 from .graph.export import to_dot, to_json
 from .graph.fusion import fuse_graph
 from .llama.config import available_presets, preset
@@ -67,6 +72,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--stride", type=int, default=16)
     bench.add_argument("--energy", choices=("effective", "board"), default="effective")
     bench.add_argument("--json", default=None, help="write result rows to this path")
+
+    # serve-bench -------------------------------------------------------
+    serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark continuous-batching serving against sequential generation",
+    )
+    serve.add_argument("--model", default="stories15M", choices=available_presets())
+    serve.add_argument("--variant", default="full", choices=sorted(PAPER_VARIANTS))
+    serve.add_argument("--requests", type=int, default=8,
+                       help="number of concurrent requests to serve")
+    serve.add_argument("--tokens", type=int, default=32,
+                       help="decode budget per request")
+    serve.add_argument("--seed", type=int, default=3)
+    serve.add_argument("--batch-tokens", type=int, default=16,
+                       help="token positions per batched step")
+    serve.add_argument("--prefill-chunk", type=int, default=8,
+                       help="prompt positions one request may prefill per step")
+    serve.add_argument("--max-running", type=int, default=16,
+                       help="maximum concurrently admitted requests")
+    serve.add_argument("--kv-budget-mb", type=int, default=256,
+                       help="KV-cache memory budget in MiB")
+    serve.add_argument("--json", default=None,
+                       help="write per-request rows and aggregates to this path")
 
     # validate ----------------------------------------------------------
     val = sub.add_parser("validate",
@@ -143,6 +171,51 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    llm = SpeedLLM(model=args.model, variant=args.variant, seed=args.seed)
+    suite = default_suite(n_prompts=args.requests, max_new_tokens=args.tokens,
+                          seed=args.seed)
+
+    # Sequential baseline: one SpeedLLM.generate call per request.
+    sequential = [llm.generate(w.prompt, max_new_tokens=w.max_new_tokens)
+                  for w in suite]
+    seq_seconds = sum(out.metrics.total_seconds for out in sequential)
+    seq_tokens = sum(len(out.generated_tokens) for out in sequential)
+    seq_throughput = seq_tokens / seq_seconds if seq_seconds > 0 else 0.0
+
+    engine = ServingEngine(llm, SchedulerConfig(
+        max_batch_tokens=args.batch_tokens,
+        max_running=args.max_running,
+        prefill_chunk=args.prefill_chunk,
+        kv_budget_bytes=args.kv_budget_mb * 1024 * 1024,
+    ))
+    report = engine.serve(suite)
+
+    print(format_table(report.request_rows()))
+    aggregate = report.as_dict()
+    speedup = (report.throughput_tokens_per_second / seq_throughput
+               if seq_throughput > 0 else 0.0)
+    print()
+    print(f"requests served        {report.n_requests} "
+          f"({report.total_generated_tokens} tokens in {report.n_steps} steps)")
+    print(f"mean batch occupancy   {report.mean_batch_tokens:.1f} tokens/step")
+    print(f"latency p50 / p95      {aggregate['latency_p50_ms']:.3f} / "
+          f"{aggregate['latency_p95_ms']:.3f} ms")
+    print(f"ttft p50 / p95         {aggregate['ttft_p50_ms']:.3f} / "
+          f"{aggregate['ttft_p95_ms']:.3f} ms")
+    print(f"mean queue wait        {aggregate['mean_queue_wait_ms']:.3f} ms")
+    print(f"sequential throughput  {seq_throughput:.1f} tokens/s")
+    print(f"batched throughput     {report.throughput_tokens_per_second:.1f} tokens/s")
+    print(f"continuous-batching speedup: {speedup:.2f}x")
+    if args.json:
+        aggregate["sequential_throughput_tokens_per_second"] = seq_throughput
+        aggregate["speedup"] = speedup
+        write_json(args.json, {"requests": report.request_rows(),
+                               "aggregate": aggregate})
+        print(f"results written to {args.json}")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     llm = SpeedLLM(model=args.model, variant=args.variant, seed=args.seed,
                    position_stride=8)
@@ -175,6 +248,7 @@ def _cmd_export_graph(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "generate": _cmd_generate,
     "bench": _cmd_bench,
+    "serve-bench": _cmd_serve_bench,
     "validate": _cmd_validate,
     "export-graph": _cmd_export_graph,
 }

@@ -9,10 +9,12 @@ from .cost import (
     gpu_decode_throughput,
 )
 from .metrics import (
+    LatencySummary,
     VariantResult,
     geometric_mean,
     normalized_energy_efficiency,
     normalized_latency,
+    percentile,
     speedup,
 )
 from .report import Report, format_table, render_bar_chart, write_json
@@ -27,10 +29,12 @@ __all__ = [
     "DeviceSpec",
     "cost_efficiency_table",
     "gpu_decode_throughput",
+    "LatencySummary",
     "VariantResult",
     "geometric_mean",
     "normalized_energy_efficiency",
     "normalized_latency",
+    "percentile",
     "speedup",
     "Report",
     "format_table",

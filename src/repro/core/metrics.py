@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Sequence
 
+import numpy as np
+
 from ..accel.accelerator import GenerationMetrics
 
 __all__ = [
@@ -20,6 +22,8 @@ __all__ = [
     "normalized_energy_efficiency",
     "speedup",
     "geometric_mean",
+    "percentile",
+    "LatencySummary",
 ]
 
 
@@ -122,3 +126,46 @@ def geometric_mean(values: Iterable[float]) -> float:
     if any(v <= 0 for v in values):
         raise ValueError("geometric mean requires positive values")
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) with linear interpolation.
+
+    This is the metric the serving layer reports as p50/p95 latency
+    (``numpy.percentile`` with input validation suited to the small
+    per-request populations involved).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    values = list(values)
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    return float(np.percentile(values, q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of a latency-like population (seconds)."""
+
+    n: int
+    mean: float
+    p50: float
+    p95: float
+    max: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "LatencySummary":
+        values = list(values)
+        if not values:
+            raise ValueError("cannot summarise an empty population")
+        return cls(
+            n=len(values),
+            mean=sum(values) / len(values),
+            p50=percentile(values, 50.0),
+            p95=percentile(values, 95.0),
+            max=float(max(values)),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"n": self.n, "mean": self.mean, "p50": self.p50,
+                "p95": self.p95, "max": self.max}

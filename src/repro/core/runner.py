@@ -1,11 +1,20 @@
 """Experiment runner: evaluate accelerator variants on a common workload.
 
-This is the layer the benchmark files drive.  Given a model preset, a
-workload (prompt length + decode length) and a list of design variants, it
-builds one :class:`~repro.accel.accelerator.SpeedLLMAccelerator` per
-variant over a shared synthetic checkpoint, simulates the generation, and
-returns :class:`~repro.core.metrics.VariantResult` records together with
-the normalised tables the paper's figures show.
+This is the layer the benchmark scripts and the ``speedllm bench`` CLI
+subcommand drive.  Given a model preset, a workload (prompt length +
+decode length) and a list of design variants, it builds one
+:class:`~repro.accel.accelerator.SpeedLLMAccelerator` per variant over a
+shared synthetic checkpoint, simulates the generation, and returns
+:class:`~repro.core.metrics.VariantResult` records together with the
+normalised tables the paper's figures show (Fig. 2a normalized latency,
+Fig. 2b relative energy efficiency, and the headline speedup).
+
+The runner evaluates *timing only* (``simulate_generation``), which is
+why it is cheap enough to sweep every variant: no tokens are decoded.
+Functional correctness is covered separately by
+:mod:`repro.core.validation`, and multi-request serving throughput by
+:class:`repro.serve.ServingEngine` via ``speedllm serve-bench`` — see
+``docs/ARCHITECTURE.md`` for how the three fit together.
 """
 
 from __future__ import annotations

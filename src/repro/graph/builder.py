@@ -50,7 +50,8 @@ class GraphBuilder:
             )
 
     # ------------------------------------------------------------------
-    def build_decode_step(self, context_len: int, name: Optional[str] = None) -> Graph:
+    def build_decode_step(self, context_len: int, name: Optional[str] = None,
+                          include_logits: bool = True) -> Graph:
         """Build the graph of one decode step.
 
         Parameters
@@ -58,6 +59,13 @@ class GraphBuilder:
         context_len:
             Number of positions already in the KV cache (the new token
             attends over ``context_len + 1`` positions including itself).
+        include_logits:
+            When False, stop after the last decoder block: no final norm
+            and no classifier matmul.  Prompt positions whose logits are
+            never sampled (every prefill position except the last) only
+            need their KV-cache contribution, and the classifier is the
+            single largest weight matrix, so batched serving compiles
+            those positions with this reduced graph.
         """
         cfg = self.config
         if context_len < 0:
@@ -67,7 +75,10 @@ class GraphBuilder:
                 f"context_len {context_len} must be below max_seq_len {cfg.max_seq_len}"
             )
         attn_len = context_len + 1
-        g = Graph(name=name or f"{cfg.name}-decode-ctx{context_len}")
+        if name is None:
+            suffix = "" if include_logits else "-nologits"
+            name = f"{cfg.name}-decode-ctx{context_len}{suffix}"
+        g = Graph(name=name)
         dim, kv_dim, hidden = cfg.dim, cfg.kv_dim, cfg.resolved_hidden_dim()
         wb = self.weight_dtype_bytes
         # TensorSpec element sizes are whole bytes; sub-byte weights keep
@@ -96,6 +107,10 @@ class GraphBuilder:
 
         for layer in range(cfg.n_layers):
             x = self._decoder_block(g, tensor, x, layer, attn_len)
+
+        if not include_logits:
+            g.validate()
+            return g
 
         # Final norm + classifier ---------------------------------------
         norm_w = tensor("norm.weight", dim, weight=True)

@@ -64,8 +64,32 @@ class KVCache:
 
     def used_nbytes(self) -> int:
         """Bytes of cache actually occupied by cached tokens."""
-        per_pos = 2 * self.config.n_layers * self.config.kv_dim * self.dtype.itemsize
-        return per_pos * self._length
+        return self.bytes_per_position(self.config, self.dtype) * self._length
+
+    @staticmethod
+    def bytes_per_position(
+        config: LlamaConfig, dtype: np.dtype = np.float32
+    ) -> int:
+        """Cache bytes one token position occupies across all layers."""
+        return int(2 * config.n_layers * config.kv_dim * np.dtype(dtype).itemsize)
+
+    @classmethod
+    def projected_nbytes(
+        cls,
+        config: LlamaConfig,
+        n_positions: int,
+        dtype: np.dtype = np.float32,
+    ) -> int:
+        """Storage a cache sized for ``n_positions`` will occupy.
+
+        The batched-serving scheduler reserves this amount against its KV
+        memory budget *before* admitting a request, so admission is
+        back-pressured by the worst-case footprint (prompt plus the full
+        decode budget) rather than the instantaneous one.
+        """
+        if n_positions < 0:
+            raise ValueError("n_positions must be >= 0")
+        return cls.bytes_per_position(config, dtype) * n_positions
 
     def reset(self) -> None:
         """Clear the cache (start a new sequence)."""

@@ -1,0 +1,273 @@
+"""The serving engine: continuous batching over the simulated accelerator.
+
+:class:`ServingEngine` is the synchronous facade.  It owns a
+:class:`~repro.serve.scheduler.Scheduler` and a simulated clock, and each
+:meth:`ServingEngine.step` call runs one *batched* accelerator step:
+
+1. admit queued requests that fit the KV budget;
+2. ask the scheduler for this step's token positions (decode positions of
+   every in-flight request plus prefill chunks of newly admitted ones);
+3. execute the positions functionally to get logits, and simulate the
+   merged weight-stationary program to get cycles/traffic/energy;
+4. advance the clock, sample next tokens where logits were produced, and
+   retire requests that hit EOS or their decode budget.
+
+Functionally this is exactly N independent ``SpeedLLM.generate`` calls —
+each request keeps its own KV cache and its own seeded sampler, so the
+generated tokens are identical to sequential one-shot generation.  Only
+the *timing* differs: weight streaming, instruction dispatch and the
+systolic fill/drain are amortized over the batch, which is where the
+serving throughput comes from.
+
+:class:`AsyncServingEngine` wraps the same engine for asyncio callers:
+``await engine.generate(...)`` submits a request and resolves when it
+completes, with a single cooperative driver task stepping the batch while
+any request is in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Iterable, List, Optional
+
+from ..accel.accelerator import SpeedLLMAccelerator
+from ..core.speedllm import SpeedLLM
+from ..llama.sampler import Sampler
+from ..llama.tokenizer import EOS_ID
+from ..sim.stats import RunCounters
+from .metrics import RequestMetrics, ServeReport
+from .request import Request, RequestState
+from .scheduler import Scheduler, SchedulerConfig
+
+__all__ = ["ServingEngine", "AsyncServingEngine"]
+
+
+class ServingEngine:
+    """Synchronous continuous-batching server over one ``SpeedLLM`` stack."""
+
+    def __init__(
+        self,
+        llm: SpeedLLM,
+        scheduler_config: Optional[SchedulerConfig] = None,
+    ) -> None:
+        self.llm = llm
+        self.accelerator: SpeedLLMAccelerator = llm.accelerator
+        self.tokenizer = llm.tokenizer
+        self.platform = llm.accelerator.platform
+        self.model_config = llm.model_config
+        self.scheduler = Scheduler(self.model_config, scheduler_config)
+        self.clock = 0.0
+        self._ids = itertools.count()
+        self._completed: List[Request] = []
+        self._counters = RunCounters()
+        self._busy_cycles = 0.0
+        self._n_steps = 0
+        self._total_slots = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        prompt: str,
+        max_new_tokens: int = 64,
+        temperature: float = 0.0,
+        top_p: float = 1.0,
+        seed: int = 0,
+        stop_at_eos: bool = True,
+        request_id: Optional[str] = None,
+        arrival_time: Optional[float] = None,
+    ) -> Request:
+        """Enqueue a generation request; returns its handle immediately."""
+        tokens = self.llm.encode(prompt)
+        if len(tokens) >= self.model_config.max_seq_len:
+            raise ValueError("prompt does not fit in the context window")
+        request = Request(
+            request_id=request_id or f"req-{next(self._ids)}",
+            prompt_tokens=tokens,
+            max_new_tokens=max_new_tokens,
+            sampler=Sampler(temperature=temperature, top_p=top_p, seed=seed),
+            stop_at_eos=stop_at_eos,
+            arrival_time=self.clock if arrival_time is None else arrival_time,
+            prompt=prompt,
+        )
+        self.scheduler.submit(request)
+        return request
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self) -> List[Request]:
+        """Run one batched accelerator step; returns requests finished by it."""
+        scheduler = self.scheduler
+        scheduler.admit(self.clock)
+        slots = scheduler.build_step()
+        if not slots:
+            return []
+
+        outputs = self.accelerator.execute_slots(slots)
+        timing = self.accelerator.simulate_batched_step(
+            [slot.pos for slot in slots],
+            [slot.need_logits for slot in slots],
+        )
+        self.clock += self.platform.cycles_to_seconds(timing.cycles)
+        self._counters = self._counters + timing.counters
+        self._busy_cycles += (timing.engine_busy.get("mpe", 0)
+                              + timing.engine_busy.get("sfu", 0))
+        self._n_steps += 1
+        self._total_slots += len(slots)
+
+        frontier: Dict[str, tuple] = {}
+        for slot, output in zip(slots, outputs):
+            frontier[slot.request_id] = (slot, output)
+
+        finished: List[Request] = []
+        for request in list(scheduler.running):
+            entry = frontier.get(request.request_id)
+            if entry is None:
+                continue
+            last_slot, last_output = entry
+            request.next_pos = last_slot.pos + 1
+            if request.in_prefill and request.next_pos >= request.n_prompt:
+                request.state = RequestState.DECODE
+            if request.in_decode and last_slot.need_logits:
+                if self._sample(request, last_output):
+                    finished.append(request)
+        return finished
+
+    def _sample(self, request: Request, logits) -> bool:
+        """Sample the next token; returns True if the request retired.
+
+        The order of checks mirrors ``SpeedLLMAccelerator.generate``: the
+        sampled token is always recorded (EOS included), then the request
+        retires on EOS, on an exhausted decode budget, or when the next
+        position would fall outside the context window.
+        """
+        token = request.sampler.sample(logits)
+        request.generated_tokens.append(token)
+        if request.first_token_time is None:
+            request.first_token_time = self.clock
+        decode_budget = min(
+            request.max_new_tokens,
+            self.model_config.max_seq_len - request.n_prompt,
+        )
+        done = (
+            (request.stop_at_eos and token == EOS_ID)
+            or request.n_generated >= decode_budget
+            or request.next_pos >= self.model_config.max_seq_len
+        )
+        if done:
+            self.scheduler.finish(request, self.clock)
+            self._completed.append(request)
+            return True
+        request.pending_token = token
+        return False
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def run(self, max_steps: Optional[int] = None) -> ServeReport:
+        """Step until every submitted request has finished; report."""
+        steps = 0
+        while self.scheduler.has_work:
+            if max_steps is not None and steps >= max_steps:
+                raise RuntimeError(
+                    f"serving did not drain within {max_steps} steps"
+                )
+            self.step()
+            steps += 1
+        return self.report()
+
+    def serve(self, workloads: Iterable, **sampling) -> ServeReport:
+        """Submit a suite of workloads and drain them.
+
+        ``workloads`` yields objects with ``prompt`` and ``max_new_tokens``
+        attributes (e.g. :class:`repro.workloads.prompts.Workload`); extra
+        keyword arguments are passed to :meth:`submit` for each.
+        """
+        for workload in workloads:
+            self.submit(workload.prompt,
+                        max_new_tokens=workload.max_new_tokens, **sampling)
+        return self.run()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def result_for(self, request: Request) -> RequestMetrics:
+        """Per-request metrics record (the request must have finished)."""
+        text = self.tokenizer.decode(request.generated_tokens)
+        return RequestMetrics.from_request(request, text)
+
+    def report(self) -> ServeReport:
+        """Aggregate metrics over every request completed so far."""
+        energy = self.accelerator.energy_for(
+            self._counters, self._busy_cycles, self.clock
+        )
+        return ServeReport(
+            requests=[self.result_for(r) for r in self._completed],
+            n_steps=self._n_steps,
+            total_slots=self._total_slots,
+            makespan_seconds=self.clock,
+            counters=self._counters,
+            energy=energy,
+        )
+
+
+class AsyncServingEngine:
+    """Asyncio wrapper: awaitable per-request generation over one engine.
+
+    A single cooperative driver task advances the batch while any request
+    is in flight; each ``generate`` call resolves with that request's
+    :class:`~repro.serve.metrics.RequestMetrics` when it retires.  Steps
+    run on the event loop (the simulation is CPU-bound and deterministic);
+    the driver yields between steps so new requests submitted by other
+    coroutines join the very next batch — continuous batching across
+    concurrent callers.
+    """
+
+    def __init__(
+        self,
+        llm: SpeedLLM,
+        scheduler_config: Optional[SchedulerConfig] = None,
+    ) -> None:
+        self.engine = ServingEngine(llm, scheduler_config)
+        self._futures: Dict[str, "asyncio.Future[RequestMetrics]"] = {}
+        self._driver: Optional["asyncio.Task"] = None
+
+    async def generate(self, prompt: str, **submit_kwargs) -> RequestMetrics:
+        """Submit a request and wait for its completion."""
+        loop = asyncio.get_running_loop()
+        request = self.engine.submit(prompt, **submit_kwargs)
+        future: "asyncio.Future[RequestMetrics]" = loop.create_future()
+        self._futures[request.request_id] = future
+        if self._driver is None or self._driver.done():
+            self._driver = loop.create_task(self._drive())
+        return await future
+
+    async def _drive(self) -> None:
+        engine = self.engine
+        try:
+            while engine.scheduler.has_work:
+                for request in engine.step():
+                    future = self._futures.pop(request.request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(engine.result_for(request))
+                # Yield so concurrently-submitted requests join the next step.
+                await asyncio.sleep(0)
+        except BaseException as exc:
+            # Fail every pending waiter instead of hanging them forever.
+            pending, self._futures = self._futures, {}
+            for future in pending.values():
+                if not future.done():
+                    future.set_exception(exc)
+            # The waiters now own the exception; re-raising here would
+            # only produce an unretrieved-task warning.  Propagate when
+            # nobody was waiting (so the failure is not lost) and always
+            # propagate cancellation.
+            if not pending or isinstance(exc, asyncio.CancelledError):
+                raise
+
+    def report(self) -> ServeReport:
+        """Aggregate report over everything served so far."""
+        return self.engine.report()

@@ -1,0 +1,151 @@
+"""Per-request and aggregate metrics of a serving run.
+
+Latency numbers are simulated seconds on the engine clock — the time the
+modelled accelerator would have taken — so they are directly comparable
+with :class:`~repro.accel.accelerator.GenerationMetrics` from one-shot
+generation.  Aggregates use the distribution helpers from
+:mod:`repro.core.metrics` (p50/p95 via :func:`~repro.core.metrics.percentile`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.metrics import LatencySummary
+from ..fpga.power import EnergyBreakdown
+from ..sim.stats import RunCounters
+from .request import Request
+
+__all__ = ["RequestMetrics", "ServeReport"]
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """Outcome of one served request."""
+
+    request_id: str
+    prompt: str
+    text: str
+    prompt_tokens: List[int]
+    generated_tokens: List[int]
+    queue_wait_s: float
+    time_to_first_token_s: float
+    latency_s: float
+
+    @classmethod
+    def from_request(cls, request: Request, text: str) -> "RequestMetrics":
+        if not request.is_finished:
+            raise ValueError(
+                f"request {request.request_id!r} has not finished"
+            )
+        return cls(
+            request_id=request.request_id,
+            prompt=request.prompt,
+            text=text,
+            prompt_tokens=list(request.prompt_tokens),
+            generated_tokens=list(request.generated_tokens),
+            queue_wait_s=request.queue_wait or 0.0,
+            time_to_first_token_s=request.time_to_first_token or 0.0,
+            latency_s=request.latency or 0.0,
+        )
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.generated_tokens)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dictionary for table rendering / JSON export."""
+        return {
+            "request": self.request_id,
+            "prompt_tokens": len(self.prompt_tokens),
+            "generated_tokens": self.n_generated,
+            "queue_wait_ms": self.queue_wait_s * 1e3,
+            "ttft_ms": self.time_to_first_token_s * 1e3,
+            "latency_ms": self.latency_s * 1e3,
+        }
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of serving a set of requests."""
+
+    requests: List[RequestMetrics]
+    n_steps: int
+    total_slots: int
+    makespan_seconds: float
+    counters: RunCounters
+    energy: EnergyBreakdown
+
+    # ------------------------------------------------------------------
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def total_generated_tokens(self) -> int:
+        return sum(r.n_generated for r in self.requests)
+
+    @property
+    def throughput_tokens_per_second(self) -> float:
+        """Generated tokens over the whole run's simulated makespan."""
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.total_generated_tokens / self.makespan_seconds
+
+    @property
+    def mean_batch_tokens(self) -> float:
+        """Average token positions per batched step (batch occupancy)."""
+        if self.n_steps <= 0:
+            return 0.0
+        return self.total_slots / self.n_steps
+
+    @property
+    def tokens_per_joule(self) -> float:
+        if self.energy.total_j <= 0:
+            return 0.0
+        return self.total_generated_tokens / self.energy.total_j
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _summary(values: List[float]) -> LatencySummary:
+        # A report may be taken before anything finished (e.g. a progress
+        # probe on a running engine); summarise that as all-zero rather
+        # than raising on the empty population.
+        if not values:
+            return LatencySummary(n=0, mean=0.0, p50=0.0, p95=0.0, max=0.0)
+        return LatencySummary.from_values(values)
+
+    def latency_summary(self) -> LatencySummary:
+        """End-to-end request latency distribution (arrival → finish)."""
+        return self._summary([r.latency_s for r in self.requests])
+
+    def ttft_summary(self) -> LatencySummary:
+        """Time-to-first-token distribution."""
+        return self._summary([r.time_to_first_token_s for r in self.requests])
+
+    def queue_wait_summary(self) -> LatencySummary:
+        """Admission-wait distribution."""
+        return self._summary([r.queue_wait_s for r in self.requests])
+
+    def request_rows(self) -> List[Dict[str, object]]:
+        return [r.as_row() for r in self.requests]
+
+    def as_dict(self) -> Dict[str, object]:
+        latency = self.latency_summary()
+        ttft = self.ttft_summary()
+        return {
+            "n_requests": self.n_requests,
+            "n_steps": self.n_steps,
+            "total_generated_tokens": self.total_generated_tokens,
+            "makespan_seconds": self.makespan_seconds,
+            "throughput_tokens_per_second": self.throughput_tokens_per_second,
+            "mean_batch_tokens": self.mean_batch_tokens,
+            "latency_p50_ms": latency.p50 * 1e3,
+            "latency_p95_ms": latency.p95 * 1e3,
+            "ttft_p50_ms": ttft.p50 * 1e3,
+            "ttft_p95_ms": ttft.p95 * 1e3,
+            "mean_queue_wait_ms": self.queue_wait_summary().mean * 1e3,
+            "tokens_per_joule": self.tokens_per_joule,
+            "hbm_gbytes": self.counters.hbm_bytes / 1e9,
+        }

@@ -1,0 +1,161 @@
+"""Request model of the serving engine.
+
+A :class:`Request` is one client generation job moving through the
+continuous-batching pipeline.  Its lifecycle mirrors production LLM
+servers:
+
+``QUEUED`` → submitted, waiting for admission (KV budget / slot limits);
+``PREFILL`` → admitted, prompt positions streaming through the model;
+``DECODE`` → prompt consumed, generating one token per batched step;
+``FINISHED`` → decode budget exhausted or EOS sampled.
+
+The request carries everything the scheduler and engine need to resume it
+at any step: its private KV cache, its private sampler (so stochastic
+decodes are reproducible regardless of batch composition), the next
+position to execute, and the token to feed there.  Timestamps are in
+*simulated* seconds on the engine's clock, which is what the latency and
+queue-wait metrics report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Deque, Iterator, List, Optional
+
+from ..llama.kv_cache import KVCache
+from ..llama.sampler import Sampler
+
+__all__ = ["Request", "RequestQueue", "RequestState"]
+
+
+class RequestState(Enum):
+    """Lifecycle stage of a serving request."""
+
+    QUEUED = "queued"
+    PREFILL = "prefill"
+    DECODE = "decode"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One generation job tracked by the serving engine."""
+
+    request_id: str
+    prompt_tokens: List[int]
+    max_new_tokens: int
+    sampler: Sampler = field(default_factory=Sampler)
+    stop_at_eos: bool = True
+    arrival_time: float = 0.0
+    prompt: str = ""
+
+    # Mutable progress state (owned by the scheduler/engine) ------------
+    state: RequestState = RequestState.QUEUED
+    cache: Optional[KVCache] = None
+    next_pos: int = 0
+    pending_token: Optional[int] = None
+    generated_tokens: List[int] = field(default_factory=list)
+    kv_reserved_bytes: int = 0
+
+    # Simulated-clock timestamps ---------------------------------------
+    admitted_time: Optional[float] = None
+    first_token_time: Optional[float] = None
+    finish_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.prompt_tokens:
+            raise ValueError("prompt_tokens must not be empty")
+        if self.max_new_tokens <= 0:
+            raise ValueError("max_new_tokens must be positive")
+        self.prompt_tokens = [int(t) for t in self.prompt_tokens]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_prompt(self) -> int:
+        return len(self.prompt_tokens)
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.generated_tokens)
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state is RequestState.FINISHED
+
+    @property
+    def in_prefill(self) -> bool:
+        return self.state is RequestState.PREFILL
+
+    @property
+    def in_decode(self) -> bool:
+        return self.state is RequestState.DECODE
+
+    @property
+    def prefill_remaining(self) -> int:
+        """Prompt positions not yet pushed through the model."""
+        if self.state is not RequestState.PREFILL:
+            return 0
+        return self.n_prompt - self.next_pos
+
+    def total_positions(self, max_seq_len: int) -> int:
+        """Worst-case KV footprint in positions (prompt + decode budget)."""
+        return min(self.n_prompt + self.max_new_tokens, max_seq_len)
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_wait(self) -> Optional[float]:
+        """Simulated seconds between arrival and admission."""
+        if self.admitted_time is None:
+            return None
+        return self.admitted_time - self.arrival_time
+
+    @property
+    def time_to_first_token(self) -> Optional[float]:
+        """Simulated seconds between arrival and the first sampled token."""
+        if self.first_token_time is None:
+            return None
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Simulated end-to-end seconds between arrival and completion."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.arrival_time
+
+
+class RequestQueue:
+    """FIFO admission queue with stable arrival order."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[Request] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._queue)
+
+    def push(self, request: Request) -> None:
+        """Enqueue a request (it must still be QUEUED)."""
+        if request.state is not RequestState.QUEUED:
+            raise ValueError(
+                f"request {request.request_id!r} is {request.state.value}, "
+                "only queued requests can be enqueued"
+            )
+        self._queue.append(request)
+
+    def peek(self) -> Optional[Request]:
+        """The request that would be admitted next, if any."""
+        return self._queue[0] if self._queue else None
+
+    def pop(self) -> Request:
+        """Remove and return the head-of-line request."""
+        if not self._queue:
+            raise IndexError("pop from an empty request queue")
+        return self._queue.popleft()

@@ -1,0 +1,193 @@
+"""Continuous-batching scheduler.
+
+The scheduler owns the admission queue and the set of in-flight requests
+and decides, for every accelerator step, which token positions run.  The
+policy is the iteration-level scheduling of production serving engines
+(Orca/vLLM style) applied to the simulated SpeedLLM accelerator:
+
+* **Admission** is FIFO and budget-gated.  A request is admitted only if
+  its *worst-case* KV-cache footprint (prompt plus full decode budget)
+  fits in the KV memory budget and a running slot is free; head-of-line
+  blocking keeps admission order fair.  Reservations are released when a
+  request retires, which is what lets a long queue drain continuously.
+* **Step building** fills a token budget (``max_batch_tokens``) one
+  position at a time: decoding requests first — one position each, they
+  are latency-critical and keep the batch "continuous" — then prefilling
+  requests contribute chunks of up to ``prefill_chunk`` prompt positions.
+  Only a request's *last* prompt position asks for logits; every other
+  prefill slot skips the classifier entirely.
+
+The scheduler is purely about *which* positions run; executing them and
+advancing request state is the engine's job, so the scheduler can be unit
+tested without building an accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..accel.batching import BatchSlot
+from ..llama.config import LlamaConfig
+from ..llama.kv_cache import KVCache
+from ..sim.memory import MemoryBudget
+from .request import Request, RequestQueue, RequestState
+
+__all__ = ["Scheduler", "SchedulerConfig"]
+
+#: Default KV budget when none is given: a slice of U280 HBM left for the
+#: cache after weights and activation buffers (256 MB of the 8 GB card).
+DEFAULT_KV_BUDGET_BYTES = 256 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Batching policy knobs."""
+
+    max_batch_tokens: int = 16      # token positions per batched step
+    max_running: int = 16           # concurrent in-flight requests
+    prefill_chunk: int = 8          # prompt positions per request per step
+    kv_budget_bytes: int = DEFAULT_KV_BUDGET_BYTES
+
+    def __post_init__(self) -> None:
+        if self.max_batch_tokens <= 0:
+            raise ValueError("max_batch_tokens must be positive")
+        if self.max_running <= 0:
+            raise ValueError("max_running must be positive")
+        if self.prefill_chunk <= 0:
+            raise ValueError("prefill_chunk must be positive")
+        if self.kv_budget_bytes <= 0:
+            raise ValueError("kv_budget_bytes must be positive")
+
+
+class Scheduler:
+    """Admits requests and builds batched steps under token/KV budgets."""
+
+    def __init__(
+        self,
+        model_config: LlamaConfig,
+        config: Optional[SchedulerConfig] = None,
+    ) -> None:
+        self.model_config = model_config
+        self.config = config or SchedulerConfig()
+        self.queue = RequestQueue()
+        self.running: List[Request] = []
+        self.kv_budget = MemoryBudget(self.config.kv_budget_bytes)
+        self._rotation = 0  # round-robin start index for step building
+
+    # ------------------------------------------------------------------
+    @property
+    def has_work(self) -> bool:
+        return bool(self.queue) or bool(self.running)
+
+    def submit(self, request: Request) -> None:
+        """Enqueue a request for admission."""
+        in_flight = {r.request_id for r in self.queue}
+        in_flight.update(r.request_id for r in self.running)
+        if request.request_id in in_flight:
+            raise ValueError(
+                f"request id {request.request_id!r} is already in flight; "
+                "ids must be unique among queued/running requests"
+            )
+        footprint = self._kv_footprint(request)
+        if footprint > self.kv_budget.capacity_bytes:
+            raise ValueError(
+                f"request {request.request_id!r} needs {footprint} KV bytes "
+                f"but the budget is {self.kv_budget.capacity_bytes}; it can "
+                "never be admitted"
+            )
+        self.queue.push(request)
+
+    def _kv_footprint(self, request: Request) -> int:
+        positions = request.total_positions(self.model_config.max_seq_len)
+        return KVCache.projected_nbytes(self.model_config, positions)
+
+    # ------------------------------------------------------------------
+    def admit(self, now: float) -> List[Request]:
+        """Admit queued requests while budgets allow; returns the admitted.
+
+        Admission is strictly FIFO: if the head of the queue does not fit,
+        nothing behind it is considered.  Each admitted request gets a KV
+        cache sized to its worst-case footprint and enters PREFILL.
+        """
+        admitted: List[Request] = []
+        while self.queue and len(self.running) < self.config.max_running:
+            head = self.queue.peek()
+            footprint = self._kv_footprint(head)
+            if not self.kv_budget.reserve(footprint):
+                break
+            request = self.queue.pop()
+            positions = request.total_positions(self.model_config.max_seq_len)
+            request.cache = KVCache(self.model_config, max_seq_len=positions)
+            request.kv_reserved_bytes = footprint
+            request.state = RequestState.PREFILL
+            request.admitted_time = now
+            self.running.append(request)
+            admitted.append(request)
+        return admitted
+
+    # ------------------------------------------------------------------
+    def build_step(self) -> List[BatchSlot]:
+        """Plan the token positions of the next batched step.
+
+        Decoding requests contribute one position each, then prefilling
+        requests contribute chunks of prompt positions until the step's
+        token budget is exhausted.  Slots of the same request are
+        consecutive and in position order, which the functional executor
+        requires.
+
+        When more requests are in flight than the token budget covers,
+        the scan starts one past where the previous step's scan started
+        (round-robin), so no request is starved of decode slots by
+        earlier-admitted ones.
+        """
+        budget = self.config.max_batch_tokens
+        slots: List[BatchSlot] = []
+        if not self.running:
+            return slots
+        n = len(self.running)
+        self._rotation %= n
+        order = [self.running[(self._rotation + i) % n] for i in range(n)]
+        if n > self.config.max_batch_tokens:
+            self._rotation += 1
+        for request in order:
+            if budget <= 0:
+                break
+            if request.in_decode and request.pending_token is not None:
+                slots.append(BatchSlot(
+                    token=request.pending_token,
+                    pos=request.next_pos,
+                    cache=request.cache,
+                    need_logits=True,
+                    request_id=request.request_id,
+                ))
+                budget -= 1
+        for request in order:
+            if budget <= 0:
+                break
+            if not request.in_prefill:
+                continue
+            chunk = min(self.config.prefill_chunk,
+                        request.prefill_remaining, budget)
+            for offset in range(chunk):
+                pos = request.next_pos + offset
+                slots.append(BatchSlot(
+                    token=request.prompt_tokens[pos],
+                    pos=pos,
+                    cache=request.cache,
+                    need_logits=(pos == request.n_prompt - 1),
+                    request_id=request.request_id,
+                ))
+            budget -= chunk
+        return slots
+
+    # ------------------------------------------------------------------
+    def finish(self, request: Request, now: float) -> None:
+        """Retire a request and release its KV reservation."""
+        if request not in self.running:
+            raise ValueError(f"request {request.request_id!r} is not running")
+        request.state = RequestState.FINISHED
+        request.finish_time = now
+        self.kv_budget.release(request.kv_reserved_bytes)
+        request.kv_reserved_bytes = 0
+        self.running.remove(request)

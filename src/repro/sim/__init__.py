@@ -1,7 +1,7 @@
 """Cycle-level discrete-event simulation kernel and common components."""
 
 from .engine import Event, Process, SimulationError, Simulator, Timeout
-from .memory import MemoryPort
+from .memory import MemoryBudget, MemoryPort
 from .stats import RunCounters
 from .stream import Stream
 from .trace import Trace, TraceEvent
@@ -12,6 +12,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timeout",
+    "MemoryBudget",
     "MemoryPort",
     "RunCounters",
     "Stream",

@@ -17,7 +17,62 @@ from .engine import Event, Simulator
 from .stats import RunCounters
 from .trace import Trace
 
-__all__ = ["MemoryPort"]
+__all__ = ["MemoryPort", "MemoryBudget"]
+
+
+class MemoryBudget:
+    """Reserve/release ledger over a fixed off-chip capacity.
+
+    Batched serving admits a request only if its worst-case KV-cache
+    footprint fits in the remaining budget; the reservation is held until
+    the request retires.  The ledger is deliberately simple — bytes in,
+    bytes out — so it can also cap other HBM residents (weight spill,
+    activation buffers) if a caller wants to account for them.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._reserved = 0
+
+    @classmethod
+    def from_spec(cls, spec: MemorySystemSpec, fraction: float = 1.0) -> "MemoryBudget":
+        """Budget covering ``fraction`` of a memory system's capacity."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        return cls(int(spec.total_capacity_bytes * fraction))
+
+    @property
+    def reserved_bytes(self) -> int:
+        return self._reserved
+
+    @property
+    def available_bytes(self) -> int:
+        return self.capacity_bytes - self._reserved
+
+    def fits(self, n_bytes: int) -> bool:
+        """Whether ``n_bytes`` can currently be reserved."""
+        return 0 <= n_bytes <= self.available_bytes
+
+    def reserve(self, n_bytes: int) -> bool:
+        """Reserve ``n_bytes`` if they fit; returns False otherwise."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be >= 0")
+        if n_bytes > self.available_bytes:
+            return False
+        self._reserved += n_bytes
+        return True
+
+    def release(self, n_bytes: int) -> None:
+        """Return ``n_bytes`` to the budget."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be >= 0")
+        if n_bytes > self._reserved:
+            raise ValueError(
+                f"releasing {n_bytes} bytes but only {self._reserved} reserved"
+            )
+        self._reserved -= n_bytes
 
 
 class MemoryPort:

@@ -1,0 +1,121 @@
+"""Tests for batched-step program merging (repro.accel.batching)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.accelerator import SpeedLLMAccelerator
+from repro.accel.batching import BatchSlot, merge_batch_programs
+from repro.accel.variants import variant_config
+from repro.graph.ops import ComputeUnit
+from repro.llama.kv_cache import KVCache
+
+
+@pytest.fixture(scope="module")
+def accelerator(small_checkpoint):
+    return SpeedLLMAccelerator(small_checkpoint, variant_config("full"))
+
+
+class TestMergeBatchPrograms:
+    def test_single_program_passthrough(self, accelerator):
+        program = accelerator.program_for(4)
+        assert merge_batch_programs([program], accelerator.config.mpe) is program
+
+    def test_weight_bytes_charged_once_per_batch(self, accelerator):
+        ctxs = [4, 5, 6, 7]
+        singles = [accelerator.program_for(c) for c in ctxs]
+        merged = accelerator.batch_program_for(ctxs)
+        single_weight = sum(p.weight_bytes for p in singles[0].packets())
+        merged_load = merged.total_load_bytes
+        sum_loads = sum(p.total_load_bytes for p in singles)
+        # The batch saves exactly the duplicated weight streams.
+        assert merged_load == sum_loads - (len(ctxs) - 1) * single_weight
+        assert merged_load < sum_loads
+
+    def test_compute_and_macs_scale_with_batch(self, accelerator):
+        ctxs = [4, 4, 4, 4]
+        single = accelerator.program_for(4)
+        merged = accelerator.batch_program_for(ctxs)
+        assert merged.total_macs == len(ctxs) * single.total_macs
+        # Weight-tile compute amortizes only the systolic fill/drain, so
+        # it grows with the batch but stays below B separate tiles.
+        assert merged.total_compute_cycles > single.total_compute_cycles
+        assert merged.total_compute_cycles < len(ctxs) * single.total_compute_cycles
+
+    def test_operator_structure_is_preserved(self, accelerator):
+        ctxs = [3, 9]
+        merged = accelerator.batch_program_for(ctxs)
+        single = accelerator.program_for(3)
+        assert [op.op_name for op in merged.ops] == [
+            op.op_name for op in single.ops
+        ]
+        assert merged.metadata["batch_size"] == 2
+
+    def test_mixed_logits_flags_align_as_prefix(self, accelerator):
+        ctxs = [4, 5, 6]
+        flags = [True, False, False]
+        merged = accelerator.batch_program_for(ctxs, flags)
+        full = accelerator.program_for(4, True)
+        prefill = accelerator.program_for(5, False)
+        assert len(merged.ops) == len(full.ops)
+        assert len(prefill.ops) < len(full.ops)
+        # The classifier tail only carries the logits-producing sequence.
+        tail = merged.ops[len(prefill.ops):]
+        full_tail = full.ops[len(prefill.ops):]
+        assert [op.op_name for op in tail] == [op.op_name for op in full_tail]
+        assert sum(p.macs for op in tail for p in op.packets) == \
+            sum(p.macs for op in full_tail for p in op.packets)
+
+    def test_mismatched_topology_rejected(self, accelerator, micro_checkpoint):
+        other = SpeedLLMAccelerator(micro_checkpoint, variant_config("full"))
+        with pytest.raises(ValueError):
+            merge_batch_programs(
+                [accelerator.program_for(4), other.program_for(4)],
+                accelerator.config.mpe,
+            )
+
+    def test_empty_batch_rejected(self, accelerator):
+        with pytest.raises(ValueError):
+            merge_batch_programs([], accelerator.config.mpe)
+
+
+class TestBatchedStepTiming:
+    def test_batched_step_beats_sequential_steps(self, accelerator):
+        ctxs = list(range(4, 12))
+        batched = accelerator.simulate_batched_step(ctxs)
+        sequential = sum(accelerator.simulate_step(c).cycles for c in ctxs)
+        assert batched.cycles < sequential
+        # Decode is weight-bound, so batching 8 sequences should at least
+        # halve the cycles per token.
+        assert sequential / batched.cycles >= 2.0
+
+    def test_single_slot_batch_equals_single_step(self, accelerator):
+        assert accelerator.simulate_batched_step([6]).cycles == \
+            accelerator.simulate_step(6).cycles
+
+    def test_skipping_classifier_is_cheaper(self, accelerator):
+        full = accelerator.simulate_batched_step([4, 5], [True, True])
+        reduced = accelerator.simulate_batched_step([4, 5], [True, False])
+        assert reduced.cycles < full.cycles
+
+
+class TestExecuteSlots:
+    def test_chunked_prefill_matches_stepwise_execution(
+        self, accelerator, small_config
+    ):
+        tokens = [1, 5, 9, 13]
+        stepwise_cache = KVCache(small_config)
+        stepwise_logits = None
+        for pos, token in enumerate(tokens):
+            stepwise_logits = accelerator._graph_executor.execute(
+                accelerator.graph_for(pos), token, pos, stepwise_cache
+            )
+        batched_cache = KVCache(small_config)
+        slots = [
+            BatchSlot(token=token, pos=pos, cache=batched_cache,
+                      need_logits=(pos == len(tokens) - 1), request_id="r")
+            for pos, token in enumerate(tokens)
+        ]
+        outputs = accelerator.execute_slots(slots)
+        assert outputs[-1] == pytest.approx(stepwise_logits)
+        assert batched_cache.length == stepwise_cache.length

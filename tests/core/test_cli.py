@@ -78,6 +78,33 @@ class TestBenchCommand:
         assert {r["variant"] for r in rows} >= {"unoptimized", "full"}
 
 
+class TestServeBenchCommand:
+    def test_serves_requests_and_reports_speedup(self, capsys, tmp_path):
+        json_path = tmp_path / "serve.json"
+        code = main([
+            "serve-bench", "--model", "test-small",
+            "--requests", "8", "--tokens", "10",
+            "--json", str(json_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "continuous-batching speedup" in out
+        assert "queue_wait_ms" in out
+        payload = json.loads(json_path.read_text())
+        assert len(payload["requests"]) == 8
+        aggregate = payload["aggregate"]
+        assert aggregate["n_requests"] == 8
+        # The acceptance bar: batched serving at least doubles the
+        # sequential baseline's aggregate throughput (deterministic sim).
+        assert aggregate["speedup"] >= 2.0
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.requests == 8
+        assert args.batch_tokens == 16
+        assert args.kv_budget_mb == 256
+
+
 class TestValidateCommand:
     def test_validation_passes_on_small_model(self, capsys):
         code = main([

@@ -1,0 +1,50 @@
+"""Tests for the distribution helpers in repro.core.metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import LatencySummary, percentile
+
+
+class TestPercentile:
+    def test_endpoints_and_median(self):
+        data = [4.0, 1.0, 3.0, 2.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 4.0
+        assert percentile(data, 50) == pytest.approx(2.5)
+
+    def test_linear_interpolation(self):
+        data = [0.0, 10.0]
+        assert percentile(data, 25) == pytest.approx(2.5)
+        assert percentile(data, 95) == pytest.approx(9.5)
+
+    def test_matches_numpy(self):
+        np = pytest.importorskip("numpy")
+        data = [0.3, 7.1, 2.2, 9.9, 4.4, 1.0, 6.5]
+        for q in (5, 50, 95, 99):
+            assert percentile(data, q) == pytest.approx(
+                float(np.percentile(data, q))
+            )
+
+    def test_singleton_and_errors(self):
+        assert percentile([3.0], 95) == 3.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencySummary:
+    def test_from_values(self):
+        summary = LatencySummary.from_values([1.0, 2.0, 3.0, 4.0])
+        assert summary.n == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.p50 == pytest.approx(2.5)
+        assert summary.max == 4.0
+        assert summary.p50 <= summary.p95 <= summary.max
+        assert set(summary.as_dict()) == {"n", "mean", "p50", "p95", "max"}
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySummary.from_values([])

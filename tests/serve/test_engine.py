@@ -1,0 +1,183 @@
+"""End-to-end tests for the serving engine (repro.serve.engine).
+
+The central invariant: continuous batching changes *when* positions are
+executed, never *what* they compute, so a served request's tokens are
+identical to a sequential ``SpeedLLM.generate`` call with the same
+sampling settings.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.speedllm import SpeedLLM
+from repro.llama.kv_cache import KVCache
+from repro.serve import SchedulerConfig, ServingEngine
+from repro.serve.engine import AsyncServingEngine
+
+PROMPTS = [
+    "Once upon a time",
+    "Lily and Tom went to the park",
+    "The little dog was happy",
+    "One day a bird found a shiny stone",
+    "Sam liked to play with his red ball",
+    "The sun was warm and bright",
+    "A cat sat on the soft mat",
+    "Mia saw a big tree in the garden",
+]
+
+
+@pytest.fixture(scope="module")
+def llm(small_checkpoint, tiny_tokenizer):
+    return SpeedLLM(model="test-small", checkpoint=small_checkpoint,
+                    tokenizer=tiny_tokenizer)
+
+
+class TestBatchedEqualsSequential:
+    def test_eight_concurrent_greedy_requests(self, llm):
+        sequential = {
+            prompt: llm.generate(prompt, max_new_tokens=10).generated_tokens
+            for prompt in PROMPTS
+        }
+        engine = ServingEngine(llm, SchedulerConfig(max_batch_tokens=16))
+        for prompt in PROMPTS:
+            engine.submit(prompt, max_new_tokens=10)
+        report = engine.run()
+        assert report.n_requests == len(PROMPTS)
+        for result in report.requests:
+            assert result.generated_tokens == sequential[result.prompt]
+
+    def test_stochastic_sampling_matches_with_same_seed(self, llm):
+        prompts = PROMPTS[:4]
+        sequential = {
+            prompt: llm.generate(prompt, max_new_tokens=8, temperature=0.8,
+                                 top_p=0.9, seed=11 + i).generated_tokens
+            for i, prompt in enumerate(prompts)
+        }
+        engine = ServingEngine(llm)
+        for i, prompt in enumerate(prompts):
+            engine.submit(prompt, max_new_tokens=8, temperature=0.8,
+                          top_p=0.9, seed=11 + i)
+        report = engine.run()
+        for result in report.requests:
+            assert result.generated_tokens == sequential[result.prompt]
+
+    def test_served_text_decodes_generated_tokens(self, llm):
+        engine = ServingEngine(llm)
+        engine.submit(PROMPTS[0], max_new_tokens=6)
+        report = engine.run()
+        result = report.requests[0]
+        assert result.text == llm.tokenizer.decode(result.generated_tokens)
+
+
+class TestThroughput:
+    def test_batched_throughput_at_least_double_sequential(self, llm):
+        sequential_outputs = [llm.generate(p, max_new_tokens=10)
+                              for p in PROMPTS]
+        seq_tokens = sum(len(o.generated_tokens) for o in sequential_outputs)
+        seq_seconds = sum(o.metrics.total_seconds for o in sequential_outputs)
+        engine = ServingEngine(llm, SchedulerConfig(max_batch_tokens=16))
+        for prompt in PROMPTS:
+            engine.submit(prompt, max_new_tokens=10)
+        report = engine.run()
+        assert report.total_generated_tokens == seq_tokens
+        speedup = report.throughput_tokens_per_second / (seq_tokens / seq_seconds)
+        assert speedup >= 2.0
+
+    def test_report_before_any_completion_is_all_zero(self, llm):
+        engine = ServingEngine(llm)
+        report = engine.report()
+        assert report.n_requests == 0
+        summary = report.latency_summary()
+        assert (summary.n, summary.p95) == (0, 0.0)
+        assert report.as_dict()["throughput_tokens_per_second"] == 0.0
+
+    def test_run_max_steps_enforced(self, llm):
+        engine = ServingEngine(llm)
+        engine.submit(PROMPTS[0], max_new_tokens=32)
+        with pytest.raises(RuntimeError, match="did not drain"):
+            engine.run(max_steps=1)
+        assert engine._n_steps == 1
+
+    def test_report_aggregates_are_consistent(self, llm):
+        engine = ServingEngine(llm, SchedulerConfig(max_batch_tokens=8))
+        for prompt in PROMPTS[:4]:
+            engine.submit(prompt, max_new_tokens=6)
+        report = engine.run()
+        assert report.n_steps > 0
+        assert report.mean_batch_tokens > 1.0
+        assert report.makespan_seconds > 0
+        assert report.energy.total_j > 0
+        latency = report.latency_summary()
+        assert latency.p50 <= latency.p95 <= latency.max
+        assert all(r.latency_s >= r.time_to_first_token_s >= 0
+                   for r in report.requests)
+
+
+class TestBackPressure:
+    def test_kv_budget_queues_and_drains(self, llm):
+        config = llm.model_config
+
+        def footprint(prompt):
+            positions = min(len(llm.encode(prompt)) + 8, config.max_seq_len)
+            return KVCache.projected_nbytes(config, positions)
+
+        # Budget admits exactly the first two requests; the rest must wait
+        # until a running request retires and releases its reservation.
+        scheduler_config = SchedulerConfig(
+            kv_budget_bytes=footprint(PROMPTS[0]) + footprint(PROMPTS[1]))
+        sequential = {
+            prompt: llm.generate(prompt, max_new_tokens=8).generated_tokens
+            for prompt in PROMPTS[:4]
+        }
+        engine = ServingEngine(llm, scheduler_config)
+        requests = [engine.submit(p, max_new_tokens=8) for p in PROMPTS[:4]]
+        report = engine.run()
+        assert report.n_requests == 4
+        # The requests beyond the budget waited in the queue...
+        waits = [r.queue_wait for r in requests]
+        assert waits[0] == 0.0
+        assert max(waits) > 0.0
+        # ...but back-pressure never changed what they generated.
+        for result in report.requests:
+            assert result.generated_tokens == sequential[result.prompt]
+
+
+class TestAsyncEngine:
+    def test_concurrent_generate_calls_share_batches(self, llm):
+        sequential = {
+            prompt: llm.generate(prompt, max_new_tokens=8).generated_tokens
+            for prompt in PROMPTS[:3]
+        }
+        engine = AsyncServingEngine(llm)
+
+        async def drive():
+            return await asyncio.gather(*[
+                engine.generate(prompt, max_new_tokens=8)
+                for prompt in PROMPTS[:3]
+            ])
+
+        results = asyncio.run(drive())
+        assert [r.generated_tokens for r in results] == [
+            sequential[p] for p in PROMPTS[:3]
+        ]
+        report = engine.report()
+        assert report.n_requests == 3
+        # All three joined a shared batch at some point.
+        assert report.mean_batch_tokens > 1.0
+
+    def test_step_failure_propagates_to_waiters(self, llm, monkeypatch):
+        engine = AsyncServingEngine(llm)
+        monkeypatch.setattr(
+            engine.engine, "step",
+            lambda: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+
+        async def drive():
+            await engine.generate(PROMPTS[0], max_new_tokens=4)
+
+        # The waiter gets the engine failure instead of hanging forever.
+        with pytest.raises(RuntimeError, match="boom"):
+            asyncio.run(drive())

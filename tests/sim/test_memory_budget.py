@@ -1,0 +1,51 @@
+"""Tests for the reserve/release byte ledger (repro.sim.memory.MemoryBudget)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fpga.hbm import MemorySystemSpec
+from repro.sim.memory import MemoryBudget
+
+
+class TestMemoryBudget:
+    def test_reserve_and_release_cycle(self):
+        budget = MemoryBudget(100)
+        assert budget.available_bytes == 100
+        assert budget.reserve(60)
+        assert budget.reserved_bytes == 60
+        assert budget.available_bytes == 40
+        assert not budget.reserve(41)
+        assert budget.reserve(40)
+        budget.release(60)
+        assert budget.available_bytes == 60
+
+    def test_fits_is_side_effect_free(self):
+        budget = MemoryBudget(10)
+        assert budget.fits(10)
+        assert not budget.fits(11)
+        assert budget.reserved_bytes == 0
+
+    def test_over_release_raises(self):
+        budget = MemoryBudget(10)
+        budget.reserve(5)
+        with pytest.raises(ValueError):
+            budget.release(6)
+
+    def test_negative_amounts_rejected(self):
+        budget = MemoryBudget(10)
+        with pytest.raises(ValueError):
+            budget.reserve(-1)
+        with pytest.raises(ValueError):
+            budget.release(-1)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(0)
+
+    def test_from_spec_fraction(self):
+        spec = MemorySystemSpec.u280_hbm(4)
+        budget = MemoryBudget.from_spec(spec, fraction=0.5)
+        assert budget.capacity_bytes == spec.total_capacity_bytes // 2
+        with pytest.raises(ValueError):
+            MemoryBudget.from_spec(spec, fraction=0.0)
