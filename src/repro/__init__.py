@@ -31,6 +31,7 @@ from .core import (
     cost_efficiency_table,
 )
 from .fpga import FpgaPlatform, u280
+from .kvpool import BlockAllocator, KVPool, PagedKVCache, PrefixIndex
 from .llama import LlamaConfig, LlamaModel, Tokenizer, preset, synthesize_weights
 from .serve import (
     AsyncServingEngine,
@@ -42,7 +43,7 @@ from .serve import (
     ServingEngine,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AcceleratorConfig",
@@ -56,6 +57,10 @@ __all__ = [
     "cost_efficiency_table",
     "FpgaPlatform",
     "u280",
+    "BlockAllocator",
+    "KVPool",
+    "PagedKVCache",
+    "PrefixIndex",
     "LlamaConfig",
     "LlamaModel",
     "Tokenizer",

@@ -2,7 +2,7 @@
 
 from .accelerator import AcceleratorGeneration, GenerationMetrics, SpeedLLMAccelerator
 from .analytical import AnalyticalEstimate, AnalyticalModel
-from .batching import BatchSlot, merge_batch_programs
+from .batching import BatchSlot, block_padded_context, merge_batch_programs
 from .compiler import ProgramCompiler
 from .dse import CandidateResult, DesignSpace, DesignSpaceExplorer, pareto_front
 from .config import AcceleratorConfig, BufferConfig, MPEConfig, SFUConfig, VARIANT_NAMES
@@ -29,6 +29,7 @@ __all__ = [
     "AnalyticalEstimate",
     "AnalyticalModel",
     "BatchSlot",
+    "block_padded_context",
     "merge_batch_programs",
     "CandidateResult",
     "DesignSpace",

@@ -20,7 +20,7 @@ from __future__ import annotations
 import bisect
 import math
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -37,7 +37,7 @@ from ..llama.quantization import QuantSpec, dequantize, quantize
 from ..llama.sampler import Sampler
 from ..llama.tokenizer import EOS_ID
 from ..sim.stats import RunCounters
-from .batching import BatchSlot, merge_batch_programs
+from .batching import BatchSlot, block_padded_context, merge_batch_programs
 from .compiler import ProgramCompiler
 from .config import AcceleratorConfig
 from .executor import GraphExecutor
@@ -232,6 +232,7 @@ class SpeedLLMAccelerator:
         self,
         context_lens: Sequence[int],
         need_logits: Optional[Sequence[bool]] = None,
+        kv_block_tokens: Optional[int] = None,
     ) -> Program:
         """Merged weight-stationary program for one batched step.
 
@@ -239,24 +240,43 @@ class SpeedLLMAccelerator:
         executed in the step (one entry per batch slot); ``need_logits``
         marks the slots that must run the classifier (all of them by
         default).  Weight tiles are streamed once for the whole batch; see
-        :mod:`repro.accel.batching`.
+        :mod:`repro.accel.batching`.  With ``kv_block_tokens`` set (paged
+        KV serving) every attention window is padded to whole KV blocks,
+        so the simulated HBM sees block-granular cache reads.
         """
         if need_logits is None:
             need_logits = [True] * len(context_lens)
         if len(need_logits) != len(context_lens):
             raise ValueError("need_logits must match context_lens in length")
+        context_lens = self._padded_contexts(context_lens, kv_block_tokens)
         programs = [self.program_for(ctx, logits)
                     for ctx, logits in zip(context_lens, need_logits)]
         return merge_batch_programs(programs, self.config.mpe)
+
+    def _padded_contexts(
+        self,
+        context_lens: Sequence[int],
+        kv_block_tokens: Optional[int],
+    ) -> Sequence[int]:
+        """Round attention windows up to whole KV blocks (paged mode)."""
+        if kv_block_tokens is None:
+            return context_lens
+        return [
+            block_padded_context(ctx, kv_block_tokens,
+                                 self.model_config.max_seq_len)
+            for ctx in context_lens
+        ]
 
     def simulate_batched_step(
         self,
         context_lens: Sequence[int],
         need_logits: Optional[Sequence[bool]] = None,
+        kv_block_tokens: Optional[int] = None,
     ) -> StepResult:
         """Cycle-accurate simulation of one batched decode step, cached."""
         if need_logits is None:
             need_logits = [True] * len(context_lens)
+        context_lens = self._padded_contexts(context_lens, kv_block_tokens)
         key = (tuple(context_lens), tuple(need_logits))
         cache = self._batch_step_cache
         if key in cache:

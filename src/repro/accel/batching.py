@@ -37,7 +37,24 @@ from ..llama.kv_cache import KVCache
 from .config import MPEConfig
 from .instructions import OpProgram, Program, TilePacket
 
-__all__ = ["BatchSlot", "merge_batch_programs"]
+__all__ = ["BatchSlot", "block_padded_context", "merge_batch_programs"]
+
+
+def block_padded_context(pos: int, block_tokens: int, max_seq_len: int) -> int:
+    """Context length whose attention window covers whole KV blocks.
+
+    Paged KV caches transfer keys/values at block granularity: a decode
+    step at position ``pos`` attends over ``pos + 1`` cached positions but
+    the HBM reads pull ``ceil((pos + 1) / block_tokens)`` full blocks.
+    Simulating the step at the padded context charges exactly that
+    traffic (and lets every position inside one block share a compiled
+    program).  The result is clamped below ``max_seq_len``, which the
+    graph builder requires of any context length.
+    """
+    if pos < 0:
+        raise ValueError("pos must be >= 0")
+    padded_window = KVCache.blocks_for(pos + 1, block_tokens) * block_tokens
+    return min(padded_window, max_seq_len) - 1
 
 
 @dataclass

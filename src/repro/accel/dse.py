@@ -18,7 +18,7 @@ around this module.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..fpga.u280 import FpgaPlatform, u280

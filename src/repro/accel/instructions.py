@@ -15,7 +15,7 @@ to operators.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List
 
 from ..graph.ops import ComputeUnit
 

@@ -10,7 +10,6 @@ passes over the data.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 from ..graph.ops import Operator, OpKind
 from .config import SFUConfig

@@ -35,7 +35,7 @@ from .serve import SchedulerConfig, ServingEngine
 from .graph.export import to_dot, to_json
 from .graph.fusion import fuse_graph
 from .llama.config import available_presets, preset
-from .workloads.prompts import default_suite
+from .workloads.prompts import default_suite, shared_prefix_suite
 
 __all__ = ["main", "build_parser"]
 
@@ -93,8 +93,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="maximum concurrently admitted requests")
     serve.add_argument("--kv-budget-mb", type=int, default=256,
                        help="KV-cache memory budget in MiB")
+    serve.add_argument("--paged", action="store_true",
+                       help="paged-block KV allocation with prefix sharing "
+                            "and preemption instead of worst-case "
+                            "reservations")
+    serve.add_argument("--block-size", type=int, default=16,
+                       help="token positions per KV block (with --paged)")
+    serve.add_argument("--shared-prefix", action="store_true",
+                       help="serve prompts sharing one system preamble "
+                            "(the workload prefix caching accelerates)")
     serve.add_argument("--json", default=None,
-                       help="write per-request rows and aggregates to this path")
+                       help="write per-request rows and aggregates to this "
+                            "path ('-' for stdout)")
 
     # validate ----------------------------------------------------------
     val = sub.add_parser("validate",
@@ -173,8 +183,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     llm = SpeedLLM(model=args.model, variant=args.variant, seed=args.seed)
-    suite = default_suite(n_prompts=args.requests, max_new_tokens=args.tokens,
-                          seed=args.seed)
+    if args.shared_prefix:
+        suite = shared_prefix_suite(n_prompts=args.requests,
+                                    max_new_tokens=args.tokens,
+                                    seed=args.seed)
+    else:
+        suite = default_suite(n_prompts=args.requests,
+                              max_new_tokens=args.tokens, seed=args.seed)
 
     # Sequential baseline: one SpeedLLM.generate call per request.
     sequential = [llm.generate(w.prompt, max_new_tokens=w.max_new_tokens)
@@ -188,13 +203,23 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         max_running=args.max_running,
         prefill_chunk=args.prefill_chunk,
         kv_budget_bytes=args.kv_budget_mb * 1024 * 1024,
+        paged=args.paged,
+        block_tokens=args.block_size,
     ))
     report = engine.serve(suite)
 
-    print(format_table(report.request_rows()))
     aggregate = report.as_dict()
     speedup = (report.throughput_tokens_per_second / seq_throughput
                if seq_throughput > 0 else 0.0)
+    aggregate["sequential_throughput_tokens_per_second"] = seq_throughput
+    aggregate["speedup"] = speedup
+    payload = {"requests": report.request_rows(), "aggregate": aggregate}
+    if args.json == "-":
+        import json as _json
+        print(_json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return 0
+
+    print(format_table(report.request_rows()))
     print()
     print(f"requests served        {report.n_requests} "
           f"({report.total_generated_tokens} tokens in {report.n_steps} steps)")
@@ -204,14 +229,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(f"ttft p50 / p95         {aggregate['ttft_p50_ms']:.3f} / "
           f"{aggregate['ttft_p95_ms']:.3f} ms")
     print(f"mean queue wait        {aggregate['mean_queue_wait_ms']:.3f} ms")
+    if report.paged:
+        print(f"peak concurrency       {report.peak_running} running")
+        print(f"prefix-hit rate        {report.prefix_hit_rate:.1%} "
+              f"({report.prefix_hit_tokens} of "
+              f"{report.total_prefill_tokens} prefill tokens)")
+        print(f"preemptions            {report.n_preemptions}")
+        print(f"mean KV utilization    {report.mean_kv_utilization:.1%}")
     print(f"sequential throughput  {seq_throughput:.1f} tokens/s")
     print(f"batched throughput     {report.throughput_tokens_per_second:.1f} tokens/s")
     print(f"continuous-batching speedup: {speedup:.2f}x")
     if args.json:
-        aggregate["sequential_throughput_tokens_per_second"] = seq_throughput
-        aggregate["speedup"] = speedup
-        write_json(args.json, {"requests": report.request_rows(),
-                               "aggregate": aggregate})
+        write_json(args.json, payload)
         print(f"results written to {args.json}")
     return 0
 

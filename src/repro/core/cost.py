@@ -17,7 +17,7 @@ LLM-serving roofline analyses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..llama.config import LlamaConfig

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Sequence
+from typing import Any, List, Mapping, Sequence
 
 __all__ = ["format_table", "render_bar_chart", "write_json", "Report"]
 

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..accel.accelerator import SpeedLLMAccelerator
 from ..accel.config import AcceleratorConfig
-from ..accel.variants import PAPER_VARIANTS, variant_config, variant_specs
+from ..accel.variants import PAPER_VARIANTS, variant_config
 from ..fpga.power import EnergyModelConfig
 from ..fpga.u280 import FpgaPlatform, u280
 from ..llama.checkpoint import Checkpoint, synthesize_weights

@@ -25,7 +25,7 @@ from ..accel.accelerator import SpeedLLMAccelerator
 from ..llama.kv_cache import KVCache
 from ..llama.model import LlamaModel
 from ..llama.tokenizer import Tokenizer
-from ..workloads.prompts import PromptSuite, Workload, default_suite
+from ..workloads.prompts import PromptSuite, default_suite
 
 __all__ = ["PromptValidation", "ValidationReport", "validate_accelerator"]
 

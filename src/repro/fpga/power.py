@@ -22,7 +22,7 @@ the accelerator variants — the quantity the paper reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 __all__ = ["EnergyModelConfig", "EnergyBreakdown", "EnergyModel"]

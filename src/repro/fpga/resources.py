@@ -13,7 +13,7 @@ Numbers for the U280 come from the public Xilinx data sheet
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, List, Mapping
 
 __all__ = ["ResourceVector", "ResourceBudget", "UtilizationReport", "ResourceError"]
 

@@ -28,8 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .graph import Graph, GraphValidationError
-from .ops import Operator, OpKind, TensorSpec
+from .graph import Graph
+from .ops import Operator, OpKind
 
 __all__ = ["FusionRule", "FusionStats", "FusionResult", "default_rules", "fuse_graph"]
 

@@ -9,7 +9,7 @@ scheduler, fusion pass and compiler need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set
 
 from .ops import Operator, OpKind, TensorSpec
 

@@ -16,9 +16,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Tuple
 
-import numpy as np
 
 __all__ = ["OpKind", "TensorSpec", "Operator", "ComputeUnit"]
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping
 
 from .graph import Graph
-from .ops import ComputeUnit, Operator, OpKind
+from .ops import ComputeUnit, Operator
 
 __all__ = ["ScheduledOp", "Schedule", "schedule_graph", "GraphCostSummary", "summarize_graph"]
 

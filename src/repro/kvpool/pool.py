@@ -1,0 +1,98 @@
+"""Facade tying the block allocator and prefix index together.
+
+:class:`KVPool` is what the scheduler holds in paged mode: one object
+that hands out :class:`~repro.kvpool.paged_cache.PagedKVCache` instances,
+answers "how much of this prompt is already cached", registers freshly
+prefilled blocks for sharing, and reports pool health (utilization,
+watermark headroom) for admission decisions and serving metrics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..llama.config import LlamaConfig
+from .allocator import BlockAllocator
+from .paged_cache import PagedKVCache
+from .prefix import PrefixIndex
+
+__all__ = ["KVPool"]
+
+
+class KVPool:
+    """Shared paged KV memory for one serving engine."""
+
+    def __init__(
+        self,
+        config: LlamaConfig,
+        capacity_bytes: int,
+        block_tokens: int = 16,
+        watermark_fraction: float = 0.05,
+        dtype: np.dtype = np.float32,
+    ) -> None:
+        if not 0.0 <= watermark_fraction < 1.0:
+            raise ValueError("watermark_fraction must be in [0, 1)")
+        self.config = config
+        self.allocator = BlockAllocator(
+            config, capacity_bytes, block_tokens, dtype
+        )
+        self.index = PrefixIndex(self.allocator)
+        self.block_tokens = self.allocator.block_tokens
+        #: Blocks kept unallocated at admission so running requests can
+        #: keep appending without immediately forcing a preemption.
+        self.watermark_blocks = int(
+            watermark_fraction * self.allocator.n_blocks
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_blocks(self) -> int:
+        return self.allocator.n_blocks
+
+    @property
+    def n_allocatable(self) -> int:
+        return self.allocator.n_allocatable
+
+    @property
+    def utilization(self) -> float:
+        return self.allocator.utilization
+
+    def blocks_for(self, n_positions: int) -> int:
+        return self.allocator.blocks_for(n_positions)
+
+    # ------------------------------------------------------------------
+    def new_cache(self, max_seq_len: Optional[int] = None) -> PagedKVCache:
+        """A fresh, empty per-request cache view over this pool."""
+        return PagedKVCache(self.allocator, max_seq_len=max_seq_len)
+
+    def match_prefix(self, tokens: Sequence[int]) -> List[int]:
+        """Physical blocks already caching a full-block prefix of ``tokens``.
+
+        The chain is capped one position short of ``len(tokens)`` so the
+        final prompt position always executes — its logits seed decoding.
+        """
+        matched = self.index.match(tokens)
+        max_full_blocks = (len(tokens) - 1) // self.block_tokens
+        return matched[:max_full_blocks]
+
+    def register_prefix(
+        self,
+        tokens: Sequence[int],
+        cache: PagedKVCache,
+        limit: int,
+    ) -> int:
+        """Index ``cache``'s blocks whose positions are fully written.
+
+        ``limit`` is the number of leading positions of ``tokens`` whose
+        KV entries are complete in ``cache`` (typically the request's
+        ``next_pos`` capped to its prefill length).
+        """
+        n_full = min(limit, len(tokens)) // self.block_tokens
+        if n_full <= 0:
+            return 0
+        return self.index.register(
+            list(tokens[: n_full * self.block_tokens]),
+            cache.block_table[:n_full],
+        )

@@ -1,0 +1,143 @@
+"""Content-addressed index of shared prompt prefixes.
+
+The index is a radix tree over *full* KV blocks: each node corresponds to
+one block's worth of token positions and is keyed by the tokens cached in
+that block, so a path from the root spells out a prompt prefix in
+block-size steps.  A node records which physical block holds the KV
+entries for its positions (plus the allocator version current when it was
+registered, so recycled blocks are detected and pruned lazily).
+
+Two requests whose prompts share the first ``k * block_tokens`` tokens
+resolve to the same chain of nodes, acquire the same physical blocks, and
+skip prefilling those positions entirely — the KV entries depend only on
+the token prefix, which is exactly what the path encodes.  Partial tail
+blocks are never indexed: a block is only shareable once every position
+in it is written and its content is fully determined by the path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .allocator import BlockAllocator
+
+__all__ = ["PrefixIndex"]
+
+
+@dataclass
+class _Node:
+    """One full block along a cached prefix path."""
+
+    block: int = -1
+    version: int = -1
+    children: Dict[Tuple[int, ...], "_Node"] = field(default_factory=dict)
+
+
+class PrefixIndex:
+    """Radix tree mapping block-aligned token prefixes to physical blocks."""
+
+    def __init__(self, allocator: BlockAllocator) -> None:
+        self.allocator = allocator
+        self.block_tokens = allocator.block_tokens
+        self._root = _Node()
+        self.n_registered = 0
+        # At most one node per pool block can be live (a block carries one
+        # tag), so anything beyond this is stale bulk; registering past it
+        # triggers a sweep, bounding index memory for long-running engines.
+        self._sweep_threshold = 2 * allocator.n_blocks
+
+    # ------------------------------------------------------------------
+    def _chunks(self, tokens: Sequence[int]) -> List[Tuple[int, ...]]:
+        """Split ``tokens`` into the full-block chunks along its path."""
+        size = self.block_tokens
+        n_full = len(tokens) // size
+        return [tuple(tokens[i * size:(i + 1) * size]) for i in range(n_full)]
+
+    # ------------------------------------------------------------------
+    def match(self, tokens: Sequence[int]) -> List[int]:
+        """Longest chain of live cached blocks covering a prefix of ``tokens``.
+
+        Returns the physical block ids, one per full block from position
+        zero.  Entries whose block was recycled since registration (the
+        allocator version moved on) terminate the chain and are pruned.
+        The caller must ``acquire`` each returned block before relying on
+        it — until then an eviction could still recycle a cached block.
+        """
+        node = self._root
+        matched: List[int] = []
+        for chunk in self._chunks(tokens):
+            child = node.children.get(chunk)
+            if child is None:
+                break
+            if not self.allocator.holds(child.block, child.version):
+                # Prune the whole stale subtree: its descendants are only
+                # reachable through this node, so even live ones could
+                # never be adopted again (the LRU will recycle them).
+                del node.children[chunk]
+                self.n_registered -= self._subtree_size(child)
+                break
+            matched.append(child.block)
+            node = child
+        return matched
+
+    @staticmethod
+    def _subtree_size(node: _Node) -> int:
+        """Registered entries in ``node`` and everything below it."""
+        return 1 + sum(PrefixIndex._subtree_size(c)
+                       for c in node.children.values())
+
+    def register(self, tokens: Sequence[int], blocks: Sequence[int]) -> int:
+        """Index the full blocks of ``tokens`` held in ``blocks``.
+
+        ``blocks`` is the owning cache's block table (it may be longer
+        than the full-block count of ``tokens``; the partial tail is
+        ignored).  Existing live entries win — the first writer of a
+        prefix stays canonical so concurrent identical prompts converge
+        on one copy.  Returns the number of newly indexed blocks.
+        """
+        node = self._root
+        added = 0
+        for i, chunk in enumerate(self._chunks(tokens)):
+            if i >= len(blocks):
+                break
+            child = node.children.get(chunk)
+            if child is not None and self.allocator.holds(child.block, child.version):
+                node = child
+                continue
+            if child is None:
+                child = _Node()
+                node.children[chunk] = child
+                self.n_registered += 1
+            block = blocks[i]
+            child.block = block
+            child.version = self.allocator.version(block)
+            self.allocator.set_tag(block, chunk)
+            added += 1
+            node = child
+        if self.n_registered > self._sweep_threshold:
+            self.sweep()
+        return added
+
+    def sweep(self) -> int:
+        """Drop every node whose block was recycled; returns the count.
+
+        Match-time pruning only removes stale paths that are looked up
+        again; prompts never re-queried would otherwise accumulate dead
+        node chains forever.  The registration path calls this once the
+        tree outgrows twice the pool size, so the index stays O(pool).
+        """
+
+        def prune(node: _Node) -> int:
+            removed = 0
+            for chunk, child in list(node.children.items()):
+                if not self.allocator.holds(child.block, child.version):
+                    removed += self._subtree_size(child)
+                    del node.children[chunk]
+                else:
+                    removed += prune(child)
+            return removed
+
+        removed = prune(self._root)
+        self.n_registered -= removed
+        return removed

@@ -17,7 +17,7 @@ needs a way to quantify any functional drift.  This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

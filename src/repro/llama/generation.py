@@ -20,7 +20,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
-import numpy as np
 
 from .kv_cache import KVCache
 from .model import LlamaModel

@@ -73,6 +73,31 @@ class KVCache:
         """Cache bytes one token position occupies across all layers."""
         return int(2 * config.n_layers * config.kv_dim * np.dtype(dtype).itemsize)
 
+    @staticmethod
+    def bytes_per_block(
+        config: LlamaConfig,
+        block_tokens: int,
+        dtype: np.dtype = np.float32,
+    ) -> int:
+        """Cache bytes one fixed-size block of token positions occupies.
+
+        The paged KV pool (:mod:`repro.kvpool`) allocates and transfers
+        the cache at this granularity; it is also the unit the serving
+        engine's HBM traffic accounting rounds attention reads up to.
+        """
+        if block_tokens <= 0:
+            raise ValueError("block_tokens must be positive")
+        return KVCache.bytes_per_position(config, dtype) * block_tokens
+
+    @staticmethod
+    def blocks_for(n_positions: int, block_tokens: int) -> int:
+        """Blocks of ``block_tokens`` positions covering ``n_positions``."""
+        if n_positions < 0:
+            raise ValueError("n_positions must be >= 0")
+        if block_tokens <= 0:
+            raise ValueError("block_tokens must be positive")
+        return -(-n_positions // block_tokens)
+
     @classmethod
     def projected_nbytes(
         cls,
@@ -92,7 +117,12 @@ class KVCache:
         return cls.bytes_per_position(config, dtype) * n_positions
 
     def reset(self) -> None:
-        """Clear the cache (start a new sequence)."""
+        """Truncate to length 0 without reallocating the buffers.
+
+        Engines recycle one pre-allocated cache across requests by
+        resetting it between sequences; stale entries past the new length
+        are never read because every view is bounded by ``length``.
+        """
         self._length = 0
 
     # ------------------------------------------------------------------

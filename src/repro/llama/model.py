@@ -20,7 +20,6 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from .checkpoint import Checkpoint
-from .config import LlamaConfig
 from .kv_cache import KVCache
 
 __all__ = [

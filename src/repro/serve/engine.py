@@ -19,6 +19,15 @@ the *timing* differs: weight streaming, instruction dispatch and the
 systolic fill/drain are amortized over the batch, which is where the
 serving throughput comes from.
 
+With a paged scheduler (``SchedulerConfig(paged=True)``) the KV budget is
+block-granular (:mod:`repro.kvpool`): requests admit optimistically,
+shared prompt prefixes map to shared physical blocks (their prefill
+positions are skipped outright), allocation failures preempt the
+lowest-priority request, and the timing simulation rounds each attention
+read up to whole KV blocks so the modelled HBM sees the paged transfer
+pattern.  Token streams remain identical — prefix sharing and preemption
+replay change *which* positions execute, never what they compute.
+
 :class:`AsyncServingEngine` wraps the same engine for asyncio callers:
 ``await engine.generate(...)`` submits a request and resolves when it
 completes, with a single cooperative driver task stepping the batch while
@@ -64,6 +73,8 @@ class ServingEngine:
         self._busy_cycles = 0.0
         self._n_steps = 0
         self._total_slots = 0
+        self._peak_running = 0
+        self._kv_utilization_sum = 0.0
 
     # ------------------------------------------------------------------
     # Submission
@@ -103,6 +114,9 @@ class ServingEngine:
         scheduler = self.scheduler
         scheduler.admit(self.clock)
         slots = scheduler.build_step()
+        # Sampled after step building so a request admitted and preempted
+        # within the same step never counts toward peak concurrency.
+        self._peak_running = max(self._peak_running, len(scheduler.running))
         if not slots:
             return []
 
@@ -110,6 +124,7 @@ class ServingEngine:
         timing = self.accelerator.simulate_batched_step(
             [slot.pos for slot in slots],
             [slot.need_logits for slot in slots],
+            kv_block_tokens=scheduler.kv_block_tokens,
         )
         self.clock += self.platform.cycles_to_seconds(timing.cycles)
         self._counters = self._counters + timing.counters
@@ -117,6 +132,7 @@ class ServingEngine:
                               + timing.engine_busy.get("sfu", 0))
         self._n_steps += 1
         self._total_slots += len(slots)
+        self._kv_utilization_sum += scheduler.kv_utilization
 
         frontier: Dict[str, tuple] = {}
         for slot, output in zip(slots, outputs):
@@ -129,7 +145,12 @@ class ServingEngine:
                 continue
             last_slot, last_output = entry
             request.next_pos = last_slot.pos + 1
-            if request.in_prefill and request.next_pos >= request.n_prompt:
+            if request.in_prefill:
+                # Register freshly completed prefill blocks for sharing.
+                # Decode steps never complete a prefill block, so skip the
+                # index walk once the prompt is consumed.
+                scheduler.note_progress(request)
+            if request.in_prefill and request.next_pos >= request.n_prefill:
                 request.state = RequestState.DECODE
             if request.in_decode and last_slot.need_logits:
                 if self._sample(request, last_output):
@@ -201,6 +222,7 @@ class ServingEngine:
 
     def report(self) -> ServeReport:
         """Aggregate metrics over every request completed so far."""
+        scheduler = self.scheduler
         energy = self.accelerator.energy_for(
             self._counters, self._busy_cycles, self.clock
         )
@@ -211,6 +233,13 @@ class ServingEngine:
             makespan_seconds=self.clock,
             counters=self._counters,
             energy=energy,
+            paged=scheduler.pool is not None,
+            peak_running=self._peak_running,
+            n_preemptions=scheduler.n_preemptions,
+            prefix_hit_tokens=scheduler.prefix_hit_tokens,
+            total_prefill_tokens=scheduler.total_prefill_tokens,
+            mean_kv_utilization=(self._kv_utilization_sum / self._n_steps
+                                 if self._n_steps else 0.0),
         )
 
 

@@ -32,6 +32,8 @@ class RequestMetrics:
     queue_wait_s: float
     time_to_first_token_s: float
     latency_s: float
+    n_preemptions: int = 0
+    prefix_hit_tokens: int = 0
 
     @classmethod
     def from_request(cls, request: Request, text: str) -> "RequestMetrics":
@@ -48,6 +50,8 @@ class RequestMetrics:
             queue_wait_s=request.queue_wait or 0.0,
             time_to_first_token_s=request.time_to_first_token or 0.0,
             latency_s=request.latency or 0.0,
+            n_preemptions=request.n_preemptions,
+            prefix_hit_tokens=request.prefix_hit_tokens,
         )
 
     @property
@@ -76,11 +80,25 @@ class ServeReport:
     makespan_seconds: float
     counters: RunCounters
     energy: EnergyBreakdown
+    # Paged-KV accounting (zero / False under the reservation scheduler).
+    paged: bool = False
+    peak_running: int = 0
+    n_preemptions: int = 0
+    prefix_hit_tokens: int = 0
+    total_prefill_tokens: int = 0
+    mean_kv_utilization: float = 0.0
 
     # ------------------------------------------------------------------
     @property
     def n_requests(self) -> int:
         return len(self.requests)
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prefill positions served from shared KV blocks."""
+        if self.total_prefill_tokens <= 0:
+            return 0.0
+        return self.prefix_hit_tokens / self.total_prefill_tokens
 
     @property
     def total_generated_tokens(self) -> int:
@@ -148,4 +166,9 @@ class ServeReport:
             "mean_queue_wait_ms": self.queue_wait_summary().mean * 1e3,
             "tokens_per_joule": self.tokens_per_joule,
             "hbm_gbytes": self.counters.hbm_bytes / 1e9,
+            "paged": self.paged,
+            "peak_running": self.peak_running,
+            "n_preemptions": self.n_preemptions,
+            "prefix_hit_rate": self.prefix_hit_rate,
+            "mean_kv_utilization": self.mean_kv_utilization,
         }

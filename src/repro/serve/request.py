@@ -9,6 +9,14 @@ servers:
 ``DECODE`` → prompt consumed, generating one token per batched step;
 ``FINISHED`` → decode budget exhausted or EOS sampled.
 
+Under the paged KV scheduler a running request can also be *preempted*:
+its blocks are freed and it returns to the front of the queue in
+``QUEUED`` state, carrying ``replay_tokens`` — the prompt plus every
+token generated so far except the still-pending one — so readmission
+recomputes (or prefix-hits) the lost KV entries and then resumes decoding
+exactly where it stopped.  ``prefill_tokens`` is the stream a prefill
+actually feeds: the replay stream when one exists, the prompt otherwise.
+
 The request carries everything the scheduler and engine need to resume it
 at any step: its private KV cache, its private sampler (so stochastic
 decodes are reproducible regardless of batch composition), the next
@@ -58,6 +66,9 @@ class Request:
     pending_token: Optional[int] = None
     generated_tokens: List[int] = field(default_factory=list)
     kv_reserved_bytes: int = 0
+    replay_tokens: Optional[List[int]] = None
+    n_preemptions: int = 0
+    prefix_hit_tokens: int = 0
 
     # Simulated-clock timestamps ---------------------------------------
     admitted_time: Optional[float] = None
@@ -93,11 +104,29 @@ class Request:
         return self.state is RequestState.DECODE
 
     @property
+    def prefill_tokens(self) -> List[int]:
+        """The token stream a prefill feeds: replay after preemption,
+        the prompt otherwise."""
+        if self.replay_tokens is not None:
+            return self.replay_tokens
+        return self.prompt_tokens
+
+    @property
+    def n_prefill(self) -> int:
+        return len(self.prefill_tokens)
+
+    @property
     def prefill_remaining(self) -> int:
-        """Prompt positions not yet pushed through the model."""
+        """Prefill positions not yet pushed through the model."""
         if self.state is not RequestState.PREFILL:
             return 0
-        return self.n_prompt - self.next_pos
+        return self.n_prefill - self.next_pos
+
+    @property
+    def block_table(self) -> Optional[List[int]]:
+        """Physical KV block ids backing this request (paged mode only)."""
+        table = getattr(self.cache, "block_table", None)
+        return list(table) if table is not None else None
 
     def total_positions(self, max_seq_len: int) -> int:
         """Worst-case KV footprint in positions (prompt + decode budget)."""
@@ -149,6 +178,21 @@ class RequestQueue:
                 "only queued requests can be enqueued"
             )
         self._queue.append(request)
+
+    def push_front(self, request: Request) -> None:
+        """Re-enqueue a preempted request at the head of the line.
+
+        Preempted requests have the oldest admission claim, so they go
+        back in front of everything still waiting (vLLM's recompute
+        policy does the same) — otherwise a preemption would silently
+        demote a request behind later arrivals.
+        """
+        if request.state is not RequestState.QUEUED:
+            raise ValueError(
+                f"request {request.request_id!r} is {request.state.value}, "
+                "only queued requests can be enqueued"
+            )
+        self._queue.appendleft(request)
 
     def peek(self) -> Optional[Request]:
         """The request that would be admitted next, if any."""

@@ -5,17 +5,28 @@ and decides, for every accelerator step, which token positions run.  The
 policy is the iteration-level scheduling of production serving engines
 (Orca/vLLM style) applied to the simulated SpeedLLM accelerator:
 
-* **Admission** is FIFO and budget-gated.  A request is admitted only if
-  its *worst-case* KV-cache footprint (prompt plus full decode budget)
-  fits in the KV memory budget and a running slot is free; head-of-line
-  blocking keeps admission order fair.  Reservations are released when a
-  request retires, which is what lets a long queue drain continuously.
+* **Admission** is FIFO and budget-gated; head-of-line blocking keeps
+  admission order fair.  In **reservation mode** (the PR 1 policy) a
+  request is admitted only if its *worst-case* KV-cache footprint (prompt
+  plus full decode budget) fits in the KV memory budget, and the
+  reservation is held until it retires.  In **paged mode** the budget is
+  carved into fixed-size blocks by a :class:`~repro.kvpool.KVPool`:
+  admission is optimistic — it requires blocks for the *prompt* only
+  (minus any prefix already cached by earlier requests, plus a small
+  free-block watermark) — and decode-time blocks are allocated on demand,
+  step by step.
 * **Step building** fills a token budget (``max_batch_tokens``) one
   position at a time: decoding requests first — one position each, they
   are latency-critical and keep the batch "continuous" — then prefilling
   requests contribute chunks of up to ``prefill_chunk`` prompt positions.
   Only a request's *last* prompt position asks for logits; every other
-  prefill slot skips the classifier entirely.
+  prefill slot skips the classifier entirely.  In paged mode every
+  scheduled position is backed by a physical block before its slot is
+  emitted; when the pool runs dry the scheduler **preempts** the
+  lowest-priority running request that has no slots in this step — its
+  blocks are freed and it returns to the front of the queue to recompute
+  its KV entries on readmission (often a prefix hit on its own
+  still-cached blocks).
 
 The scheduler is purely about *which* positions run; executing them and
 advancing request state is the engine's job, so the scheduler can be unit
@@ -28,6 +39,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..accel.batching import BatchSlot
+from ..kvpool import KVPool
 from ..llama.config import LlamaConfig
 from ..llama.kv_cache import KVCache
 from ..sim.memory import MemoryBudget
@@ -48,6 +60,9 @@ class SchedulerConfig:
     max_running: int = 16           # concurrent in-flight requests
     prefill_chunk: int = 8          # prompt positions per request per step
     kv_budget_bytes: int = DEFAULT_KV_BUDGET_BYTES
+    paged: bool = False             # paged-block KV instead of reservations
+    block_tokens: int = 16          # token positions per KV block
+    watermark_fraction: float = 0.05  # free blocks held back at admission
 
     def __post_init__(self) -> None:
         if self.max_batch_tokens <= 0:
@@ -58,6 +73,10 @@ class SchedulerConfig:
             raise ValueError("prefill_chunk must be positive")
         if self.kv_budget_bytes <= 0:
             raise ValueError("kv_budget_bytes must be positive")
+        if self.block_tokens <= 0:
+            raise ValueError("block_tokens must be positive")
+        if not 0.0 <= self.watermark_fraction < 1.0:
+            raise ValueError("watermark_fraction must be in [0, 1)")
 
 
 class Scheduler:
@@ -73,12 +92,38 @@ class Scheduler:
         self.queue = RequestQueue()
         self.running: List[Request] = []
         self.kv_budget = MemoryBudget(self.config.kv_budget_bytes)
+        self.pool: Optional[KVPool] = None
+        if self.config.paged:
+            self.pool = KVPool(
+                model_config,
+                self.config.kv_budget_bytes,
+                block_tokens=self.config.block_tokens,
+                watermark_fraction=self.config.watermark_fraction,
+            )
         self._rotation = 0  # round-robin start index for step building
+        # Paged-mode accounting, surfaced through the serving report.
+        self.n_preemptions = 0
+        self.prefix_hit_tokens = 0
+        self.total_prefill_tokens = 0
 
     # ------------------------------------------------------------------
     @property
     def has_work(self) -> bool:
         return bool(self.queue) or bool(self.running)
+
+    @property
+    def kv_block_tokens(self) -> Optional[int]:
+        """Block granularity of KV transfers (None in reservation mode)."""
+        return self.pool.block_tokens if self.pool is not None else None
+
+    @property
+    def kv_utilization(self) -> float:
+        """Fraction of the KV budget in live use right now."""
+        if self.pool is not None:
+            return self.pool.utilization
+        if self.kv_budget.capacity_bytes <= 0:
+            return 0.0
+        return self.kv_budget.reserved_bytes / self.kv_budget.capacity_bytes
 
     def submit(self, request: Request) -> None:
         """Enqueue a request for admission."""
@@ -89,13 +134,24 @@ class Scheduler:
                 f"request id {request.request_id!r} is already in flight; "
                 "ids must be unique among queued/running requests"
             )
-        footprint = self._kv_footprint(request)
-        if footprint > self.kv_budget.capacity_bytes:
-            raise ValueError(
-                f"request {request.request_id!r} needs {footprint} KV bytes "
-                f"but the budget is {self.kv_budget.capacity_bytes}; it can "
-                "never be admitted"
-            )
+        positions = request.total_positions(self.model_config.max_seq_len)
+        if self.pool is not None:
+            if self.pool.blocks_for(positions) > self.pool.n_blocks:
+                raise ValueError(
+                    f"request {request.request_id!r} needs "
+                    f"{self.pool.blocks_for(positions)} KV blocks but the "
+                    f"pool holds {self.pool.n_blocks}; it can never be "
+                    "admitted"
+                )
+        else:
+            footprint = self._kv_footprint(request)
+            if footprint > self.kv_budget.capacity_bytes:
+                raise ValueError(
+                    f"request {request.request_id!r} needs {footprint} KV "
+                    f"bytes but the budget is "
+                    f"{self.kv_budget.capacity_bytes}; it can never be "
+                    "admitted"
+                )
         self.queue.push(request)
 
     def _kv_footprint(self, request: Request) -> int:
@@ -107,9 +163,14 @@ class Scheduler:
         """Admit queued requests while budgets allow; returns the admitted.
 
         Admission is strictly FIFO: if the head of the queue does not fit,
-        nothing behind it is considered.  Each admitted request gets a KV
-        cache sized to its worst-case footprint and enters PREFILL.
+        nothing behind it is considered.  Reservation mode sizes a private
+        KV cache to the worst-case footprint; paged mode maps any cached
+        prompt prefix to shared blocks and requires free blocks only for
+        the rest of the prompt (plus the watermark, waived when nothing is
+        running so a lone request can always start).
         """
+        if self.pool is not None:
+            return self._admit_paged(now)
         admitted: List[Request] = []
         while self.queue and len(self.running) < self.config.max_running:
             head = self.queue.peek()
@@ -126,6 +187,97 @@ class Scheduler:
             admitted.append(request)
         return admitted
 
+    def _admit_paged(self, now: float) -> List[Request]:
+        pool = self.pool
+        admitted: List[Request] = []
+        while self.queue and len(self.running) < self.config.max_running:
+            head = self.queue.peek()
+            stream = head.prefill_tokens
+            matched = pool.match_prefix(stream)
+            new_blocks = pool.blocks_for(len(stream)) - len(matched)
+            headroom = pool.watermark_blocks if self.running else 0
+            # Matched blocks parked on the reusable LRU list still count
+            # as allocatable until adopt_prefix revives them, so the gate
+            # must cover them too or the claim below could come up short.
+            cached_matched = sum(
+                1 for block in matched if pool.allocator.refcount(block) == 0
+            )
+            if not pool.allocator.can_allocate(
+                new_blocks + cached_matched + headroom
+            ):
+                break
+            request = self.queue.pop()
+            cache = pool.new_cache(max_seq_len=self.model_config.max_seq_len)
+            cache.adopt_prefix(matched)
+            hit = cache.length
+            # Claim the prompt's blocks now: the prefill writes them over
+            # the next steps, and admission must not double-count the
+            # same free blocks for every queued request.
+            if not cache.ensure_capacity(len(stream)):
+                cache.release()
+                request.cache = None
+                self.queue.push_front(request)
+                break
+            request.cache = cache
+            request.next_pos = hit
+            request.prefix_hit_tokens += hit
+            self.prefix_hit_tokens += hit
+            self.total_prefill_tokens += len(stream)
+            request.state = RequestState.PREFILL
+            request.admitted_time = now
+            self.running.append(request)
+            admitted.append(request)
+        return admitted
+
+    # ------------------------------------------------------------------
+    # Paged-mode block granting and preemption
+    # ------------------------------------------------------------------
+    def _pick_victim(self, exclude_ids: set) -> Optional[Request]:
+        """Latest-admitted running request that may be preempted."""
+        for request in reversed(self.running):
+            if request.request_id not in exclude_ids:
+                return request
+        return None
+
+    def _preempt(self, victim: Request) -> None:
+        """Evict a running request; it will recompute on readmission."""
+        if victim.cache is not None:
+            victim.cache.release()
+        victim.cache = None
+        if victim.generated_tokens:
+            # Everything fed to the model so far: the prompt plus every
+            # generated token except the pending one (which has not been
+            # executed yet — it resumes decoding after the replay).
+            victim.replay_tokens = (
+                list(victim.prompt_tokens) + victim.generated_tokens[:-1]
+            )
+        victim.next_pos = 0
+        victim.state = RequestState.QUEUED
+        victim.n_preemptions += 1
+        self.n_preemptions += 1
+        self.running.remove(victim)
+        self.queue.push_front(victim)
+
+    def _grant_blocks(
+        self, request: Request, n_positions: int, granted_ids: set
+    ) -> bool:
+        """Back ``request``'s next positions with blocks, preempting if needed.
+
+        Victims are drawn from lowest admission priority upward, skipping
+        the request itself and any request already holding slots in the
+        step under construction (their positions are committed).  Returns
+        False when no victim remains and the pool still cannot supply a
+        block — the caller simply skips this request for the step.
+        """
+        exclude = set(granted_ids)
+        exclude.add(request.request_id)
+        while not request.cache.ensure_capacity(n_positions):
+            victim = self._pick_victim(exclude)
+            if victim is None:
+                return False
+            self._preempt(victim)
+        return True
+
     # ------------------------------------------------------------------
     def build_step(self) -> List[BatchSlot]:
         """Plan the token positions of the next batched step.
@@ -140,20 +292,32 @@ class Scheduler:
         the scan starts one past where the previous step's scan started
         (round-robin), so no request is starved of decode slots by
         earlier-admitted ones.
+
+        In paged mode each request's positions are backed by physical
+        blocks before its slots are emitted; a request that cannot be
+        backed even after preemption is skipped for this step.
         """
         budget = self.config.max_batch_tokens
         slots: List[BatchSlot] = []
         if not self.running:
             return slots
+        paged = self.pool is not None
         n = len(self.running)
         self._rotation %= n
         order = [self.running[(self._rotation + i) % n] for i in range(n)]
         if n > self.config.max_batch_tokens:
             self._rotation += 1
+        granted_ids: set = set()
         for request in order:
             if budget <= 0:
                 break
+            if request not in self.running:
+                continue  # preempted while building this step
             if request.in_decode and request.pending_token is not None:
+                if paged and not self._grant_blocks(
+                    request, request.next_pos + 1, granted_ids
+                ):
+                    continue
                 slots.append(BatchSlot(
                     token=request.pending_token,
                     pos=request.next_pos,
@@ -161,33 +325,76 @@ class Scheduler:
                     need_logits=True,
                     request_id=request.request_id,
                 ))
+                granted_ids.add(request.request_id)
                 budget -= 1
         for request in order:
             if budget <= 0:
                 break
+            if request not in self.running:
+                continue
             if not request.in_prefill:
                 continue
             chunk = min(self.config.prefill_chunk,
                         request.prefill_remaining, budget)
+            if chunk <= 0:
+                continue
+            if paged and not self._grant_blocks(
+                request, request.next_pos + chunk, granted_ids
+            ):
+                continue
+            stream = request.prefill_tokens
             for offset in range(chunk):
                 pos = request.next_pos + offset
                 slots.append(BatchSlot(
-                    token=request.prompt_tokens[pos],
+                    token=stream[pos],
                     pos=pos,
                     cache=request.cache,
-                    need_logits=(pos == request.n_prompt - 1),
+                    # The last prefill position computes the logits that
+                    # seed decoding — unless a preempted request is
+                    # replaying and its next token is already pending.
+                    need_logits=(pos == request.n_prefill - 1
+                                 and request.pending_token is None),
                     request_id=request.request_id,
                 ))
+            granted_ids.add(request.request_id)
             budget -= chunk
         return slots
 
     # ------------------------------------------------------------------
+    def note_progress(self, request: Request) -> None:
+        """Register freshly prefilled full blocks for prefix sharing.
+
+        The engine calls this after advancing a request's position; every
+        block whose positions are now completely written (and fall inside
+        the prefill stream, whose token content is known) becomes
+        discoverable by later admissions.  No-op in reservation mode.
+        """
+        if self.pool is None or request.cache is None:
+            return
+        self.pool.register_prefix(
+            request.prefill_tokens,
+            request.cache,
+            min(request.next_pos, request.n_prefill),
+        )
+
+    # ------------------------------------------------------------------
     def finish(self, request: Request, now: float) -> None:
-        """Retire a request and release its KV reservation."""
+        """Retire a request and release its KV memory.
+
+        In paged mode the request's fully-written prefill blocks are
+        (re-)registered in the prefix index before release, so they park
+        on the reusable LRU list and later requests with the same prompt
+        prefix can resurrect them instead of recomputing.
+        """
         if request not in self.running:
             raise ValueError(f"request {request.request_id!r} is not running")
         request.state = RequestState.FINISHED
         request.finish_time = now
-        self.kv_budget.release(request.kv_reserved_bytes)
+        if self.pool is not None:
+            self.note_progress(request)
+            if request.cache is not None:
+                request.cache.release()
+        else:
+            self.kv_budget.release(request.kv_reserved_bytes)
         request.kv_reserved_bytes = 0
         self.running.remove(request)

@@ -8,7 +8,7 @@ integers with explicit names so tests can assert exact values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 __all__ = ["RunCounters"]

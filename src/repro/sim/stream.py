@@ -12,7 +12,7 @@ sequential execution.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Tuple
+from typing import Any, Deque, Tuple
 
 from .engine import Event, SimulationError, Simulator
 

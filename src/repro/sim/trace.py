@@ -10,7 +10,7 @@ rendering is a poor man's Gantt chart).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
 
 __all__ = ["TraceEvent", "Trace"]
 

@@ -1,6 +1,7 @@
 """Workload generation: synthetic TinyStories corpus, prompt suites, sweeps."""
 
-from .prompts import PromptSuite, Workload, default_suite, latency_suite
+from .prompts import (PromptSuite, Workload, default_suite, latency_suite,
+                      shared_prefix_suite)
 from .sweep import ParameterSweep, SweepResult, run_sweep
 from .tinystories import CorpusStats, StoryGenerator, corpus_stats, generate_corpus
 
@@ -9,6 +10,7 @@ __all__ = [
     "Workload",
     "default_suite",
     "latency_suite",
+    "shared_prefix_suite",
     "ParameterSweep",
     "SweepResult",
     "run_sweep",

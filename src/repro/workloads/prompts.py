@@ -15,7 +15,8 @@ from typing import List, Sequence
 
 from .tinystories import StoryGenerator
 
-__all__ = ["Workload", "PromptSuite", "default_suite", "latency_suite"]
+__all__ = ["Workload", "PromptSuite", "default_suite", "latency_suite",
+           "shared_prefix_suite"]
 
 
 @dataclass(frozen=True)
@@ -72,6 +73,39 @@ def default_suite(
             )
         )
     return PromptSuite(name="default", workloads=tuple(workloads))
+
+
+def shared_prefix_suite(
+    n_prompts: int = 8,
+    system_words: int = 32,
+    tail_words: int = 5,
+    max_new_tokens: int = 32,
+    seed: int = 13,
+) -> PromptSuite:
+    """Suite where every prompt starts with one shared system preamble.
+
+    This is the multi-tenant chat shape — a long fixed system prompt
+    followed by a short per-user message — and the workload where paged
+    KV serving with prefix sharing pays off: every request past the first
+    maps the preamble's KV blocks to the same physical memory and skips
+    prefilling them.  ``system_words`` controls how long the shared
+    prefix is relative to the ``tail_words`` of unique suffix.
+    """
+    if n_prompts <= 0:
+        raise ValueError("n_prompts must be positive")
+    if system_words <= 0 or tail_words <= 0:
+        raise ValueError("system_words and tail_words must be positive")
+    gen = StoryGenerator(seed=seed)
+    system = " ".join(gen.story().split()[:system_words])
+    workloads = tuple(
+        Workload(
+            name=f"shared-{i}",
+            prompt=f"{system} {gen.prompt(max_words=tail_words)}",
+            max_new_tokens=max_new_tokens,
+        )
+        for i in range(n_prompts)
+    )
+    return PromptSuite(name="shared-prefix", workloads=workloads)
 
 
 def latency_suite(

@@ -5,9 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.accel.accelerator import SpeedLLMAccelerator
-from repro.accel.batching import BatchSlot, merge_batch_programs
+from repro.accel.batching import (BatchSlot, block_padded_context,
+                                  merge_batch_programs)
 from repro.accel.variants import variant_config
-from repro.graph.ops import ComputeUnit
 from repro.llama.kv_cache import KVCache
 
 
@@ -97,6 +97,46 @@ class TestBatchedStepTiming:
         full = accelerator.simulate_batched_step([4, 5], [True, True])
         reduced = accelerator.simulate_batched_step([4, 5], [True, False])
         assert reduced.cycles < full.cycles
+
+
+class TestBlockPaddedContext:
+    def test_padding_rounds_window_to_blocks(self):
+        # pos 0..block-1 all read one full block; pos == block starts the
+        # next one.  The padded value is the *context length* (window - 1).
+        assert block_padded_context(0, 8, 256) == 7
+        assert block_padded_context(7, 8, 256) == 7
+        assert block_padded_context(8, 8, 256) == 15
+        assert block_padded_context(12, 16, 256) == 15
+
+    def test_padding_clamps_below_max_seq_len(self):
+        assert block_padded_context(62, 16, 64) == 63
+        assert block_padded_context(63, 16, 64) == 63
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            block_padded_context(-1, 8, 64)
+        with pytest.raises(ValueError):
+            block_padded_context(0, 0, 64)
+
+    def test_paged_step_charges_block_granular_hbm_reads(self, accelerator):
+        """With kv_block_tokens set, the simulated step reads the KV
+        window in whole blocks: HBM traffic matches the padded context
+        and never falls below the exact-window traffic."""
+        exact = accelerator.simulate_batched_step([9, 10])
+        paged = accelerator.simulate_batched_step([9, 10],
+                                                  kv_block_tokens=8)
+        padded = accelerator.simulate_batched_step([15, 15])
+        assert paged.counters.hbm_bytes == padded.counters.hbm_bytes
+        assert paged.counters.hbm_bytes > exact.counters.hbm_bytes
+
+    def test_positions_within_one_block_share_a_program(self, accelerator):
+        """Every position inside a block pads to the same context, so the
+        simulated steps are identical — the paged program cache stays
+        small."""
+        a = accelerator.simulate_batched_step([8, 9], kv_block_tokens=8)
+        b = accelerator.simulate_batched_step([10, 11], kv_block_tokens=8)
+        assert a.cycles == b.cycles
+        assert a.counters.hbm_bytes == b.counters.hbm_bytes
 
 
 class TestExecuteSlots:

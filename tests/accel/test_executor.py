@@ -9,7 +9,6 @@ from repro.accel.executor import GraphExecutor, _graph_to_checkpoint_name
 from repro.graph.builder import build_decode_graph
 from repro.graph.fusion import fuse_graph
 from repro.llama.kv_cache import KVCache
-from repro.llama.model import LlamaModel
 
 
 class TestNameMapping:

@@ -103,6 +103,37 @@ class TestServeBenchCommand:
         assert args.requests == 8
         assert args.batch_tokens == 16
         assert args.kv_budget_mb == 256
+        assert args.paged is False
+        assert args.block_size == 16
+        assert args.shared_prefix is False
+
+    def test_paged_shared_prefix_json_stdout(self, capsys):
+        code = main([
+            "serve-bench", "--model", "test-small",
+            "--requests", "4", "--tokens", "8", "--seed", "5",
+            "--paged", "--block-size", "8", "--shared-prefix",
+            "--json", "-",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)  # '-' streams machine-readable JSON only
+        aggregate = payload["aggregate"]
+        assert aggregate["paged"] is True
+        assert aggregate["n_requests"] == 4
+        assert aggregate["prefix_hit_rate"] >= 0.0
+        assert "peak_running" in aggregate
+
+    def test_paged_reports_prefix_hit_rate(self, capsys):
+        code = main([
+            "serve-bench", "--model", "test-small",
+            "--requests", "4", "--tokens", "8",
+            "--paged", "--shared-prefix",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "prefix-hit rate" in out
+        assert "preemptions" in out
+        assert "peak concurrency" in out
 
 
 class TestValidateCommand:

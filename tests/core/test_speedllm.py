@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.speedllm import SpeedLLM, SpeedLLMOutput
 from repro.llama.checkpoint import save_checkpoint
-from repro.llama.config import preset
 
 
 @pytest.fixture(scope="module")

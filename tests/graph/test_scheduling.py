@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.graph.builder import build_decode_graph
 from repro.graph.fusion import fuse_graph

@@ -1,0 +1,130 @@
+"""Tests for the prefix index and pool facade (repro.kvpool.prefix/pool)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kvpool import KVPool
+from repro.llama.kv_cache import KVCache
+
+
+BLOCK = 4
+
+
+@pytest.fixture
+def pool(micro_config):
+    capacity = 8 * KVCache.bytes_per_block(micro_config, BLOCK)
+    return KVPool(micro_config, capacity, block_tokens=BLOCK,
+                  watermark_fraction=0.0)
+
+
+def prefill(pool, cache, tokens):
+    """Write synthetic KV entries for every position of ``tokens``."""
+    config = pool.config
+    for pos, token in enumerate(tokens):
+        assert cache.ensure_capacity(pos + 1)
+        k = np.full(config.kv_dim, float(token), dtype=np.float32)
+        for layer in range(config.n_layers):
+            cache.append(layer, k, -k, pos)
+    pool.register_prefix(tokens, cache, len(tokens))
+
+
+class TestPrefixMatching:
+    def test_full_block_prefix_matches(self, pool):
+        tokens = [7, 8, 9, 10, 11, 12, 13, 14, 20, 21]
+        donor = pool.new_cache()
+        prefill(pool, donor, tokens)
+        # Same first two blocks, different tail.
+        other = tokens[:8] + [30, 31]
+        matched = pool.match_prefix(other)
+        assert matched == donor.block_table[:2]
+
+    def test_partial_block_never_matches(self, pool):
+        tokens = [1, 2, 3, 4, 5]  # one full block + one position
+        donor = pool.new_cache()
+        prefill(pool, donor, tokens)
+        assert pool.match_prefix([1, 2, 3, 9, 9]) == []  # diverges in-block
+        assert pool.match_prefix([1, 2, 3]) == []        # shorter than a block
+
+    def test_match_capped_before_last_position(self, pool):
+        # A prompt that is entirely cached must still execute its final
+        # position (its logits seed decoding), so the match is capped.
+        tokens = [1, 2, 3, 4, 5, 6, 7, 8]
+        donor = pool.new_cache()
+        prefill(pool, donor, tokens)
+        matched = pool.match_prefix(tokens)
+        assert len(matched) == 1  # not 2: position 7 must execute
+
+    def test_match_survives_donor_release(self, pool):
+        tokens = list(range(10, 18))
+        donor = pool.new_cache()
+        prefill(pool, donor, tokens)
+        table = list(donor.block_table)
+        donor.release()
+        matched = pool.match_prefix(tokens + [99])
+        assert matched == table[:2]
+        adopter = pool.new_cache()
+        adopter.adopt_prefix(matched)
+        assert adopter.length == 8
+        assert float(adopter.keys(0)[0, 0]) == 10.0
+
+    def test_stale_entries_pruned_after_eviction(self, pool, micro_config):
+        tokens = list(range(1, 9))
+        donor = pool.new_cache()
+        prefill(pool, donor, tokens)
+        assert pool.index.n_registered == 2
+        donor.release()
+        # Exhaust the pool so the cached blocks are evicted and recycled.
+        hog = pool.new_cache(max_seq_len=32)
+        assert hog.ensure_capacity(32)
+        assert pool.match_prefix(tokens + [99]) == []
+        # Pruning the stale root entry drops its whole (2-node) chain
+        # from the registered count, not just the node itself.
+        assert pool.index.n_registered == 0
+
+    def test_index_stays_bounded_under_unique_prompt_churn(self, micro_config):
+        # Thousands of distinct prompts through a small pool must not grow
+        # the index without bound: registration sweeps stale chains once
+        # the tree outgrows twice the pool.
+        capacity = 4 * KVCache.bytes_per_block(micro_config, BLOCK)
+        pool = KVPool(micro_config, capacity, block_tokens=BLOCK,
+                      watermark_fraction=0.0)
+        for i in range(50):
+            tokens = [100 + i] * BLOCK + [7]  # one unique full block each
+            cache = pool.new_cache()
+            prefill(pool, cache, tokens)
+            cache.release()
+        assert pool.index.n_registered <= 2 * pool.n_blocks
+
+    def test_first_writer_stays_canonical(self, pool):
+        tokens = list(range(40, 48))
+        first = pool.new_cache()
+        prefill(pool, first, tokens)
+        second = pool.new_cache()
+        prefill(pool, second, tokens)  # re-registers the same content
+        matched = pool.match_prefix(tokens + [99])
+        assert matched == first.block_table[:2]
+
+
+class TestPoolFacade:
+    def test_watermark_blocks(self, micro_config):
+        capacity = 10 * KVCache.bytes_per_block(micro_config, BLOCK)
+        pool = KVPool(micro_config, capacity, block_tokens=BLOCK,
+                      watermark_fraction=0.2)
+        assert pool.watermark_blocks == 2
+
+    def test_utilization(self, pool):
+        assert pool.utilization == 0.0
+        cache = pool.new_cache()
+        cache.ensure_capacity(2 * BLOCK)
+        assert pool.utilization == pytest.approx(2 / 8)
+
+    def test_register_ignores_partial_tail(self, pool):
+        cache = pool.new_cache()
+        tokens = [1, 2, 3, 4, 5, 6]
+        prefill(pool, cache, tokens)
+        # Only the first (full) block is indexed; limit respects the
+        # written region as well.
+        assert pool.index.n_registered == 1
+        assert pool.register_prefix(tokens, cache, 3) == 0

@@ -61,6 +61,38 @@ class TestKVCache:
         cache.reset()
         assert cache.length == 0
 
+    def test_reset_recycles_without_reallocation(self, micro_config):
+        # Engines reuse one cache across requests: reset truncates but
+        # must keep the same storage buffers, and a recycled cache must
+        # behave exactly like a fresh one.
+        cache = KVCache(micro_config, max_seq_len=4)
+        keys_buffer = cache.keys(0, length=4).base
+        old = np.ones(micro_config.kv_dim, dtype=np.float32)
+        for pos in range(2):
+            for layer in range(micro_config.n_layers):
+                cache.append(layer, old, old, pos=pos)
+        cache.reset()
+        assert cache.length == 0
+        assert cache.keys(0).shape == (0, micro_config.kv_dim)
+        assert cache.keys(0, length=4).base is keys_buffer
+        new = np.full(micro_config.kv_dim, 7.0, dtype=np.float32)
+        for layer in range(micro_config.n_layers):
+            cache.append(layer, new, new, pos=0)
+        assert cache.length == 1
+        assert np.array_equal(cache.keys(0)[0], new)
+
+    def test_block_helpers(self, micro_config):
+        per_pos = KVCache.bytes_per_position(micro_config)
+        assert KVCache.bytes_per_block(micro_config, 8) == 8 * per_pos
+        assert KVCache.blocks_for(0, 4) == 0
+        assert KVCache.blocks_for(1, 4) == 1
+        assert KVCache.blocks_for(4, 4) == 1
+        assert KVCache.blocks_for(5, 4) == 2
+        with pytest.raises(ValueError):
+            KVCache.bytes_per_block(micro_config, 0)
+        with pytest.raises(ValueError):
+            KVCache.blocks_for(-1, 4)
+
     def test_views_do_not_copy(self, micro_config):
         cache = KVCache(micro_config)
         k = np.ones(micro_config.kv_dim, dtype=np.float32)

@@ -116,6 +116,30 @@ class TestThroughput:
                    for r in report.requests)
 
 
+class TestDecodeBudgetEdges:
+    def test_window_limited_request_generates_one_token(self, llm):
+        # A prompt one position short of the context window leaves a
+        # decode budget of exactly 1 regardless of max_new_tokens: the
+        # request must retire after its first sampled token instead of
+        # running past the window.
+        from repro.serve.request import Request as Req
+        from repro.llama.sampler import Sampler
+
+        config = llm.model_config
+        engine = ServingEngine(llm)
+        request = Req(
+            request_id="window-limited",
+            prompt_tokens=[5] * (config.max_seq_len - 1),
+            max_new_tokens=16,
+            sampler=Sampler(),
+        )
+        engine.scheduler.submit(request)
+        report = engine.run(max_steps=200)
+        assert report.n_requests == 1
+        assert report.requests[0].n_generated == 1
+        assert request.is_finished
+
+
 class TestBackPressure:
     def test_kv_budget_queues_and_drains(self, llm):
         config = llm.model_config

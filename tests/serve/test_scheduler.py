@@ -182,3 +182,60 @@ class TestFinish:
         scheduler = Scheduler(micro_config)
         with pytest.raises(ValueError):
             scheduler.finish(make_request("ghost"), now=0.0)
+
+
+class TestEdgeCases:
+    def test_prefill_chunk_larger_than_batch_tokens(self, micro_config):
+        # A chunk wider than the step's token budget must be clamped to
+        # the budget, not rejected: the prefill simply spans more steps.
+        config = SchedulerConfig(max_batch_tokens=4, prefill_chunk=16)
+        scheduler = Scheduler(micro_config, config)
+        scheduler.submit(make_request("a", n_prompt=10))
+        admitted = scheduler.admit(now=0.0)
+        assert [r.request_id for r in admitted] == ["a"]
+        first = scheduler.build_step()
+        assert [s.pos for s in first] == [0, 1, 2, 3]
+        scheduler.running[0].next_pos = 4
+        second = scheduler.build_step()
+        assert [s.pos for s in second] == [4, 5, 6, 7]
+
+    def test_retirement_mid_step_releases_budget_for_admission(self, micro_config):
+        # Budget for exactly one request: retiring the running request at
+        # time t must let the queued one admit at the same timestamp — the
+        # release happens inside the step, not at some later epoch.
+        config = SchedulerConfig(kv_budget_bytes=budget_for(micro_config, 1))
+        scheduler = Scheduler(micro_config, config)
+        scheduler.submit(make_request("first"))
+        scheduler.submit(make_request("second"))
+        assert [r.request_id for r in scheduler.admit(now=0.0)] == ["first"]
+        assert scheduler.admit(now=0.5) == []
+        first = scheduler.running[0]
+        scheduler.finish(first, now=1.0)
+        admitted = scheduler.admit(now=1.0)
+        assert [r.request_id for r in admitted] == ["second"]
+        assert admitted[0].admitted_time == 1.0
+        # And the new request is immediately schedulable.
+        assert scheduler.build_step()
+
+    def test_zero_decode_budget_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="max_new_tokens"):
+            Request(request_id="zero", prompt_tokens=[1, 2], max_new_tokens=0)
+
+    def test_window_filling_prompt_caps_reservation(self, micro_config):
+        # A prompt that already fills the context window leaves no decode
+        # headroom; the reservation must cap at max_seq_len positions
+        # rather than prompt + decode budget.
+        from repro.llama.kv_cache import KVCache as KV
+        scheduler = Scheduler(micro_config, SchedulerConfig(
+            kv_budget_bytes=KV.projected_nbytes(
+                micro_config, micro_config.max_seq_len),
+        ))
+        scheduler.submit(make_request(
+            "full-window",
+            n_prompt=micro_config.max_seq_len,
+            max_new_tokens=8,
+        ))
+        admitted = scheduler.admit(now=0.0)
+        assert [r.request_id for r in admitted] == ["full-window"]
+        assert (scheduler.kv_budget.reserved_bytes
+                == KV.projected_nbytes(micro_config, micro_config.max_seq_len))

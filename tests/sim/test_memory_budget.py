@@ -32,6 +32,27 @@ class TestMemoryBudget:
         with pytest.raises(ValueError):
             budget.release(6)
 
+    def test_double_release_raises(self):
+        # Releasing the same reservation twice must raise rather than
+        # silently driving the ledger negative (and then over-admitting).
+        budget = MemoryBudget(10)
+        budget.reserve(6)
+        budget.release(6)
+        with pytest.raises(ValueError, match="only 0 reserved"):
+            budget.release(6)
+        assert budget.reserved_bytes == 0
+        assert budget.available_bytes == 10
+
+    def test_ledger_consistent_after_failed_release(self):
+        budget = MemoryBudget(10)
+        budget.reserve(4)
+        with pytest.raises(ValueError):
+            budget.release(5)
+        # The failed release must not have mutated anything.
+        assert budget.reserved_bytes == 4
+        budget.release(4)
+        assert budget.available_bytes == 10
+
     def test_negative_amounts_rejected(self):
         budget = MemoryBudget(10)
         with pytest.raises(ValueError):

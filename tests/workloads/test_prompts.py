@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.workloads.prompts import PromptSuite, Workload, default_suite, latency_suite
+from repro.workloads.prompts import (PromptSuite, Workload, default_suite,
+                                     latency_suite, shared_prefix_suite)
 
 
 class TestWorkload:
@@ -41,3 +42,23 @@ class TestSuites:
     def test_empty_suite_rejected(self):
         with pytest.raises(ValueError):
             PromptSuite(name="x", workloads=())
+
+    def test_shared_prefix_suite_shares_one_preamble(self):
+        suite = shared_prefix_suite(n_prompts=4, system_words=12,
+                                    tail_words=3, max_new_tokens=8)
+        assert len(suite) == 4
+        prefixes = {" ".join(w.prompt.split()[:12]) for w in suite}
+        assert len(prefixes) == 1  # every prompt opens with the preamble
+        assert len({w.prompt for w in suite}) == 4  # but tails differ
+        assert all(w.max_new_tokens == 8 for w in suite)
+
+    def test_shared_prefix_suite_deterministic(self):
+        a = shared_prefix_suite(seed=5)
+        b = shared_prefix_suite(seed=5)
+        assert [w.prompt for w in a] == [w.prompt for w in b]
+
+    def test_shared_prefix_suite_validation(self):
+        with pytest.raises(ValueError):
+            shared_prefix_suite(n_prompts=0)
+        with pytest.raises(ValueError):
+            shared_prefix_suite(system_words=0)
