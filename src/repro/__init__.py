@@ -23,6 +23,7 @@ from .accel import (
     SpeedLLMAccelerator,
     variant_config,
 )
+from .backend import ExecutionBackend, LocalBackend, ShardedBackend
 from .core import (
     ExperimentConfig,
     ExperimentRunner,
@@ -50,6 +51,9 @@ __all__ = [
     "GenerationMetrics",
     "SpeedLLMAccelerator",
     "variant_config",
+    "ExecutionBackend",
+    "LocalBackend",
+    "ShardedBackend",
     "ExperimentConfig",
     "ExperimentRunner",
     "SpeedLLM",

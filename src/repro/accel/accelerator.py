@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import bisect
 import math
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -28,8 +27,6 @@ import numpy as np
 from ..fpga.power import EnergyBreakdown
 from ..fpga.resources import UtilizationReport
 from ..fpga.u280 import FpgaPlatform, u280
-from ..graph.builder import GraphBuilder
-from ..graph.fusion import fuse_graph
 from ..graph.graph import Graph
 from ..llama.checkpoint import Checkpoint
 from ..llama.kv_cache import KVCache
@@ -37,12 +34,12 @@ from ..llama.quantization import QuantSpec, dequantize, quantize
 from ..llama.sampler import Sampler
 from ..llama.tokenizer import EOS_ID
 from ..sim.stats import RunCounters
-from .batching import BatchSlot, block_padded_context, merge_batch_programs
-from .compiler import ProgramCompiler
+from .batching import BatchSlot
 from .config import AcceleratorConfig
 from .executor import GraphExecutor
 from .instructions import Program
-from .pipeline import PipelineExecutor, StepResult
+from .pipeline import StepResult
+from .timing import StepTimingModel
 
 __all__ = ["SpeedLLMAccelerator", "GenerationMetrics", "AcceleratorGeneration"]
 
@@ -133,20 +130,13 @@ class SpeedLLMAccelerator:
         self.model_config = checkpoint.config
         self.config = config or AcceleratorConfig()
         self.platform = platform or u280()
-        self._builder = GraphBuilder(
-            self.model_config, weight_dtype_bytes=self.config.weight_dtype_bytes
+        #: Graph/program compilation and cycle simulation, cached.  The
+        #: timing model is a separate object so execution backends can
+        #: build additional (e.g. tensor-parallel sharded) views of the
+        #: same design point; see :mod:`repro.accel.timing`.
+        self.timing = StepTimingModel(
+            self.model_config, self.config, self.platform
         )
-        self._compiler = ProgramCompiler(self.config)
-        self._executor = PipelineExecutor(self.config, self.platform)
-        self._graph_cache: Dict[tuple, Graph] = {}
-        self._program_cache: Dict[tuple, Program] = {}
-        self._step_cache: Dict[tuple, StepResult] = {}
-        # Batch compositions rarely repeat (every decode step advances the
-        # context lengths), so this cache is bounded LRU to keep a
-        # long-lived serving engine from accumulating one StepResult per
-        # step it ever ran.
-        self._batch_step_cache: "OrderedDict[tuple, StepResult]" = OrderedDict()
-        self._batch_step_cache_size = 256
         # Functional weights: quantise+dequantise so the functional result
         # reflects the int8 datapath; keep float32 when quantisation is off.
         if quantize_weights and self.config.weight_bits < 32:
@@ -189,24 +179,11 @@ class SpeedLLMAccelerator:
         final norm and classifier; batched serving uses it for prompt
         positions whose logits are never sampled.
         """
-        key = (context_len, include_logits)
-        if key not in self._graph_cache:
-            graph = self._builder.build_decode_step(
-                context_len, include_logits=include_logits
-            )
-            if self.config.operator_fusion:
-                graph = fuse_graph(graph).graph
-            self._graph_cache[key] = graph
-        return self._graph_cache[key]
+        return self.timing.graph_for(context_len, include_logits)
 
     def program_for(self, context_len: int, include_logits: bool = True) -> Program:
         """Compiled tile program at ``context_len``, cached."""
-        key = (context_len, include_logits)
-        if key not in self._program_cache:
-            self._program_cache[key] = self._compiler.compile(
-                self.graph_for(context_len, include_logits)
-            )
-        return self._program_cache[key]
+        return self.timing.program_for(context_len, include_logits)
 
     def resource_report(self) -> UtilizationReport:
         """Place the design against the platform budget and report utilisation."""
@@ -221,12 +198,7 @@ class SpeedLLMAccelerator:
     # ------------------------------------------------------------------
     def simulate_step(self, context_len: int, include_logits: bool = True) -> StepResult:
         """Cycle-accurate simulation of one decode step, cached by context."""
-        key = (context_len, include_logits)
-        if key not in self._step_cache:
-            self._step_cache[key] = self._executor.run(
-                self.program_for(context_len, include_logits)
-            )
-        return self._step_cache[key]
+        return self.timing.simulate_step(context_len, include_logits)
 
     def batch_program_for(
         self,
@@ -236,36 +208,11 @@ class SpeedLLMAccelerator:
     ) -> Program:
         """Merged weight-stationary program for one batched step.
 
-        ``context_lens`` lists the context length of every token position
-        executed in the step (one entry per batch slot); ``need_logits``
-        marks the slots that must run the classifier (all of them by
-        default).  Weight tiles are streamed once for the whole batch; see
-        :mod:`repro.accel.batching`.  With ``kv_block_tokens`` set (paged
-        KV serving) every attention window is padded to whole KV blocks,
-        so the simulated HBM sees block-granular cache reads.
+        See :meth:`StepTimingModel.batch_program_for`.
         """
-        if need_logits is None:
-            need_logits = [True] * len(context_lens)
-        if len(need_logits) != len(context_lens):
-            raise ValueError("need_logits must match context_lens in length")
-        context_lens = self._padded_contexts(context_lens, kv_block_tokens)
-        programs = [self.program_for(ctx, logits)
-                    for ctx, logits in zip(context_lens, need_logits)]
-        return merge_batch_programs(programs, self.config.mpe)
-
-    def _padded_contexts(
-        self,
-        context_lens: Sequence[int],
-        kv_block_tokens: Optional[int],
-    ) -> Sequence[int]:
-        """Round attention windows up to whole KV blocks (paged mode)."""
-        if kv_block_tokens is None:
-            return context_lens
-        return [
-            block_padded_context(ctx, kv_block_tokens,
-                                 self.model_config.max_seq_len)
-            for ctx in context_lens
-        ]
+        return self.timing.batch_program_for(
+            context_lens, need_logits, kv_block_tokens
+        )
 
     def simulate_batched_step(
         self,
@@ -274,24 +221,9 @@ class SpeedLLMAccelerator:
         kv_block_tokens: Optional[int] = None,
     ) -> StepResult:
         """Cycle-accurate simulation of one batched decode step, cached."""
-        if need_logits is None:
-            need_logits = [True] * len(context_lens)
-        context_lens = self._padded_contexts(context_lens, kv_block_tokens)
-        key = (tuple(context_lens), tuple(need_logits))
-        cache = self._batch_step_cache
-        if key in cache:
-            cache.move_to_end(key)
-            return cache[key]
-        if len(context_lens) == 1:
-            result = self.simulate_step(context_lens[0], need_logits[0])
-        else:
-            result = self._executor.run(
-                self.batch_program_for(context_lens, need_logits)
-            )
-        cache[key] = result
-        while len(cache) > self._batch_step_cache_size:
-            cache.popitem(last=False)
-        return result
+        return self.timing.simulate_batched_step(
+            context_lens, need_logits, kv_block_tokens
+        )
 
     def _sample_positions(self, n_positions: int, stride: int) -> List[int]:
         if stride <= 0:

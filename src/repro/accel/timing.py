@@ -1,0 +1,176 @@
+"""Decode-step timing model: graph → program → cycle simulation, cached.
+
+:class:`StepTimingModel` owns the compilation and timing pipeline for one
+(possibly sharded) view of the model: it builds decode-step graphs,
+optionally fuses them, compiles them to tile programs, simulates them on
+the pipeline executor, and merges per-sequence programs into batched
+weight-stationary steps.  Every stage is cached — graphs and programs by
+``(context_len, include_logits)``, batched step results in a bounded LRU
+keyed by the batch composition.
+
+The model was carved out of :class:`~repro.accel.accelerator.
+SpeedLLMAccelerator` so execution backends can instantiate *additional*
+timing views of the same checkpoint: the sharded backend builds one with a
+:class:`~repro.graph.sharding.ShardSpec`, whose graphs carry the
+per-shard slice of every matmul, attention head and KV write, and gets
+cycle-accurate per-shard step times out of the very same compiler and
+pipeline simulator the single-device path uses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence
+
+from ..fpga.u280 import FpgaPlatform
+from ..graph.builder import GraphBuilder
+from ..graph.fusion import fuse_graph
+from ..graph.graph import Graph
+from ..graph.sharding import ShardSpec
+from ..llama.config import LlamaConfig
+from .batching import block_padded_context, merge_batch_programs
+from .compiler import ProgramCompiler
+from .config import AcceleratorConfig
+from .instructions import Program
+from .pipeline import PipelineExecutor, StepResult
+
+__all__ = ["StepTimingModel"]
+
+
+class StepTimingModel:
+    """Cycle-accurate decode-step timing for one model (or shard) view."""
+
+    def __init__(
+        self,
+        model_config: LlamaConfig,
+        config: AcceleratorConfig,
+        platform: FpgaPlatform,
+        shard: Optional[ShardSpec] = None,
+        batch_cache_size: int = 256,
+    ) -> None:
+        self.model_config = model_config
+        self.config = config
+        self.platform = platform
+        self.shard = shard
+        self._builder = GraphBuilder(
+            model_config,
+            weight_dtype_bytes=config.weight_dtype_bytes,
+            shard=shard,
+        )
+        self._compiler = ProgramCompiler(config)
+        self._executor = PipelineExecutor(config, platform)
+        self._graph_cache: Dict[tuple, Graph] = {}
+        self._program_cache: Dict[tuple, Program] = {}
+        self._step_cache: Dict[tuple, StepResult] = {}
+        # Batch compositions rarely repeat (every decode step advances the
+        # context lengths), so this cache is bounded LRU to keep a
+        # long-lived serving engine from accumulating one StepResult per
+        # step it ever ran.
+        self._batch_step_cache: "OrderedDict[tuple, StepResult]" = OrderedDict()
+        self._batch_step_cache_size = batch_cache_size
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def graph_for(self, context_len: int, include_logits: bool = True) -> Graph:
+        """Decode-step graph at ``context_len`` (fused if enabled), cached.
+
+        ``include_logits=False`` builds the reduced graph without the
+        final norm and classifier; batched serving uses it for prompt
+        positions whose logits are never sampled.
+        """
+        key = (context_len, include_logits)
+        if key not in self._graph_cache:
+            graph = self._builder.build_decode_step(
+                context_len, include_logits=include_logits
+            )
+            if self.config.operator_fusion:
+                graph = fuse_graph(graph).graph
+            self._graph_cache[key] = graph
+        return self._graph_cache[key]
+
+    def program_for(self, context_len: int, include_logits: bool = True) -> Program:
+        """Compiled tile program at ``context_len``, cached."""
+        key = (context_len, include_logits)
+        if key not in self._program_cache:
+            self._program_cache[key] = self._compiler.compile(
+                self.graph_for(context_len, include_logits)
+            )
+        return self._program_cache[key]
+
+    # ------------------------------------------------------------------
+    # Timing simulation
+    # ------------------------------------------------------------------
+    def simulate_step(self, context_len: int, include_logits: bool = True) -> StepResult:
+        """Cycle-accurate simulation of one decode step, cached by context."""
+        key = (context_len, include_logits)
+        if key not in self._step_cache:
+            self._step_cache[key] = self._executor.run(
+                self.program_for(context_len, include_logits)
+            )
+        return self._step_cache[key]
+
+    def batch_program_for(
+        self,
+        context_lens: Sequence[int],
+        need_logits: Optional[Sequence[bool]] = None,
+        kv_block_tokens: Optional[int] = None,
+    ) -> Program:
+        """Merged weight-stationary program for one batched step.
+
+        ``context_lens`` lists the context length of every token position
+        executed in the step (one entry per batch slot); ``need_logits``
+        marks the slots that must run the classifier (all of them by
+        default).  Weight tiles are streamed once for the whole batch; see
+        :mod:`repro.accel.batching`.  With ``kv_block_tokens`` set (paged
+        KV serving) every attention window is padded to whole KV blocks,
+        so the simulated HBM sees block-granular cache reads.
+        """
+        if need_logits is None:
+            need_logits = [True] * len(context_lens)
+        if len(need_logits) != len(context_lens):
+            raise ValueError("need_logits must match context_lens in length")
+        context_lens = self.padded_contexts(context_lens, kv_block_tokens)
+        programs = [self.program_for(ctx, logits)
+                    for ctx, logits in zip(context_lens, need_logits)]
+        return merge_batch_programs(programs, self.config.mpe)
+
+    def padded_contexts(
+        self,
+        context_lens: Sequence[int],
+        kv_block_tokens: Optional[int],
+    ) -> Sequence[int]:
+        """Round attention windows up to whole KV blocks (paged mode)."""
+        if kv_block_tokens is None:
+            return context_lens
+        return [
+            block_padded_context(ctx, kv_block_tokens,
+                                 self.model_config.max_seq_len)
+            for ctx in context_lens
+        ]
+
+    def simulate_batched_step(
+        self,
+        context_lens: Sequence[int],
+        need_logits: Optional[Sequence[bool]] = None,
+        kv_block_tokens: Optional[int] = None,
+    ) -> StepResult:
+        """Cycle-accurate simulation of one batched decode step, cached."""
+        if need_logits is None:
+            need_logits = [True] * len(context_lens)
+        context_lens = self.padded_contexts(context_lens, kv_block_tokens)
+        key = (tuple(context_lens), tuple(need_logits))
+        cache = self._batch_step_cache
+        if key in cache:
+            cache.move_to_end(key)
+            return cache[key]
+        if len(context_lens) == 1:
+            result = self.simulate_step(context_lens[0], need_logits[0])
+        else:
+            result = self._executor.run(
+                self.batch_program_for(context_lens, need_logits)
+            )
+        cache[key] = result
+        while len(cache) > self._batch_step_cache_size:
+            cache.popitem(last=False)
+        return result

@@ -1,0 +1,27 @@
+"""Execution backends: where a scheduler's step plan actually runs.
+
+The serving engine plans steps (:class:`~repro.serve.scheduler.Scheduler`
+emits :class:`~repro.accel.batching.BatchSlot` lists) and hands them to
+an :class:`ExecutionBackend`, which executes them functionally and
+prices them on its device model:
+
+* :class:`LocalBackend` — one simulated accelerator (the default);
+* :class:`ShardedBackend` — tensor-parallel execution over ``tp``
+  simulated accelerators with a modelled ring interconnect
+  (:class:`~repro.sim.interconnect.InterconnectModel`).
+
+Token streams are identical across backends by construction; backends
+change step *timing* and KV *capacity* only.  See
+``docs/ARCHITECTURE.md`` ("Execution backends").
+"""
+
+from .base import BackendStep, ExecutionBackend
+from .local import LocalBackend
+from .sharded import ShardedBackend
+
+__all__ = [
+    "BackendStep",
+    "ExecutionBackend",
+    "LocalBackend",
+    "ShardedBackend",
+]

@@ -1,0 +1,107 @@
+"""The execution-backend seam between the serving engine and the hardware.
+
+The scheduler decides *what* runs each step — a list of
+:class:`~repro.accel.batching.BatchSlot` token positions — and an
+:class:`ExecutionBackend` decides *where and how fast* it runs: it
+executes the slots functionally (producing logits for the positions that
+sample) and prices the step on its device model.  The engine only ever
+talks to this interface, so single-device and multi-accelerator execution
+are interchangeable:
+
+* :class:`~repro.backend.local.LocalBackend` — one simulated
+  :class:`~repro.accel.accelerator.SpeedLLMAccelerator`, the PR 1 path
+  extracted behind the seam (behaviour-identical);
+* :class:`~repro.backend.sharded.ShardedBackend` — tensor-parallel
+  execution over ``tp`` simulated accelerators joined by a modelled ring
+  interconnect.
+
+Whatever the backend, the *functional* token stream is computed on the
+full (unsharded) model, so generated tokens are bit-identical across
+backends — execution placement changes timing and capacity, never values.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..accel.batching import BatchSlot
+from ..fpga.power import EnergyBreakdown
+from ..fpga.u280 import FpgaPlatform
+from ..llama.config import LlamaConfig
+from ..sim.stats import RunCounters
+
+__all__ = ["BackendStep", "ExecutionBackend"]
+
+
+@dataclass
+class BackendStep:
+    """Functional and timing outcome of one batched step on a backend."""
+
+    #: One array per slot: logits where the slot asked for them, the last
+    #: hidden state otherwise (order matches the slot plan).
+    outputs: List[np.ndarray]
+    #: Wall-clock of the step on the simulated hardware, compute plus any
+    #: collective time.
+    seconds: float
+    #: Compute portion of ``seconds`` (max over shards).
+    compute_seconds: float
+    #: Time spent in inter-shard collectives (0 on a single device).
+    interconnect_seconds: float
+    #: Activity counters aggregated over every shard.
+    counters: RunCounters
+    #: Busy cycles per engine, aggregated over every shard.
+    engine_busy: Dict[str, int] = field(default_factory=dict)
+    #: Per-shard MPE utilisation during the step (length ``n_shards``).
+    shard_utilization: List[float] = field(default_factory=list)
+
+
+class ExecutionBackend(abc.ABC):
+    """Executes scheduler step plans on some arrangement of accelerators."""
+
+    #: Model the backend serves (full, unsharded configuration).
+    model_config: LlamaConfig
+    #: Platform of one device; its clock converts cycles to seconds.
+    platform: FpgaPlatform
+
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def n_shards(self) -> int:
+        """Number of accelerator devices executing each step."""
+
+    @property
+    def kv_shards(self) -> int:
+        """KV-capacity multiplier the sharding provides.
+
+        The scheduler divides per-request KV footprints by this factor:
+        each shard stores ``1 / kv_shards`` of every cached position, so
+        a fixed per-device KV budget holds ``kv_shards`` times more
+        aggregate context.  Equal to ``n_shards`` except when grouped-
+        query attention forces KV-head replication across shards.
+        """
+        return 1
+
+    @abc.abstractmethod
+    def execute_step(
+        self,
+        slots: Sequence[BatchSlot],
+        kv_block_tokens: Optional[int] = None,
+    ) -> BackendStep:
+        """Execute one batched step: functional outputs plus timing."""
+
+    @abc.abstractmethod
+    def energy_for(
+        self,
+        counters: RunCounters,
+        busy_cycles: float,
+        elapsed_seconds: float,
+    ) -> EnergyBreakdown:
+        """Total energy across every device of the backend."""
+
+    def describe(self) -> Dict[str, object]:
+        """Flat description for reports and JSON payloads."""
+        return {"backend": type(self).__name__, "n_shards": self.n_shards}

@@ -30,11 +30,14 @@ from .core.report import format_table, render_bar_chart, write_json
 from .core.runner import ExperimentConfig, ExperimentRunner
 from .core.speedllm import SpeedLLM
 from .core.validation import validate_accelerator
+from .backend import LocalBackend, ShardedBackend
 from .graph.builder import build_decode_graph
 from .serve import SchedulerConfig, ServingEngine
+from .sim.interconnect import InterconnectModel
 from .graph.export import to_dot, to_json
 from .graph.fusion import fuse_graph
 from .llama.config import available_presets, preset
+from .workloads.arrivals import poisson_arrival_times
 from .workloads.prompts import default_suite, shared_prefix_suite
 
 __all__ = ["main", "build_parser"]
@@ -102,6 +105,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shared-prefix", action="store_true",
                        help="serve prompts sharing one system preamble "
                             "(the workload prefix caching accelerates)")
+    serve.add_argument("--tensor-parallel", type=int, default=1,
+                       help="shard execution over N simulated accelerators "
+                            "(tensor-parallel attention heads / FFN "
+                            "channels; 1 = single local device)")
+    serve.add_argument("--interconnect-gbps", type=float, default=25.0,
+                       help="per-link ring-interconnect bandwidth in GB/s "
+                            "(with --tensor-parallel > 1)")
+    serve.add_argument("--interconnect-latency-us", type=float, default=1.0,
+                       help="per-ring-step interconnect latency in "
+                            "microseconds (with --tensor-parallel > 1)")
+    serve.add_argument("--arrival-rate", type=float, default=None,
+                       help="Poisson request arrival rate in requests per "
+                            "simulated second (default: all requests "
+                            "arrive at t=0)")
     serve.add_argument("--json", default=None,
                        help="write per-request rows and aggregates to this "
                             "path ('-' for stdout)")
@@ -198,6 +215,17 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     seq_tokens = sum(len(out.generated_tokens) for out in sequential)
     seq_throughput = seq_tokens / seq_seconds if seq_seconds > 0 else 0.0
 
+    if args.tensor_parallel > 1:
+        backend = ShardedBackend(
+            llm.accelerator,
+            args.tensor_parallel,
+            InterconnectModel(
+                bandwidth_gbps=args.interconnect_gbps,
+                latency_s=args.interconnect_latency_us * 1e-6,
+            ),
+        )
+    else:
+        backend = LocalBackend(llm.accelerator)
     engine = ServingEngine(llm, SchedulerConfig(
         max_batch_tokens=args.batch_tokens,
         max_running=args.max_running,
@@ -205,14 +233,25 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         kv_budget_bytes=args.kv_budget_mb * 1024 * 1024,
         paged=args.paged,
         block_tokens=args.block_size,
-    ))
-    report = engine.serve(suite)
+    ), backend=backend)
+    if args.arrival_rate is not None:
+        arrivals = poisson_arrival_times(
+            len(suite), args.arrival_rate, seed=args.seed
+        )
+        for workload, arrival in zip(suite, arrivals):
+            engine.submit(workload.prompt,
+                          max_new_tokens=workload.max_new_tokens,
+                          arrival_time=arrival)
+        report = engine.run()
+    else:
+        report = engine.serve(suite)
 
     aggregate = report.as_dict()
     speedup = (report.throughput_tokens_per_second / seq_throughput
                if seq_throughput > 0 else 0.0)
     aggregate["sequential_throughput_tokens_per_second"] = seq_throughput
     aggregate["speedup"] = speedup
+    aggregate["backend"] = backend.describe()
     payload = {"requests": report.request_rows(), "aggregate": aggregate}
     if args.json == "-":
         import json as _json
@@ -229,6 +268,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(f"ttft p50 / p95         {aggregate['ttft_p50_ms']:.3f} / "
           f"{aggregate['ttft_p95_ms']:.3f} ms")
     print(f"mean queue wait        {aggregate['mean_queue_wait_ms']:.3f} ms")
+    if report.n_shards > 1:
+        print(f"tensor parallel        {report.n_shards} shards")
+        print(f"per-step compute       "
+              f"{aggregate['mean_step_compute_ms']:.4f} ms "
+              f"(max over shards)")
+        print(f"interconnect fraction  {report.interconnect_fraction:.1%} "
+              f"of step time")
+        print(f"mean shard utilization "
+              f"{sum(report.shard_utilization) / report.n_shards:.1%}")
     if report.paged:
         print(f"peak concurrency       {report.peak_running} running")
         print(f"prefix-hit rate        {report.prefix_hit_rate:.1%} "

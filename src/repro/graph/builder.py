@@ -20,6 +20,7 @@ from typing import Optional
 from ..llama.config import LlamaConfig
 from .graph import Graph
 from .ops import Operator, OpKind, TensorSpec
+from .sharding import ShardSpec
 
 __all__ = ["GraphBuilder", "build_decode_graph"]
 
@@ -37,10 +38,20 @@ class GraphBuilder:
     weight_dtype_bytes:
         Storage bytes per weight element as streamed from HBM (1 for the
         int8 datapath the accelerator uses, 4 for float32 baselines).
+    shard:
+        Optional tensor-parallel partition.  When set, the builder emits
+        the decode-step graph *one shard* executes: head-parallel
+        attention, column/row-parallel projections and a vocab-parallel
+        classifier (see :mod:`repro.graph.sharding`).  Norms, RoPE,
+        residuals and the embedding gather are replicated on every shard.
+        The all-reduce/all-gather collectives between shards are *not*
+        operators of this graph — the execution backend charges them
+        through its interconnect model.
     """
 
     config: LlamaConfig
     weight_dtype_bytes: float = 1
+    shard: Optional[ShardSpec] = None
 
     def __post_init__(self) -> None:
         if self.weight_dtype_bytes not in (0.5, 1, 2, 4):
@@ -77,6 +88,8 @@ class GraphBuilder:
         attn_len = context_len + 1
         if name is None:
             suffix = "" if include_logits else "-nologits"
+            if self.shard is not None:
+                suffix += f"-tp{self.shard.tp}"
             name = f"{cfg.name}-decode-ctx{context_len}{suffix}"
         g = Graph(name=name)
         dim, kv_dim, hidden = cfg.dim, cfg.kv_dim, cfg.resolved_hidden_dim()
@@ -124,15 +137,18 @@ class GraphBuilder:
             "tok_embeddings.weight(classifier)"
             if cfg.shared_classifier else "output.weight"
         )
-        cls_w = tensor(cls_name, cfg.vocab_size, dim, weight=True,
+        # Vocab-parallel classifier: each shard computes its slice of the
+        # logits; the backend charges the gather separately.
+        vocab = cfg.vocab_size if self.shard is None else self.shard.vocab
+        cls_w = tensor(cls_name, vocab, dim, weight=True,
                        dtype_bytes=wb_store)
-        logits = tensor("logits", cfg.vocab_size)
+        logits = tensor("logits", vocab)
         g.add_operator(Operator(
             name="classifier", kind=OpKind.MATMUL,
             inputs=[xn, cls_w], outputs=[logits],
-            flops=2 * cfg.vocab_size * dim,
-            weight_bytes=int(cfg.vocab_size * dim * wb),
-            attributes={"out_features": cfg.vocab_size, "in_features": dim},
+            flops=2 * vocab * dim,
+            weight_bytes=int(vocab * dim * wb),
+            attributes={"out_features": vocab, "in_features": dim},
         ))
         g.validate()
         return g
@@ -140,8 +156,19 @@ class GraphBuilder:
     # ------------------------------------------------------------------
     def _decoder_block(self, g: Graph, tensor, x: str, layer: int, attn_len: int) -> str:
         cfg = self.config
-        dim, kv_dim, hidden = cfg.dim, cfg.kv_dim, cfg.resolved_hidden_dim()
-        head_dim, n_heads = cfg.head_dim, cfg.n_heads
+        dim = cfg.dim
+        head_dim = cfg.head_dim
+        if self.shard is None:
+            q_dim, kv_dim = dim, cfg.kv_dim
+            n_heads = cfg.n_heads
+            hidden = cfg.resolved_hidden_dim()
+        else:
+            # Per-shard widths: the shard owns a slice of the heads and
+            # FFN channels, while the full-``dim`` activations entering
+            # and leaving the block are replicated across shards.
+            q_dim, kv_dim = self.shard.q_width, self.shard.kv_width
+            n_heads = self.shard.n_heads
+            hidden = self.shard.hidden
         wb = self.weight_dtype_bytes
         wb_store = max(1, int(wb))
         p = f"L{layer}."
@@ -169,19 +196,19 @@ class GraphBuilder:
             attributes={"layer": layer},
         ))
 
-        q = tensor(p + "q", dim)
+        q = tensor(p + "q", q_dim)
         k = tensor(p + "k", kv_dim)
         v = tensor(p + "v", kv_dim)
-        matmul(p + "wq", p + "attention.wq.weight", dim, dim, xn, q)
+        matmul(p + "wq", p + "attention.wq.weight", q_dim, dim, xn, q)
         matmul(p + "wk", p + "attention.wk.weight", kv_dim, dim, xn, k)
         matmul(p + "wv", p + "attention.wv.weight", kv_dim, dim, xn, v)
 
-        q_rot = tensor(p + "q_rot", dim)
+        q_rot = tensor(p + "q_rot", q_dim)
         k_rot = tensor(p + "k_rot", kv_dim)
         g.add_operator(Operator(
             name=p + "rope_q", kind=OpKind.ROPE,
             inputs=[q], outputs=[q_rot],
-            flops=6 * dim, attributes={"layer": layer},
+            flops=6 * q_dim, attributes={"layer": layer},
         ))
         g.add_operator(Operator(
             name=p + "rope_k", kind=OpKind.ROPE,
@@ -213,7 +240,7 @@ class GraphBuilder:
             flops=5 * n_heads * attn_len,
             attributes={"layer": layer},
         ))
-        attn_out = tensor(p + "attn_out", dim)
+        attn_out = tensor(p + "attn_out", q_dim)
         g.add_operator(Operator(
             name=p + "attn_context", kind=OpKind.ATTN_CONTEXT,
             inputs=[probs, cache_v], outputs=[attn_out],
@@ -222,7 +249,7 @@ class GraphBuilder:
         ))
 
         proj = tensor(p + "attn_proj", dim)
-        matmul(p + "wo", p + "attention.wo.weight", dim, dim, attn_out, proj)
+        matmul(p + "wo", p + "attention.wo.weight", dim, q_dim, attn_out, proj)
 
         x_attn = tensor(p + "x_attn", dim)
         g.add_operator(Operator(

@@ -1,0 +1,123 @@
+"""Tensor-parallel partitioning of the decode-step graph.
+
+:class:`ShardSpec` describes how one decoder layer's work is split across
+``tp`` accelerator shards, Megatron-style:
+
+* **Attention** is head-parallel: each shard owns ``n_heads / tp`` query
+  heads (and their slice of ``wq``), so the per-shard query width is
+  ``n_heads_per_shard * head_dim``.  KV heads split the same way when
+  ``n_kv_heads >= tp``; with grouped-query attention and more shards than
+  KV heads, each KV head is *replicated* across the shards that share it
+  (the standard GQA tensor-parallel layout), so the per-shard KV width
+  never drops below one head.
+* ``wo`` is row-parallel (input is the shard's attention output, output is
+  the full ``dim``) and is followed by an all-reduce of the residual.
+* **FFN** is column-parallel on ``w1``/``w3`` (each shard owns
+  ``hidden / tp`` channels) and row-parallel on ``w2``, followed by the
+  second all-reduce of the layer.
+* The **classifier** is vocab-parallel: each shard computes
+  ``vocab / tp`` logits, gathered once per logits-producing position.
+* Norms, RoPE on the shard's own heads, residual adds and the embedding
+  gather are replicated — every shard holds the full activation vector
+  between collectives.
+
+The spec is consumed by :class:`~repro.graph.builder.GraphBuilder` to
+emit the *per-shard* decode-step graph (used by the sharded execution
+backend for timing) and by the KV accounting, where ``kv_shrink`` says
+how many times narrower one shard's KV cache is than the full cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..llama.config import LlamaConfig
+
+__all__ = ["ShardSpec"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Per-shard dimensions of a tensor-parallel decode step."""
+
+    tp: int                 # number of shards (tensor-parallel degree)
+    n_heads: int            # query heads owned by one shard
+    n_kv_heads: int         # KV heads stored by one shard
+    head_dim: int           # per-head width (never sharded)
+    hidden: int             # FFN channels owned by one shard
+    vocab: int              # classifier rows owned by one shard
+
+    def __post_init__(self) -> None:
+        for name in ("tp", "n_heads", "n_kv_heads", "head_dim", "hidden",
+                     "vocab"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def q_width(self) -> int:
+        """Width of one shard's query / attention-output activations."""
+        return self.n_heads * self.head_dim
+
+    @property
+    def kv_width(self) -> int:
+        """Width of one shard's key/value vectors."""
+        return self.n_kv_heads * self.head_dim
+
+    def kv_shrink(self, config: LlamaConfig) -> int:
+        """How many times narrower a shard's KV cache is than the full one.
+
+        Equal to ``tp`` for plain multi-head attention; smaller when GQA
+        forces KV-head replication (``tp > n_kv_heads``), in which case
+        the aggregate KV capacity grows by the replication-adjusted
+        factor rather than the full tensor-parallel degree.
+        """
+        return config.n_kv_heads // self.n_kv_heads
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: LlamaConfig, tp: int) -> "ShardSpec":
+        """Partition ``config`` across ``tp`` shards.
+
+        Raises ``ValueError`` when the model cannot be split evenly:
+        query heads, the FFN hidden dimension and the vocabulary must all
+        be divisible by ``tp``, and KV heads must divide evenly whenever
+        ``tp <= n_kv_heads``.
+        """
+        if tp <= 0:
+            raise ValueError("tensor-parallel degree must be positive")
+        if config.n_heads % tp:
+            raise ValueError(
+                f"n_heads ({config.n_heads}) is not divisible by "
+                f"tensor-parallel degree {tp}"
+            )
+        if tp <= config.n_kv_heads:
+            if config.n_kv_heads % tp:
+                raise ValueError(
+                    f"n_kv_heads ({config.n_kv_heads}) is not divisible by "
+                    f"tensor-parallel degree {tp}"
+                )
+            n_kv = config.n_kv_heads // tp
+        else:
+            # GQA with more shards than KV heads: replicate each KV head
+            # across the shards that read it.
+            n_kv = 1
+        hidden = config.resolved_hidden_dim()
+        if hidden % tp:
+            raise ValueError(
+                f"hidden_dim ({hidden}) is not divisible by "
+                f"tensor-parallel degree {tp}"
+            )
+        if config.vocab_size % tp:
+            raise ValueError(
+                f"vocab_size ({config.vocab_size}) is not divisible by "
+                f"tensor-parallel degree {tp}"
+            )
+        return cls(
+            tp=tp,
+            n_heads=config.n_heads // tp,
+            n_kv_heads=n_kv,
+            head_dim=config.head_dim,
+            hidden=hidden // tp,
+            vocab=config.vocab_size // tp,
+        )

@@ -31,12 +31,26 @@ class KVPool:
         block_tokens: int = 16,
         watermark_fraction: float = 0.05,
         dtype: np.dtype = np.float32,
+        shards: int = 1,
     ) -> None:
+        """``capacity_bytes`` is the KV budget of **one** accelerator.
+
+        With tensor-parallel sharding (``shards > 1``) every cached
+        position is split across shards, so each shard's budget covers
+        ``shards`` times more positions: the pool holds
+        ``capacity_bytes * shards // bytes_per_block`` full-width blocks.
+        The physical storage stays full-width because the functional
+        executor reads complete KV vectors — host RAM here stands in for
+        the *aggregate* HBM of all shards.
+        """
         if not 0.0 <= watermark_fraction < 1.0:
             raise ValueError("watermark_fraction must be in [0, 1)")
+        if shards <= 0:
+            raise ValueError("shards must be positive")
         self.config = config
+        self.shards = shards
         self.allocator = BlockAllocator(
-            config, capacity_bytes, block_tokens, dtype
+            config, capacity_bytes * shards, block_tokens, dtype
         )
         self.index = PrefixIndex(self.allocator)
         self.block_tokens = self.allocator.block_tokens

@@ -28,10 +28,19 @@ read up to whole KV blocks so the modelled HBM sees the paged transfer
 pattern.  Token streams remain identical — prefix sharing and preemption
 replay change *which* positions execute, never what they compute.
 
+Execution is delegated to an :class:`~repro.backend.ExecutionBackend`:
+the default :class:`~repro.backend.LocalBackend` runs steps on the one
+simulated accelerator (the historical behaviour), while a
+:class:`~repro.backend.ShardedBackend` runs them tensor-parallel over
+several simulated accelerators joined by a modelled interconnect.  The
+engine's job is the same either way — plan, execute, advance the clock,
+sample — and the token streams are identical across backends.
+
 :class:`AsyncServingEngine` wraps the same engine for asyncio callers:
 ``await engine.generate(...)`` submits a request and resolves when it
 completes, with a single cooperative driver task stepping the batch while
-any request is in flight.
+any request is in flight.  Cancelling a pending ``generate`` aborts the
+request and frees its KV memory; the driver keeps stepping the rest.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ import itertools
 from typing import Dict, Iterable, List, Optional
 
 from ..accel.accelerator import SpeedLLMAccelerator
+from ..backend import ExecutionBackend, LocalBackend
 from ..core.speedllm import SpeedLLM
 from ..llama.sampler import Sampler
 from ..llama.tokenizer import EOS_ID
@@ -59,13 +69,18 @@ class ServingEngine:
         self,
         llm: SpeedLLM,
         scheduler_config: Optional[SchedulerConfig] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         self.llm = llm
         self.accelerator: SpeedLLMAccelerator = llm.accelerator
         self.tokenizer = llm.tokenizer
-        self.platform = llm.accelerator.platform
+        self.backend: ExecutionBackend = backend or LocalBackend(llm.accelerator)
+        self.platform = self.backend.platform
         self.model_config = llm.model_config
-        self.scheduler = Scheduler(self.model_config, scheduler_config)
+        self.scheduler = Scheduler(
+            self.model_config, scheduler_config,
+            kv_shards=self.backend.kv_shards,
+        )
         self.clock = 0.0
         self._ids = itertools.count()
         self._completed: List[Request] = []
@@ -75,6 +90,9 @@ class ServingEngine:
         self._total_slots = 0
         self._peak_running = 0
         self._kv_utilization_sum = 0.0
+        self._compute_seconds = 0.0
+        self._interconnect_seconds = 0.0
+        self._shard_utilization_sums = [0.0] * self.backend.n_shards
 
     # ------------------------------------------------------------------
     # Submission
@@ -118,21 +136,29 @@ class ServingEngine:
         # within the same step never counts toward peak concurrency.
         self._peak_running = max(self._peak_running, len(scheduler.running))
         if not slots:
+            # Nothing is runnable right now.  If requests are still due
+            # to arrive on the simulated clock, fast-forward to the next
+            # arrival so draining makes progress through idle gaps.
+            next_arrival = scheduler.next_arrival
+            if next_arrival is not None and next_arrival > self.clock:
+                self.clock = next_arrival
             return []
 
-        outputs = self.accelerator.execute_slots(slots)
-        timing = self.accelerator.simulate_batched_step(
-            [slot.pos for slot in slots],
-            [slot.need_logits for slot in slots],
-            kv_block_tokens=scheduler.kv_block_tokens,
+        step = self.backend.execute_step(
+            slots, kv_block_tokens=scheduler.kv_block_tokens
         )
-        self.clock += self.platform.cycles_to_seconds(timing.cycles)
-        self._counters = self._counters + timing.counters
-        self._busy_cycles += (timing.engine_busy.get("mpe", 0)
-                              + timing.engine_busy.get("sfu", 0))
+        outputs = step.outputs
+        self.clock += step.seconds
+        self._counters = self._counters + step.counters
+        self._busy_cycles += (step.engine_busy.get("mpe", 0)
+                              + step.engine_busy.get("sfu", 0))
         self._n_steps += 1
         self._total_slots += len(slots)
         self._kv_utilization_sum += scheduler.kv_utilization
+        self._compute_seconds += step.compute_seconds
+        self._interconnect_seconds += step.interconnect_seconds
+        for i, utilization in enumerate(step.shard_utilization):
+            self._shard_utilization_sums[i] += utilization
 
         frontier: Dict[str, tuple] = {}
         for slot, output in zip(slots, outputs):
@@ -186,6 +212,19 @@ class ServingEngine:
         return False
 
     # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, request: Request) -> bool:
+        """Abort a queued or running request.
+
+        Its KV blocks (or reservation) are released immediately, so the
+        freed capacity is available to the next admission and step; the
+        remaining requests keep decoding unaffected.  Returns ``False``
+        when the request already finished — a harmless race.
+        """
+        return self.scheduler.cancel(request)
+
+    # ------------------------------------------------------------------
     # Draining
     # ------------------------------------------------------------------
     def run(self, max_steps: Optional[int] = None) -> ServeReport:
@@ -223,12 +262,13 @@ class ServingEngine:
     def report(self) -> ServeReport:
         """Aggregate metrics over every request completed so far."""
         scheduler = self.scheduler
-        energy = self.accelerator.energy_for(
+        energy = self.backend.energy_for(
             self._counters, self._busy_cycles, self.clock
         )
+        n_steps = self._n_steps
         return ServeReport(
             requests=[self.result_for(r) for r in self._completed],
-            n_steps=self._n_steps,
+            n_steps=n_steps,
             total_slots=self._total_slots,
             makespan_seconds=self.clock,
             counters=self._counters,
@@ -238,8 +278,13 @@ class ServingEngine:
             n_preemptions=scheduler.n_preemptions,
             prefix_hit_tokens=scheduler.prefix_hit_tokens,
             total_prefill_tokens=scheduler.total_prefill_tokens,
-            mean_kv_utilization=(self._kv_utilization_sum / self._n_steps
-                                 if self._n_steps else 0.0),
+            mean_kv_utilization=(self._kv_utilization_sum / n_steps
+                                 if n_steps else 0.0),
+            n_shards=self.backend.n_shards,
+            compute_seconds=self._compute_seconds,
+            interconnect_seconds=self._interconnect_seconds,
+            shard_utilization=[s / n_steps if n_steps else 0.0
+                               for s in self._shard_utilization_sums],
         )
 
 
@@ -259,20 +304,31 @@ class AsyncServingEngine:
         self,
         llm: SpeedLLM,
         scheduler_config: Optional[SchedulerConfig] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
-        self.engine = ServingEngine(llm, scheduler_config)
+        self.engine = ServingEngine(llm, scheduler_config, backend=backend)
         self._futures: Dict[str, "asyncio.Future[RequestMetrics]"] = {}
         self._driver: Optional["asyncio.Task"] = None
 
     async def generate(self, prompt: str, **submit_kwargs) -> RequestMetrics:
-        """Submit a request and wait for its completion."""
+        """Submit a request and wait for its completion.
+
+        Cancelling the awaiting task aborts the request: its KV memory is
+        released immediately and the driver keeps stepping every other
+        in-flight request.
+        """
         loop = asyncio.get_running_loop()
         request = self.engine.submit(prompt, **submit_kwargs)
         future: "asyncio.Future[RequestMetrics]" = loop.create_future()
         self._futures[request.request_id] = future
         if self._driver is None or self._driver.done():
             self._driver = loop.create_task(self._drive())
-        return await future
+        try:
+            return await future
+        except asyncio.CancelledError:
+            self._futures.pop(request.request_id, None)
+            self.engine.cancel(request)
+            raise
 
     async def _drive(self) -> None:
         engine = self.engine

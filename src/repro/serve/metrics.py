@@ -9,7 +9,7 @@ generation.  Aggregates use the distribution helpers from
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..core.metrics import LatencySummary
@@ -87,6 +87,12 @@ class ServeReport:
     prefix_hit_tokens: int = 0
     total_prefill_tokens: int = 0
     mean_kv_utilization: float = 0.0
+    # Execution-backend accounting (single local device by default).
+    n_shards: int = 1
+    compute_seconds: float = 0.0
+    interconnect_seconds: float = 0.0
+    #: Mean MPE utilisation of each shard over the run's steps.
+    shard_utilization: List[float] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -117,6 +123,21 @@ class ServeReport:
         if self.n_steps <= 0:
             return 0.0
         return self.total_slots / self.n_steps
+
+    @property
+    def interconnect_fraction(self) -> float:
+        """Share of step time spent in inter-shard collectives."""
+        busy = self.compute_seconds + self.interconnect_seconds
+        if busy <= 0:
+            return 0.0
+        return self.interconnect_seconds / busy
+
+    @property
+    def mean_step_compute_seconds(self) -> float:
+        """Average per-step compute time (max over shards, ex-collectives)."""
+        if self.n_steps <= 0:
+            return 0.0
+        return self.compute_seconds / self.n_steps
 
     @property
     def tokens_per_joule(self) -> float:
@@ -171,4 +192,8 @@ class ServeReport:
             "n_preemptions": self.n_preemptions,
             "prefix_hit_rate": self.prefix_hit_rate,
             "mean_kv_utilization": self.mean_kv_utilization,
+            "tensor_parallel": self.n_shards,
+            "mean_step_compute_ms": self.mean_step_compute_seconds * 1e3,
+            "interconnect_fraction": self.interconnect_fraction,
+            "shard_utilization": list(self.shard_utilization),
         }

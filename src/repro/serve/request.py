@@ -7,7 +7,9 @@ servers:
 ``QUEUED`` → submitted, waiting for admission (KV budget / slot limits);
 ``PREFILL`` → admitted, prompt positions streaming through the model;
 ``DECODE`` → prompt consumed, generating one token per batched step;
-``FINISHED`` → decode budget exhausted or EOS sampled.
+``FINISHED`` → decode budget exhausted or EOS sampled;
+``CANCELLED`` → aborted by the client before finishing (its KV memory
+was released the moment the cancellation landed).
 
 Under the paged KV scheduler a running request can also be *preempted*:
 its blocks are freed and it returns to the front of the queue in
@@ -45,6 +47,7 @@ class RequestState(Enum):
     PREFILL = "prefill"
     DECODE = "decode"
     FINISHED = "finished"
+    CANCELLED = "cancelled"
 
 
 @dataclass
@@ -203,3 +206,14 @@ class RequestQueue:
         if not self._queue:
             raise IndexError("pop from an empty request queue")
         return self._queue.popleft()
+
+    def remove(self, request: Request) -> bool:
+        """Drop a specific queued request (cancellation before admission).
+
+        Returns ``False`` when the request is not in the queue.
+        """
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            return False
+        return True

@@ -86,9 +86,19 @@ class Scheduler:
         self,
         model_config: LlamaConfig,
         config: Optional[SchedulerConfig] = None,
+        kv_shards: int = 1,
     ) -> None:
+        """``kv_shards`` is the KV-capacity multiplier of the execution
+        backend (:attr:`repro.backend.ExecutionBackend.kv_shards`): with
+        tensor-parallel sharding each device stores ``1 / kv_shards`` of
+        every cached position, so ``kv_budget_bytes`` — always the budget
+        of *one* device — admits ``kv_shards`` times more aggregate
+        context."""
+        if kv_shards <= 0:
+            raise ValueError("kv_shards must be positive")
         self.model_config = model_config
         self.config = config or SchedulerConfig()
+        self.kv_shards = kv_shards
         self.queue = RequestQueue()
         self.running: List[Request] = []
         self.kv_budget = MemoryBudget(self.config.kv_budget_bytes)
@@ -99,6 +109,7 @@ class Scheduler:
                 self.config.kv_budget_bytes,
                 block_tokens=self.config.block_tokens,
                 watermark_fraction=self.config.watermark_fraction,
+                shards=kv_shards,
             )
         self._rotation = 0  # round-robin start index for step building
         # Paged-mode accounting, surfaced through the serving report.
@@ -110,6 +121,19 @@ class Scheduler:
     @property
     def has_work(self) -> bool:
         return bool(self.queue) or bool(self.running)
+
+    @property
+    def next_arrival(self) -> Optional[float]:
+        """Arrival time of the request admission would consider next.
+
+        Admission is strictly FIFO, so this is the *head's* arrival time
+        — not the queue-wide minimum.  The engine fast-forwards its idle
+        clock to this instant; targeting an out-of-order earlier arrival
+        behind the head would never unblock admission and the drain loop
+        would spin forever.
+        """
+        head = self.queue.peek()
+        return head.arrival_time if head is not None else None
 
     @property
     def kv_block_tokens(self) -> Optional[int]:
@@ -155,25 +179,30 @@ class Scheduler:
         self.queue.push(request)
 
     def _kv_footprint(self, request: Request) -> int:
+        """Worst-case KV bytes of ``request`` on one device (shard)."""
         positions = request.total_positions(self.model_config.max_seq_len)
-        return KVCache.projected_nbytes(self.model_config, positions)
+        nbytes = KVCache.projected_nbytes(self.model_config, positions)
+        return -(-nbytes // self.kv_shards)
 
     # ------------------------------------------------------------------
     def admit(self, now: float) -> List[Request]:
         """Admit queued requests while budgets allow; returns the admitted.
 
-        Admission is strictly FIFO: if the head of the queue does not fit,
-        nothing behind it is considered.  Reservation mode sizes a private
-        KV cache to the worst-case footprint; paged mode maps any cached
-        prompt prefix to shared blocks and requires free blocks only for
-        the rest of the prompt (plus the watermark, waived when nothing is
-        running so a lone request can always start).
+        Admission is strictly FIFO: if the head of the queue does not fit
+        (or has not arrived yet on the simulated clock), nothing behind it
+        is considered.  Reservation mode sizes a private KV cache to the
+        worst-case footprint; paged mode maps any cached prompt prefix to
+        shared blocks and requires free blocks only for the rest of the
+        prompt (plus the watermark, waived when nothing is running so a
+        lone request can always start).
         """
         if self.pool is not None:
             return self._admit_paged(now)
         admitted: List[Request] = []
         while self.queue and len(self.running) < self.config.max_running:
             head = self.queue.peek()
+            if head.arrival_time > now:
+                break
             footprint = self._kv_footprint(head)
             if not self.kv_budget.reserve(footprint):
                 break
@@ -192,6 +221,8 @@ class Scheduler:
         admitted: List[Request] = []
         while self.queue and len(self.running) < self.config.max_running:
             head = self.queue.peek()
+            if head.arrival_time > now:
+                break
             stream = head.prefill_tokens
             matched = pool.match_prefix(stream)
             new_blocks = pool.blocks_for(len(stream)) - len(matched)
@@ -378,18 +409,15 @@ class Scheduler:
         )
 
     # ------------------------------------------------------------------
-    def finish(self, request: Request, now: float) -> None:
-        """Retire a request and release its KV memory.
+    def _release_running(self, request: Request) -> None:
+        """Release a running request's KV memory and drop it from the set.
 
         In paged mode the request's fully-written prefill blocks are
-        (re-)registered in the prefix index before release, so they park
-        on the reusable LRU list and later requests with the same prompt
-        prefix can resurrect them instead of recomputing.
+        (re-)registered in the prefix index *before* release, so they
+        park on the reusable LRU list and later requests with the same
+        prompt prefix can resurrect them instead of recomputing.
+        Shared by retirement and cancellation.
         """
-        if request not in self.running:
-            raise ValueError(f"request {request.request_id!r} is not running")
-        request.state = RequestState.FINISHED
-        request.finish_time = now
         if self.pool is not None:
             self.note_progress(request)
             if request.cache is not None:
@@ -398,3 +426,33 @@ class Scheduler:
             self.kv_budget.release(request.kv_reserved_bytes)
         request.kv_reserved_bytes = 0
         self.running.remove(request)
+
+    def finish(self, request: Request, now: float) -> None:
+        """Retire a request and release its KV memory."""
+        if request not in self.running:
+            raise ValueError(f"request {request.request_id!r} is not running")
+        request.state = RequestState.FINISHED
+        request.finish_time = now
+        self._release_running(request)
+
+    # ------------------------------------------------------------------
+    def cancel(self, request: Request) -> bool:
+        """Abort a queued or running request, releasing its KV memory.
+
+        A running request's blocks (paged) or reservation are freed
+        immediately, so the capacity is available to the very next
+        admission/step; its fully-written prefill blocks are registered
+        for prefix sharing first, exactly as on normal retirement.
+        Returns ``False`` when the request is not tracked (already
+        finished or never submitted) — cancellation after completion is
+        a harmless race, not an error.
+        """
+        if request in self.running:
+            self._release_running(request)
+            request.cache = None
+            request.state = RequestState.CANCELLED
+            return True
+        if self.queue.remove(request):
+            request.state = RequestState.CANCELLED
+            return True
+        return False

@@ -1,6 +1,7 @@
 """Cycle-level discrete-event simulation kernel and common components."""
 
 from .engine import Event, Process, SimulationError, Simulator, Timeout
+from .interconnect import InterconnectModel
 from .memory import MemoryBudget, MemoryPort
 from .stats import RunCounters
 from .stream import Stream
@@ -12,6 +13,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timeout",
+    "InterconnectModel",
     "MemoryBudget",
     "MemoryPort",
     "RunCounters",

@@ -1,0 +1,90 @@
+"""Analytic model of the inter-accelerator interconnect.
+
+Tensor-parallel execution pays for its per-shard compute savings with
+collectives: every decoder layer all-reduces the attention and FFN
+residuals across shards, and a vocab-parallel classifier gathers the
+logit slices.  :class:`InterconnectModel` prices those collectives with
+the standard ring-algorithm cost model used for NCCL-style rings:
+
+* a **ring all-reduce** of ``n`` bytes over ``p`` devices moves
+  ``2 (p - 1) / p * n`` bytes per link in ``2 (p - 1)`` steps
+  (reduce-scatter followed by all-gather);
+* a **ring all-gather** moves ``(p - 1) / p * n`` bytes per link in
+  ``p - 1`` steps.
+
+Each step pays the link latency once (launch + serialisation + hop), so
+small transfers are latency-bound and large transfers bandwidth-bound —
+the behaviour that makes tensor parallelism attractive for wide layers
+and useless for tiny ones.  Bandwidth is per-link and full-duplex, as on
+a physical ring of point-to-point links (Aurora/QSFP between FPGA cards,
+NVLink between GPUs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["InterconnectModel"]
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """Ring interconnect between accelerator shards.
+
+    Parameters
+    ----------
+    bandwidth_gbps:
+        Per-link bandwidth in **gigabytes** per second (full duplex).
+        The default models a pair of bonded 100G links per hop.
+    latency_s:
+        Per-step latency of one ring stage (launch overhead plus wire
+        time), charged once per algorithm step.
+    """
+
+    bandwidth_gbps: float = 25.0
+    latency_s: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bandwidth_gbps * 1e9
+
+    def all_reduce_seconds(self, nbytes: int, n_devices: int) -> float:
+        """Time of one ring all-reduce of ``nbytes`` across ``n_devices``."""
+        self._check(nbytes, n_devices)
+        if n_devices <= 1 or nbytes == 0:
+            return 0.0
+        steps = 2 * (n_devices - 1)
+        per_step_bytes = nbytes / n_devices
+        return steps * (per_step_bytes / self.bytes_per_second
+                        + self.latency_s)
+
+    def all_gather_seconds(self, nbytes: int, n_devices: int) -> float:
+        """Time to gather ``nbytes`` total (each device holds ``1/n``)."""
+        self._check(nbytes, n_devices)
+        if n_devices <= 1 or nbytes == 0:
+            return 0.0
+        steps = n_devices - 1
+        per_step_bytes = nbytes / n_devices
+        return steps * (per_step_bytes / self.bytes_per_second
+                        + self.latency_s)
+
+    @staticmethod
+    def _check(nbytes: int, n_devices: int) -> None:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if n_devices <= 0:
+            raise ValueError("n_devices must be positive")
+
+    def describe(self) -> Dict[str, float]:
+        return {
+            "bandwidth_gbps": self.bandwidth_gbps,
+            "latency_s": self.latency_s,
+        }

@@ -1,11 +1,13 @@
-"""Workload generation: synthetic TinyStories corpus, prompt suites, sweeps."""
+"""Workload generation: TinyStories corpus, prompt suites, arrivals, sweeps."""
 
+from .arrivals import poisson_arrival_times
 from .prompts import (PromptSuite, Workload, default_suite, latency_suite,
                       shared_prefix_suite)
 from .sweep import ParameterSweep, SweepResult, run_sweep
 from .tinystories import CorpusStats, StoryGenerator, corpus_stats, generate_corpus
 
 __all__ = [
+    "poisson_arrival_times",
     "PromptSuite",
     "Workload",
     "default_suite",

@@ -139,6 +139,54 @@ class TestBlockPaddedContext:
         assert a.counters.hbm_bytes == b.counters.hbm_bytes
 
 
+class TestMergeEdgeCases:
+    """Boundary behaviour of the batch merger under degenerate inputs."""
+
+    def test_empty_batch_raises_with_reason(self, accelerator):
+        with pytest.raises(ValueError, match="at least one program"):
+            merge_batch_programs([], accelerator.config.mpe)
+        with pytest.raises(ValueError):
+            accelerator.batch_program_for([])
+
+    def test_single_slot_merge_is_identity(self, accelerator):
+        # One slot must not be rebuilt: the merger returns the cached
+        # single-sequence program object itself, logits or not.
+        for include_logits in (True, False):
+            program = accelerator.program_for(5, include_logits)
+            merged = merge_batch_programs([program], accelerator.config.mpe)
+            assert merged is program
+        assert accelerator.simulate_batched_step([5], [False]).cycles == \
+            accelerator.simulate_step(5, include_logits=False).cycles
+
+    def test_heterogeneous_contexts_spanning_a_block_boundary(
+        self, accelerator
+    ):
+        """Contexts on both sides of a KV-block boundary pad to different
+        block counts, so the padded batch must mix programs of different
+        attention windows — and still merge into one step."""
+        block = 8
+        ctxs = [block - 1, block]  # one block vs two blocks when padded
+        padded = [
+            block_padded_context(
+                c, block, accelerator.model_config.max_seq_len)
+            for c in ctxs
+        ]
+        assert padded == [block - 1, 2 * block - 1]
+        paged = accelerator.simulate_batched_step(ctxs, kv_block_tokens=block)
+        explicit = accelerator.simulate_batched_step(padded)
+        assert paged.cycles == explicit.cycles
+        assert paged.counters.hbm_bytes == explicit.counters.hbm_bytes
+        # The boundary-crossing slot reads one extra block per layer, so
+        # the mixed batch moves more HBM bytes than two same-side slots.
+        same_side = accelerator.simulate_batched_step(
+            [block - 2, block - 1], kv_block_tokens=block)
+        assert paged.counters.hbm_bytes > same_side.counters.hbm_bytes
+
+    def test_mismatched_need_logits_length_rejected(self, accelerator):
+        with pytest.raises(ValueError, match="need_logits"):
+            accelerator.batch_program_for([4, 5], [True])
+
+
 class TestExecuteSlots:
     def test_chunked_prefill_matches_stepwise_execution(
         self, accelerator, small_config

@@ -106,6 +106,38 @@ class TestServeBenchCommand:
         assert args.paged is False
         assert args.block_size == 16
         assert args.shared_prefix is False
+        assert args.tensor_parallel == 1
+        assert args.interconnect_gbps == 25.0
+        assert args.arrival_rate is None
+
+    def test_tensor_parallel_run_reports_interconnect(self, capsys):
+        code = main([
+            "serve-bench", "--model", "test-small",
+            "--requests", "4", "--tokens", "8",
+            "--tensor-parallel", "2", "--interconnect-gbps", "16",
+            "--json", "-",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        aggregate = json.loads(out)["aggregate"]
+        assert aggregate["tensor_parallel"] == 2
+        assert aggregate["interconnect_fraction"] > 0.0
+        assert aggregate["backend"]["backend"] == "sharded"
+        assert len(aggregate["shard_utilization"]) == 2
+
+    def test_arrival_rate_spreads_the_run(self, capsys):
+        code = main([
+            "serve-bench", "--model", "test-small",
+            "--requests", "4", "--tokens", "6",
+            "--arrival-rate", "200", "--json", "-",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        aggregate = json.loads(out)["aggregate"]
+        assert aggregate["n_requests"] == 4
+        # An open-loop arrival process stretches the makespan past the
+        # all-at-t0 compute-only span.
+        assert aggregate["makespan_seconds"] > 0.0
 
     def test_paged_shared_prefix_json_stdout(self, capsys):
         code = main([

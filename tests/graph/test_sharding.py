@@ -1,0 +1,100 @@
+"""Tests for tensor-parallel graph partitioning (repro.graph.sharding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ops import OpKind
+from repro.graph.sharding import ShardSpec
+from repro.llama.config import preset
+
+
+class TestShardSpec:
+    def test_tp1_is_the_identity_partition(self, small_config):
+        spec = ShardSpec.from_config(small_config, 1)
+        assert spec.n_heads == small_config.n_heads
+        assert spec.n_kv_heads == small_config.n_kv_heads
+        assert spec.q_width == small_config.dim
+        assert spec.kv_width == small_config.kv_dim
+        assert spec.kv_shrink(small_config) == 1
+
+    def test_even_split_halves_every_width(self, small_config):
+        spec = ShardSpec.from_config(small_config, 2)
+        assert spec.n_heads == small_config.n_heads // 2
+        assert spec.n_kv_heads == small_config.n_kv_heads // 2
+        assert spec.q_width == small_config.dim // 2
+        assert spec.hidden == small_config.resolved_hidden_dim() // 2
+        assert spec.vocab == small_config.vocab_size // 2
+        assert spec.kv_shrink(small_config) == 2
+
+    def test_gqa_replicates_kv_heads_beyond_their_count(self, small_config):
+        # test-small has 4 query heads but only 2 KV heads: at tp=4 each
+        # shard keeps one query head and a *replicated* KV head, so the
+        # aggregate KV capacity grows 2x, not 4x.
+        spec = ShardSpec.from_config(small_config, 4)
+        assert spec.n_heads == 1
+        assert spec.n_kv_heads == 1
+        assert spec.kv_width == small_config.head_dim
+        assert spec.kv_shrink(small_config) == 2
+
+    def test_indivisible_heads_rejected(self):
+        config = preset("stories15M")  # 6 heads
+        with pytest.raises(ValueError, match="n_heads"):
+            ShardSpec.from_config(config, 4)
+
+    def test_indivisible_kv_heads_rejected(self):
+        config = preset("stories15M").replace(n_kv_heads=3, n_heads=6)
+        with pytest.raises(ValueError, match="n_kv_heads"):
+            ShardSpec.from_config(config, 2)
+
+    def test_nonpositive_tp_rejected(self, small_config):
+        with pytest.raises(ValueError):
+            ShardSpec.from_config(small_config, 0)
+
+
+class TestShardedGraphs:
+    @pytest.fixture(scope="class")
+    def full_graph(self, small_config):
+        return GraphBuilder(small_config).build_decode_step(5)
+
+    @pytest.fixture(scope="class")
+    def shard_graph(self, small_config):
+        spec = ShardSpec.from_config(small_config, 2)
+        return GraphBuilder(small_config, shard=spec).build_decode_step(5)
+
+    def test_same_operator_schedule(self, full_graph, shard_graph):
+        assert [op.name for op in full_graph] == \
+            [op.name for op in shard_graph]
+
+    def test_matmul_work_splits_across_shards(self, full_graph, shard_graph):
+        def matmul_flops(graph):
+            return sum(op.flops for op in graph
+                       if op.kind is OpKind.MATMUL)
+        # Every projection is column- or row-parallel, so two shards
+        # together do exactly the full model's matmul work.
+        assert 2 * matmul_flops(shard_graph) == matmul_flops(full_graph)
+
+    def test_weight_stream_splits_across_shards(self, full_graph, shard_graph):
+        def matmul_weight_bytes(graph):
+            return sum(op.weight_bytes for op in graph
+                       if op.kind is OpKind.MATMUL)
+        assert 2 * matmul_weight_bytes(shard_graph) == \
+            matmul_weight_bytes(full_graph)
+
+    def test_norms_are_replicated(self, full_graph, shard_graph):
+        full = [op for op in full_graph
+                if op.kind is OpKind.RMSNORM]
+        shard = [op for op in shard_graph
+                 if op.kind is OpKind.RMSNORM]
+        assert [op.flops for op in full] == [op.flops for op in shard]
+
+    def test_attention_heads_split(self, full_graph, shard_graph):
+        full = {op.name: op for op in full_graph}
+        shard = {op.name: op for op in shard_graph}
+        assert shard["L0.attn_score"].flops * 2 == full["L0.attn_score"].flops
+        assert shard["L0.softmax"].flops * 2 == full["L0.softmax"].flops
+
+    def test_shard_graph_name_is_distinct(self, shard_graph, full_graph):
+        assert "tp2" in shard_graph.name
+        assert shard_graph.name != full_graph.name

@@ -169,6 +169,90 @@ class TestBackPressure:
             assert result.generated_tokens == sequential[result.prompt]
 
 
+class TestArrivalTimes:
+    def test_staggered_arrivals_wait_for_the_clock(self, llm):
+        from repro.workloads.arrivals import poisson_arrival_times
+
+        sequential = {
+            prompt: llm.generate(prompt, max_new_tokens=6).generated_tokens
+            for prompt in PROMPTS[:4]
+        }
+        engine = ServingEngine(llm)
+        # Arrival gaps far larger than a request's service time: every
+        # request must be admitted only once the clock reaches it.
+        arrivals = poisson_arrival_times(4, rate_per_s=10.0, seed=2)
+        requests = [
+            engine.submit(prompt, max_new_tokens=6, arrival_time=arrival)
+            for prompt, arrival in zip(PROMPTS[:4], arrivals)
+        ]
+        report = engine.run()
+        assert report.n_requests == 4
+        for request, arrival in zip(requests, arrivals):
+            assert request.admitted_time >= arrival
+        # The run spans the arrival process, not just the compute.
+        assert report.makespan_seconds >= arrivals[-1]
+        # Arrival pacing never changes what is generated.
+        for result in report.requests:
+            assert result.generated_tokens == sequential[result.prompt]
+
+    def test_out_of_order_arrival_times_still_drain(self, llm):
+        # Admission is strictly FIFO, so a later-submitted request with
+        # an *earlier* arrival time waits behind the head.  The idle
+        # clock must fast-forward to the head's arrival (not the queue
+        # minimum) or the drain loop would spin forever.
+        engine = ServingEngine(llm)
+        late = engine.submit(PROMPTS[0], max_new_tokens=4, arrival_time=5.0)
+        early = engine.submit(PROMPTS[1], max_new_tokens=4, arrival_time=1.0)
+        report = engine.run(max_steps=200)
+        assert report.n_requests == 2
+        assert late.admitted_time >= 5.0
+        assert early.admitted_time >= 5.0  # FIFO: behind the head
+
+    def test_queue_wait_measures_contention_not_arrival(self, llm):
+        # One running slot: the second request arrives immediately but
+        # must wait for the first to finish, showing up as queue wait.
+        engine = ServingEngine(llm, SchedulerConfig(max_running=1))
+        first = engine.submit(PROMPTS[0], max_new_tokens=8)
+        second = engine.submit(PROMPTS[1], max_new_tokens=8)
+        engine.run()
+        assert first.queue_wait == 0.0
+        assert second.queue_wait > 0.0
+
+
+class TestCancellation:
+    def test_cancel_running_request_frees_reservation(self, llm):
+        engine = ServingEngine(llm)
+        victim = engine.submit(PROMPTS[0], max_new_tokens=16)
+        survivor = engine.submit(PROMPTS[1], max_new_tokens=8)
+        engine.step()  # both admitted and started
+        reserved_before = engine.scheduler.kv_budget.reserved_bytes
+        assert engine.cancel(victim) is True
+        assert victim.state.value == "cancelled"
+        assert engine.scheduler.kv_budget.reserved_bytes < reserved_before
+        report = engine.run()
+        assert report.n_requests == 1
+        assert report.requests[0].request_id == survivor.request_id
+        # Tokens of the survivor are unaffected by the cancellation.
+        expected = llm.generate(PROMPTS[1], max_new_tokens=8).generated_tokens
+        assert report.requests[0].generated_tokens == expected
+
+    def test_cancel_queued_request_before_admission(self, llm):
+        engine = ServingEngine(llm, SchedulerConfig(max_running=1))
+        engine.submit(PROMPTS[0], max_new_tokens=8)
+        queued = engine.submit(PROMPTS[1], max_new_tokens=8)
+        engine.step()
+        assert engine.cancel(queued) is True
+        report = engine.run()
+        assert report.n_requests == 1
+
+    def test_cancel_finished_request_is_a_noop(self, llm):
+        engine = ServingEngine(llm)
+        request = engine.submit(PROMPTS[0], max_new_tokens=4)
+        engine.run()
+        assert engine.cancel(request) is False
+        assert request.is_finished
+
+
 class TestAsyncEngine:
     def test_concurrent_generate_calls_share_batches(self, llm):
         sequential = {
@@ -191,6 +275,44 @@ class TestAsyncEngine:
         assert report.n_requests == 3
         # All three joined a shared batch at some point.
         assert report.mean_batch_tokens > 1.0
+
+    def test_cancelling_one_generate_frees_kv_and_keeps_stepping(self, llm):
+        """Cancelling an in-flight ``generate`` releases the request's KV
+        blocks immediately and the driver continues the remaining
+        requests to completion with unchanged tokens."""
+        sequential = {
+            prompt: llm.generate(prompt, max_new_tokens=8).generated_tokens
+            for prompt in PROMPTS[1:3]
+        }
+        engine = AsyncServingEngine(
+            llm, SchedulerConfig(paged=True, block_tokens=8))
+        pool = engine.engine.scheduler.pool
+
+        async def drive():
+            victim = asyncio.ensure_future(
+                engine.generate(PROMPTS[0], max_new_tokens=24))
+            survivors = [
+                asyncio.ensure_future(engine.generate(p, max_new_tokens=8))
+                for p in PROMPTS[1:3]
+            ]
+            # Let the batch run a few steps so every request holds blocks.
+            for _ in range(6):
+                await asyncio.sleep(0)
+            blocks_before = pool.allocator.blocks_in_use
+            victim.cancel()
+            await asyncio.sleep(0)  # cancellation lands in generate()
+            assert victim.cancelled() or victim.done()
+            # The victim's private blocks were released right away (its
+            # prefix-shared blocks may stay parked for reuse).
+            assert pool.allocator.blocks_in_use < blocks_before
+            return await asyncio.gather(*survivors)
+
+        results = asyncio.run(drive())
+        assert [r.generated_tokens for r in results] == [
+            sequential[p] for p in PROMPTS[1:3]
+        ]
+        # Only the survivors completed; the driver drained cleanly.
+        assert engine.report().n_requests == 2
 
     def test_step_failure_propagates_to_waiters(self, llm, monkeypatch):
         engine = AsyncServingEngine(llm)

@@ -1,0 +1,77 @@
+"""Tests for the ring-interconnect cost model (repro.sim.interconnect)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.interconnect import InterconnectModel
+
+
+class TestValidation:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            InterconnectModel(bandwidth_gbps=0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            InterconnectModel(latency_s=-1e-9)
+
+    def test_rejects_negative_bytes_and_devices(self):
+        model = InterconnectModel()
+        with pytest.raises(ValueError):
+            model.all_reduce_seconds(-1, 2)
+        with pytest.raises(ValueError):
+            model.all_gather_seconds(64, 0)
+
+
+class TestRingCosts:
+    def test_single_device_collectives_are_free(self):
+        model = InterconnectModel()
+        assert model.all_reduce_seconds(1 << 20, 1) == 0.0
+        assert model.all_gather_seconds(1 << 20, 1) == 0.0
+
+    def test_zero_bytes_are_free(self):
+        model = InterconnectModel()
+        assert model.all_reduce_seconds(0, 4) == 0.0
+
+    def test_all_reduce_matches_ring_formula(self):
+        model = InterconnectModel(bandwidth_gbps=10.0, latency_s=2e-6)
+        nbytes, p = 1_000_000, 4
+        expected = 2 * (p - 1) * (nbytes / p / 10e9 + 2e-6)
+        assert model.all_reduce_seconds(nbytes, p) == pytest.approx(expected)
+
+    def test_all_gather_is_half_an_all_reduce(self):
+        model = InterconnectModel(bandwidth_gbps=10.0, latency_s=0.0)
+        nbytes, p = 123_456, 8
+        assert model.all_gather_seconds(nbytes, p) == pytest.approx(
+            model.all_reduce_seconds(nbytes, p) / 2
+        )
+
+    def test_small_transfers_are_latency_bound(self):
+        model = InterconnectModel(bandwidth_gbps=100.0, latency_s=1e-6)
+        tiny = model.all_reduce_seconds(64, 4)
+        # Six ring steps of 1 us dominate the 16-byte-per-step payload.
+        assert tiny == pytest.approx(6e-6, rel=0.01)
+
+    def test_bandwidth_scales_large_transfers(self):
+        fast = InterconnectModel(bandwidth_gbps=50.0, latency_s=0.0)
+        slow = InterconnectModel(bandwidth_gbps=25.0, latency_s=0.0)
+        nbytes = 10_000_000
+        assert slow.all_reduce_seconds(nbytes, 4) == pytest.approx(
+            2 * fast.all_reduce_seconds(nbytes, 4)
+        )
+
+    def test_per_link_traffic_shrinks_with_ring_size(self):
+        # The ring moves 2(p-1)/p * n bytes per link, so the time grows
+        # toward 2n/BW as p grows instead of scaling with p.
+        model = InterconnectModel(bandwidth_gbps=10.0, latency_s=0.0)
+        nbytes = 1_000_000
+        t2 = model.all_reduce_seconds(nbytes, 2)
+        t8 = model.all_reduce_seconds(nbytes, 8)
+        assert t2 < t8 < 2 * t2
+
+    def test_describe_round_trips_parameters(self):
+        model = InterconnectModel(bandwidth_gbps=12.5, latency_s=3e-6)
+        assert model.describe() == {
+            "bandwidth_gbps": 12.5, "latency_s": 3e-6,
+        }

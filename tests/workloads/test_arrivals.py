@@ -1,0 +1,39 @@
+"""Tests for the Poisson arrival generator (repro.workloads.arrivals)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.arrivals import poisson_arrival_times
+
+
+class TestPoissonArrivalTimes:
+    def test_length_and_monotonicity(self):
+        times = poisson_arrival_times(50, rate_per_s=10.0, seed=1)
+        assert len(times) == 50
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert times[0] > 0.0
+
+    def test_reproducible_by_seed(self):
+        a = poisson_arrival_times(20, rate_per_s=5.0, seed=42)
+        b = poisson_arrival_times(20, rate_per_s=5.0, seed=42)
+        c = poisson_arrival_times(20, rate_per_s=5.0, seed=43)
+        assert a == b
+        assert a != c
+
+    def test_mean_gap_tracks_rate(self):
+        times = poisson_arrival_times(4000, rate_per_s=8.0, seed=0)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1.0 / 8.0, rel=0.1)
+
+    def test_start_offsets_every_arrival(self):
+        base = poisson_arrival_times(5, rate_per_s=2.0, seed=7)
+        shifted = poisson_arrival_times(5, rate_per_s=2.0, seed=7, start=3.0)
+        assert shifted == pytest.approx([t + 3.0 for t in base])
+
+    def test_empty_and_invalid_inputs(self):
+        assert poisson_arrival_times(0, rate_per_s=1.0) == []
+        with pytest.raises(ValueError):
+            poisson_arrival_times(-1, rate_per_s=1.0)
+        with pytest.raises(ValueError):
+            poisson_arrival_times(3, rate_per_s=0.0)
