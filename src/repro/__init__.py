@@ -23,7 +23,17 @@ from .accel import (
     SpeedLLMAccelerator,
     variant_config,
 )
-from .backend import ExecutionBackend, LocalBackend, ShardedBackend
+from .api import (
+    CompletionRequest,
+    CompletionResponse,
+    CompletionService,
+    EngineConfig,
+    PromptTooLongError,
+    RequestHandle,
+    RequestOutput,
+    SamplingParams,
+)
+from .backend import ExecutionBackend, LocalBackend, ShardedBackend, build_backend
 from .core import (
     ExperimentConfig,
     ExperimentRunner,
@@ -44,13 +54,22 @@ from .serve import (
     ServingEngine,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AcceleratorConfig",
     "GenerationMetrics",
     "SpeedLLMAccelerator",
     "variant_config",
+    "CompletionRequest",
+    "CompletionResponse",
+    "CompletionService",
+    "EngineConfig",
+    "PromptTooLongError",
+    "RequestHandle",
+    "RequestOutput",
+    "SamplingParams",
+    "build_backend",
     "ExecutionBackend",
     "LocalBackend",
     "ShardedBackend",

@@ -1,0 +1,271 @@
+"""OpenAI-style completions layer over the serving engine.
+
+The thin protocol shim a production HTTP frontend would expose: typed
+request/response records shaped like the OpenAI *completions* API
+(``CompletionRequest`` in, ``CompletionResponse`` out, chunked
+``CompletionChunk`` events when streaming), mapped onto the native
+:class:`~repro.api.SamplingParams` / :class:`~repro.api.RequestHandle`
+surface.  There is no network layer here — the records serialize with
+``as_dict()`` so any web framework (or the ``speedllm serve-api`` CLI
+demo) can ship them as JSON — but the semantics match: one completion id
+per request, ``finish_reason`` on the closing choice, usage accounting in
+prompt/completion tokens, and byte-identical text whether the client
+streams or not.
+
+Timestamps (``created``) are *simulated* seconds on the engine clock, so
+responses are deterministic and comparable across runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Sequence, Tuple, Union
+
+from .errors import FrontendError
+from .outputs import RequestHandle, RequestOutput
+from .params import SamplingParams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..serve.engine import ServingEngine
+
+__all__ = [
+    "CompletionRequest",
+    "CompletionChoice",
+    "CompletionUsage",
+    "CompletionResponse",
+    "CompletionChunk",
+    "CompletionService",
+    "PendingCompletion",
+]
+
+
+@dataclass(frozen=True)
+class CompletionRequest:
+    """One completions-API call (the OpenAI ``/v1/completions`` shape)."""
+
+    prompt: str
+    model: str = ""
+    max_tokens: int = 16
+    temperature: float = 0.0
+    top_p: float = 1.0
+    seed: int = 0
+    stop: Union[str, Sequence[str]] = ()
+    logprobs: Optional[int] = None
+    stream: bool = False
+    #: Extension: never retire on EOS (fixed-length benchmarking).
+    ignore_eos: bool = False
+
+    def to_sampling_params(self) -> SamplingParams:
+        """Map the wire-level fields onto validated native params."""
+        return SamplingParams(
+            max_tokens=self.max_tokens,
+            temperature=self.temperature,
+            top_p=self.top_p,
+            seed=self.seed,
+            stop=self.stop,
+            logprobs=self.logprobs,
+            ignore_eos=self.ignore_eos,
+        )
+
+
+@dataclass(frozen=True)
+class CompletionChoice:
+    """One generated alternative (this engine produces exactly one)."""
+
+    index: int
+    text: str
+    finish_reason: Optional[str]
+    token_ids: Tuple[int, ...] = ()
+    logprobs: Optional[Tuple[Dict[int, float], ...]] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "index": self.index,
+            "text": self.text,
+            "finish_reason": self.finish_reason,
+        }
+        if self.logprobs is not None:
+            payload["logprobs"] = {
+                "top_logprobs": [
+                    {str(tok): lp for tok, lp in entry.items()}
+                    for entry in self.logprobs
+                ],
+            }
+        return payload
+
+
+@dataclass(frozen=True)
+class CompletionUsage:
+    """Token accounting of one completion."""
+
+    prompt_tokens: int
+    completion_tokens: int
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "total_tokens": self.total_tokens,
+        }
+
+
+@dataclass(frozen=True)
+class CompletionResponse:
+    """Terminal response of a non-streamed completion."""
+
+    id: str
+    created: float
+    model: str
+    choices: Tuple[CompletionChoice, ...]
+    usage: CompletionUsage
+    object: str = "text_completion"
+
+    @property
+    def text(self) -> str:
+        """Convenience accessor for the single choice's text."""
+        return self.choices[0].text
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "object": self.object,
+            "created": self.created,
+            "model": self.model,
+            "choices": [choice.as_dict() for choice in self.choices],
+            "usage": self.usage.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class CompletionChunk:
+    """One streamed event; the final chunk carries the finish reason."""
+
+    id: str
+    created: float
+    model: str
+    choices: Tuple[CompletionChoice, ...]
+    object: str = "text_completion.chunk"
+
+    @property
+    def text(self) -> str:
+        return self.choices[0].text
+
+    @property
+    def finish_reason(self) -> Optional[str]:
+        return self.choices[0].finish_reason
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "object": self.object,
+            "created": self.created,
+            "model": self.model,
+            "choices": [choice.as_dict() for choice in self.choices],
+        }
+
+
+@dataclass
+class PendingCompletion:
+    """A submitted-but-not-finished completion (submit/drain pattern)."""
+
+    id: str
+    model: str
+    handle: RequestHandle
+
+    def response(self) -> CompletionResponse:
+        """Drain the engine until this completion finishes."""
+        metrics = self.handle.result()
+        request = self.handle.request
+        choice = CompletionChoice(
+            index=0,
+            text=self.handle.text,
+            finish_reason=request.finish_reason,
+            token_ids=tuple(metrics.generated_tokens),
+            logprobs=(tuple(request.logprobs)
+                      if request.logprobs is not None else None),
+        )
+        return CompletionResponse(
+            id=self.id,
+            created=self.handle.engine_clock,
+            model=self.model,
+            choices=(choice,),
+            usage=CompletionUsage(
+                prompt_tokens=len(request.prompt_tokens),
+                completion_tokens=len(metrics.generated_tokens),
+            ),
+        )
+
+
+class CompletionService:
+    """Maps completions-API calls onto one :class:`ServingEngine`.
+
+    ``create`` is the blocking call-and-wait path; ``stream`` yields
+    chunked events as the engine decodes; ``submit`` is the
+    submit-many-then-drain path batch drivers (``serve-bench``) use so
+    every completion shares the continuous batch.
+    """
+
+    def __init__(self, engine: ServingEngine, model: Optional[str] = None):
+        self.engine = engine
+        self.model = model or engine.model_config.name
+        self._ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: CompletionRequest,
+        arrival_time: Optional[float] = None,
+    ) -> PendingCompletion:
+        """Enqueue a completion; returns immediately with its pending id."""
+        handle = self.engine.submit(
+            request.prompt,
+            params=request.to_sampling_params(),
+            arrival_time=arrival_time,
+        )
+        return PendingCompletion(
+            id=f"cmpl-{next(self._ids)}",
+            model=request.model or self.model,
+            handle=handle,
+        )
+
+    def create(self, request: CompletionRequest) -> CompletionResponse:
+        """Run one completion to the end and return the terminal response.
+
+        A request carrying ``stream=True`` is rejected: the chunked
+        contract it asks for is :meth:`stream`'s, and silently returning
+        a terminal response would drop the client's framing expectation.
+        """
+        if request.stream:
+            raise FrontendError(
+                "CompletionRequest(stream=True) must go through stream(); "
+                "create() returns terminal responses only")
+        return self.submit(request).response()
+
+    def stream(self, request: CompletionRequest) -> Iterator[CompletionChunk]:
+        """Run one completion, yielding chunked events as text arrives."""
+        pending = self.submit(request)
+        for output in pending.handle.outputs():
+            yield self._chunk(pending, output)
+
+    # ------------------------------------------------------------------
+    def _chunk(
+        self, pending: PendingCompletion, output: RequestOutput
+    ) -> CompletionChunk:
+        choice = CompletionChoice(
+            index=0,
+            text=output.text_delta,
+            finish_reason=output.finish_reason,
+            token_ids=output.new_token_ids,
+            logprobs=output.logprobs,
+        )
+        return CompletionChunk(
+            id=pending.id,
+            created=self.engine.clock,
+            model=pending.model,
+            choices=(choice,),
+        )

@@ -1,0 +1,148 @@
+"""Declarative engine configuration and factory.
+
+Before this module existed, standing up a serving engine meant
+hand-wiring three objects — a :class:`~repro.serve.SchedulerConfig`, an
+:class:`~repro.backend.ExecutionBackend` (with its interconnect model for
+tensor-parallel runs) and the :class:`~repro.core.speedllm.SpeedLLM`
+stack — in every caller: ``cli.py``, the examples, and each test.
+:class:`EngineConfig` is the single declarative description of all of it;
+:meth:`EngineConfig.build_engine` performs the assembly in one place.
+
+>>> from repro.api import EngineConfig
+>>> engine = EngineConfig(model="test-small", paged=True,
+...                       max_vocab=512).build_engine()   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Union
+
+from ..backend import build_backend
+from ..llama.config import LlamaConfig
+from ..serve.scheduler import DEFAULT_KV_BUDGET_BYTES, SchedulerConfig
+from .errors import FrontendError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.speedllm import SpeedLLM
+    from ..serve.engine import AsyncServingEngine, ServingEngine
+
+__all__ = ["EngineConfig"]
+
+#: Arrival policies understood by :meth:`EngineConfig.arrival_times`.
+ARRIVAL_POLICIES = ("immediate", "poisson")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything needed to build a serving engine, in one declaration."""
+
+    # Model / platform preset ------------------------------------------
+    model: Union[str, LlamaConfig] = "stories15M"
+    variant: str = "full"
+    seed: int = 0
+    position_stride: int = 8
+    max_vocab: Optional[int] = None
+
+    # Scheduler / KV memory --------------------------------------------
+    max_batch_tokens: int = 16
+    max_running: int = 16
+    prefill_chunk: int = 8
+    kv_budget_bytes: int = DEFAULT_KV_BUDGET_BYTES
+    paged: bool = False
+    block_size: int = 16
+    watermark_fraction: float = 0.05
+
+    # Execution backend -------------------------------------------------
+    tensor_parallel: int = 1
+    interconnect_gbps: float = 25.0
+    interconnect_latency_us: float = 1.0
+
+    # Arrival process ---------------------------------------------------
+    arrival_policy: str = "immediate"
+    arrival_rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.tensor_parallel < 1:
+            raise FrontendError(
+                f"tensor_parallel must be >= 1, got {self.tensor_parallel}")
+        if self.interconnect_gbps <= 0:
+            raise FrontendError("interconnect_gbps must be positive")
+        if self.interconnect_latency_us < 0:
+            raise FrontendError("interconnect_latency_us must be >= 0")
+        if self.position_stride <= 0:
+            raise FrontendError("position_stride must be positive")
+        if self.arrival_policy not in ARRIVAL_POLICIES:
+            raise FrontendError(
+                f"arrival_policy must be one of {ARRIVAL_POLICIES}, got "
+                f"{self.arrival_policy!r}")
+        if self.arrival_policy == "poisson" and (
+                self.arrival_rate is None or self.arrival_rate <= 0):
+            raise FrontendError(
+                "a poisson arrival policy needs a positive arrival_rate")
+        # Scheduler knobs are validated by SchedulerConfig itself; build
+        # it eagerly so a bad EngineConfig fails at construction, not at
+        # build_engine() time.
+        self.scheduler_config()
+
+    # ------------------------------------------------------------------
+    def scheduler_config(self) -> SchedulerConfig:
+        """The scheduler slice of this configuration."""
+        return SchedulerConfig(
+            max_batch_tokens=self.max_batch_tokens,
+            max_running=self.max_running,
+            prefill_chunk=self.prefill_chunk,
+            kv_budget_bytes=self.kv_budget_bytes,
+            paged=self.paged,
+            block_tokens=self.block_size,
+            watermark_fraction=self.watermark_fraction,
+        )
+
+    def build_llm(self) -> "SpeedLLM":
+        """Build the model + accelerator stack this config describes."""
+        from ..core.speedllm import SpeedLLM
+        return SpeedLLM(
+            model=self.model, variant=self.variant, seed=self.seed,
+            position_stride=self.position_stride, max_vocab=self.max_vocab,
+        )
+
+    def build_engine(self, llm: Optional["SpeedLLM"] = None) -> "ServingEngine":
+        """Assemble scheduler, KV pool and backend into a serving engine.
+
+        Pass a pre-built ``llm`` to reuse an existing stack (tests inject
+        fixture checkpoints this way); otherwise :meth:`build_llm` runs.
+        """
+        from ..serve.engine import ServingEngine
+        llm = llm or self.build_llm()
+        backend = build_backend(
+            llm.accelerator,
+            tensor_parallel=self.tensor_parallel,
+            interconnect_gbps=self.interconnect_gbps,
+            interconnect_latency_us=self.interconnect_latency_us,
+        )
+        return ServingEngine(llm, self.scheduler_config(), backend=backend)
+
+    def build_async_engine(
+        self, llm: Optional["SpeedLLM"] = None
+    ) -> "AsyncServingEngine":
+        """Like :meth:`build_engine`, wrapped for asyncio callers."""
+        from ..serve.engine import AsyncServingEngine
+        return AsyncServingEngine(engine=self.build_engine(llm))
+
+    # ------------------------------------------------------------------
+    def arrival_times(
+        self, n_requests: int, seed: Optional[int] = None
+    ) -> Optional[List[float]]:
+        """Arrival schedule for ``n_requests`` under the arrival policy.
+
+        ``None`` means "all requests arrive at t=0" (the immediate
+        policy); a poisson policy draws a reproducible schedule at
+        ``arrival_rate`` requests per simulated second.
+        """
+        if self.arrival_policy == "immediate":
+            return None
+        from ..workloads.arrivals import poisson_arrival_times
+        return poisson_arrival_times(
+            n_requests, self.arrival_rate,
+            seed=self.seed if seed is None else seed,
+        )

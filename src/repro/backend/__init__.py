@@ -24,4 +24,36 @@ __all__ = [
     "ExecutionBackend",
     "LocalBackend",
     "ShardedBackend",
+    "build_backend",
 ]
+
+
+def build_backend(
+    accelerator,
+    tensor_parallel: int = 1,
+    interconnect_gbps: float = 25.0,
+    interconnect_latency_us: float = 1.0,
+) -> ExecutionBackend:
+    """Build the execution backend for a tensor-parallel degree.
+
+    The one place backend assembly lives: ``tensor_parallel == 1`` gives
+    a :class:`LocalBackend`; anything larger shards over that many
+    simulated accelerators joined by a ring
+    :class:`~repro.sim.interconnect.InterconnectModel` with the given
+    per-link bandwidth and per-ring-step latency.  Used by
+    :meth:`repro.api.EngineConfig.build_engine` and the CLI.
+    """
+    if tensor_parallel < 1:
+        raise ValueError(
+            f"tensor_parallel must be >= 1, got {tensor_parallel}")
+    if tensor_parallel == 1:
+        return LocalBackend(accelerator)
+    from ..sim.interconnect import InterconnectModel
+    return ShardedBackend(
+        accelerator,
+        tensor_parallel,
+        InterconnectModel(
+            bandwidth_gbps=interconnect_gbps,
+            latency_s=interconnect_latency_us * 1e-6,
+        ),
+    )

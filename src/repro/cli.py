@@ -1,14 +1,19 @@
 """Command-line interface of the SpeedLLM reproduction.
 
-Five subcommands cover the everyday workflows:
+Six subcommands cover the everyday workflows:
 
 * ``generate``  — run one text generation on the simulated accelerator
   and print the completion plus the latency/throughput/energy metrics;
 * ``bench``     — run the Fig. 2 experiment (all design variants on one
   workload) and print the normalized-latency and energy tables;
 * ``serve-bench`` — serve a suite of concurrent requests through the
-  continuous-batching :class:`~repro.serve.ServingEngine` and compare
-  aggregate throughput against the sequential one-shot baseline;
+  continuous-batching :class:`~repro.serve.ServingEngine` (assembled
+  from a declarative :class:`~repro.api.EngineConfig`, submitted through
+  the OpenAI-style completions layer) and compare aggregate throughput
+  against the sequential one-shot baseline;
+* ``serve-api`` — the frontend-API demo: run OpenAI-style completions
+  (streamed chunk-by-chunk by default) through the engine, optionally
+  asserting that the reassembled stream matches the non-streamed result;
 * ``validate``  — check that the accelerator's functional output matches
   the reference engine on a prompt suite;
 * ``export-graph`` — dump one decode-step operator graph (optionally
@@ -26,21 +31,67 @@ import sys
 from typing import Optional, Sequence
 
 from .accel.variants import PAPER_VARIANTS
+from .api import CompletionRequest, CompletionService, EngineConfig
 from .core.report import format_table, render_bar_chart, write_json
 from .core.runner import ExperimentConfig, ExperimentRunner
 from .core.speedllm import SpeedLLM
 from .core.validation import validate_accelerator
-from .backend import LocalBackend, ShardedBackend
 from .graph.builder import build_decode_graph
-from .serve import SchedulerConfig, ServingEngine
-from .sim.interconnect import InterconnectModel
 from .graph.export import to_dot, to_json
 from .graph.fusion import fuse_graph
 from .llama.config import available_presets, preset
-from .workloads.arrivals import poisson_arrival_times
 from .workloads.prompts import default_suite, shared_prefix_suite
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """Engine-assembly flags shared by ``serve-bench`` and ``serve-api``."""
+    parser.add_argument("--batch-tokens", type=int, default=16,
+                        help="token positions per batched step")
+    parser.add_argument("--prefill-chunk", type=int, default=8,
+                        help="prompt positions one request may prefill per step")
+    parser.add_argument("--max-running", type=int, default=16,
+                        help="maximum concurrently admitted requests")
+    parser.add_argument("--kv-budget-mb", type=int, default=256,
+                        help="KV-cache memory budget in MiB")
+    parser.add_argument("--paged", action="store_true",
+                        help="paged-block KV allocation with prefix sharing "
+                             "and preemption instead of worst-case "
+                             "reservations")
+    parser.add_argument("--block-size", type=int, default=16,
+                        help="token positions per KV block (with --paged)")
+    parser.add_argument("--tensor-parallel", type=int, default=1,
+                        help="shard execution over N simulated accelerators "
+                             "(tensor-parallel attention heads / FFN "
+                             "channels; 1 = single local device)")
+    parser.add_argument("--interconnect-gbps", type=float, default=25.0,
+                        help="per-link ring-interconnect bandwidth in GB/s "
+                             "(with --tensor-parallel > 1)")
+    parser.add_argument("--interconnect-latency-us", type=float, default=1.0,
+                        help="per-ring-step interconnect latency in "
+                             "microseconds (with --tensor-parallel > 1)")
+
+
+def _engine_config(args: argparse.Namespace) -> EngineConfig:
+    """Map parsed CLI flags onto one declarative engine configuration."""
+    arrival_rate = getattr(args, "arrival_rate", None)
+    return EngineConfig(
+        model=args.model,
+        variant=args.variant,
+        seed=args.seed,
+        max_batch_tokens=args.batch_tokens,
+        max_running=args.max_running,
+        prefill_chunk=args.prefill_chunk,
+        kv_budget_bytes=args.kv_budget_mb * 1024 * 1024,
+        paged=args.paged,
+        block_size=args.block_size,
+        tensor_parallel=args.tensor_parallel,
+        interconnect_gbps=args.interconnect_gbps,
+        interconnect_latency_us=args.interconnect_latency_us,
+        arrival_policy="poisson" if arrival_rate is not None else "immediate",
+        arrival_rate=arrival_rate,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,33 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--tokens", type=int, default=32,
                        help="decode budget per request")
     serve.add_argument("--seed", type=int, default=3)
-    serve.add_argument("--batch-tokens", type=int, default=16,
-                       help="token positions per batched step")
-    serve.add_argument("--prefill-chunk", type=int, default=8,
-                       help="prompt positions one request may prefill per step")
-    serve.add_argument("--max-running", type=int, default=16,
-                       help="maximum concurrently admitted requests")
-    serve.add_argument("--kv-budget-mb", type=int, default=256,
-                       help="KV-cache memory budget in MiB")
-    serve.add_argument("--paged", action="store_true",
-                       help="paged-block KV allocation with prefix sharing "
-                            "and preemption instead of worst-case "
-                            "reservations")
-    serve.add_argument("--block-size", type=int, default=16,
-                       help="token positions per KV block (with --paged)")
+    _add_engine_options(serve)
     serve.add_argument("--shared-prefix", action="store_true",
                        help="serve prompts sharing one system preamble "
                             "(the workload prefix caching accelerates)")
-    serve.add_argument("--tensor-parallel", type=int, default=1,
-                       help="shard execution over N simulated accelerators "
-                            "(tensor-parallel attention heads / FFN "
-                            "channels; 1 = single local device)")
-    serve.add_argument("--interconnect-gbps", type=float, default=25.0,
-                       help="per-link ring-interconnect bandwidth in GB/s "
-                            "(with --tensor-parallel > 1)")
-    serve.add_argument("--interconnect-latency-us", type=float, default=1.0,
-                       help="per-ring-step interconnect latency in "
-                            "microseconds (with --tensor-parallel > 1)")
     serve.add_argument("--arrival-rate", type=float, default=None,
                        help="Poisson request arrival rate in requests per "
                             "simulated second (default: all requests "
@@ -122,6 +150,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", default=None,
                        help="write per-request rows and aggregates to this "
                             "path ('-' for stdout)")
+
+    # serve-api ---------------------------------------------------------
+    api = sub.add_parser(
+        "serve-api",
+        help="OpenAI-style streamed completions over the serving engine",
+    )
+    api.add_argument("--model", default="stories15M", choices=available_presets())
+    api.add_argument("--variant", default="full", choices=sorted(PAPER_VARIANTS))
+    api.add_argument("--seed", type=int, default=0)
+    api.add_argument("--prompt", action="append", default=None,
+                     help="prompt to complete (repeatable; default: a small "
+                          "demo suite)")
+    api.add_argument("--max-tokens", type=int, default=32,
+                     help="decode budget per completion")
+    api.add_argument("--temperature", type=float, default=0.0)
+    api.add_argument("--top-p", type=float, default=1.0)
+    api.add_argument("--stop", action="append", default=None,
+                     help="stop sequence truncating the completion "
+                          "(repeatable)")
+    api.add_argument("--logprobs", type=int, default=None,
+                     help="record the top-K token logprobs per generated "
+                          "token")
+    api.add_argument("--no-stream", action="store_true",
+                     help="return terminal responses instead of streaming "
+                          "chunks")
+    api.add_argument("--check", action="store_true",
+                     help="also run each completion non-streamed and fail "
+                          "unless the reassembled stream matches it "
+                          "token-for-token")
+    _add_engine_options(api)
+    api.add_argument("--json", default=None,
+                     help="write completions and the serving report to this "
+                          "path ('-' for stdout)")
 
     # validate ----------------------------------------------------------
     val = sub.add_parser("validate",
@@ -199,7 +260,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
-    llm = SpeedLLM(model=args.model, variant=args.variant, seed=args.seed)
+    config = _engine_config(args)
+    llm = config.build_llm()
     if args.shared_prefix:
         suite = shared_prefix_suite(n_prompts=args.requests,
                                     max_new_tokens=args.tokens,
@@ -215,44 +277,34 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     seq_tokens = sum(len(out.generated_tokens) for out in sequential)
     seq_throughput = seq_tokens / seq_seconds if seq_seconds > 0 else 0.0
 
-    if args.tensor_parallel > 1:
-        backend = ShardedBackend(
-            llm.accelerator,
-            args.tensor_parallel,
-            InterconnectModel(
-                bandwidth_gbps=args.interconnect_gbps,
-                latency_s=args.interconnect_latency_us * 1e-6,
-            ),
+    # The served run goes through the frontend API end to end: one
+    # declarative EngineConfig assembles scheduler + KV pool + backend,
+    # and requests enter through the OpenAI-style completions layer.
+    engine = config.build_engine(llm=llm)
+    service = CompletionService(engine)
+    arrivals = config.arrival_times(len(suite)) or [None] * len(suite)
+    pending = [
+        service.submit(
+            CompletionRequest(prompt=workload.prompt,
+                              max_tokens=workload.max_new_tokens),
+            arrival_time=arrival,
         )
-    else:
-        backend = LocalBackend(llm.accelerator)
-    engine = ServingEngine(llm, SchedulerConfig(
-        max_batch_tokens=args.batch_tokens,
-        max_running=args.max_running,
-        prefill_chunk=args.prefill_chunk,
-        kv_budget_bytes=args.kv_budget_mb * 1024 * 1024,
-        paged=args.paged,
-        block_tokens=args.block_size,
-    ), backend=backend)
-    if args.arrival_rate is not None:
-        arrivals = poisson_arrival_times(
-            len(suite), args.arrival_rate, seed=args.seed
-        )
-        for workload, arrival in zip(suite, arrivals):
-            engine.submit(workload.prompt,
-                          max_new_tokens=workload.max_new_tokens,
-                          arrival_time=arrival)
-        report = engine.run()
-    else:
-        report = engine.serve(suite)
+        for workload, arrival in zip(suite, arrivals)
+    ]
+    report = engine.run()
+    completions = [p.response() for p in pending]
 
     aggregate = report.as_dict()
     speedup = (report.throughput_tokens_per_second / seq_throughput
                if seq_throughput > 0 else 0.0)
     aggregate["sequential_throughput_tokens_per_second"] = seq_throughput
     aggregate["speedup"] = speedup
-    aggregate["backend"] = backend.describe()
-    payload = {"requests": report.request_rows(), "aggregate": aggregate}
+    aggregate["backend"] = engine.backend.describe()
+    payload = {
+        "requests": report.request_rows(),
+        "completions": [c.as_dict() for c in completions],
+        "aggregate": aggregate,
+    }
     if args.json == "-":
         import json as _json
         print(_json.dumps(payload, indent=2, sort_keys=True, default=str))
@@ -293,6 +345,117 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Demo prompts of the serve-api walkthrough (used when --prompt absent).
+_SERVE_API_PROMPTS = (
+    "Once upon a time",
+    "The little dog was happy",
+    "Lily and Tom went to the park",
+)
+
+
+def _cmd_serve_api(args: argparse.Namespace) -> int:
+    config = _engine_config(args)
+    llm = config.build_llm()
+    engine = config.build_engine(llm=llm)
+    service = CompletionService(engine)
+    prompts = args.prompt or list(_SERVE_API_PROMPTS)
+    quiet = args.json == "-"
+
+    def request_for(i: int, prompt: str) -> CompletionRequest:
+        return CompletionRequest(
+            prompt=prompt,
+            max_tokens=args.max_tokens,
+            temperature=args.temperature,
+            top_p=args.top_p,
+            seed=args.seed + i,
+            stop=tuple(args.stop or ()),
+            logprobs=args.logprobs,
+            stream=not args.no_stream,
+        )
+
+    records = []
+    for i, prompt in enumerate(prompts):
+        request = request_for(i, prompt)
+        if args.no_stream:
+            response = service.create(request)
+            record = {
+                "id": response.id,
+                "prompt": prompt,
+                "text": response.text,
+                "finish_reason": response.choices[0].finish_reason,
+                "usage": response.usage.as_dict(),
+                "streamed": False,
+            }
+            if not quiet:
+                print(f"[{response.id}] {prompt!r}")
+                print(f"  {response.text!r}  "
+                      f"(finish_reason={response.choices[0].finish_reason})")
+        else:
+            chunks = list(service.stream(request))
+            text = "".join(chunk.text for chunk in chunks)
+            token_ids = [t for chunk in chunks
+                         for t in chunk.choices[0].token_ids]
+            record = {
+                "id": chunks[-1].id,
+                "prompt": prompt,
+                "text": text,
+                "token_ids": token_ids,
+                "finish_reason": chunks[-1].finish_reason,
+                "n_chunks": len(chunks),
+                "streamed": True,
+            }
+            if not quiet:
+                print(f"[{chunks[-1].id}] {prompt!r}")
+                print("  ", end="")
+                for chunk in chunks:
+                    print(chunk.text, end="", flush=True)
+                print(f"  (finish_reason={chunks[-1].finish_reason}, "
+                      f"{len(chunks)} chunks)")
+        records.append(record)
+
+    failures = 0
+    if args.check:
+        # Re-run every completion non-streamed on a fresh engine built
+        # from the same config (same llm, so identical weights/tokenizer)
+        # and require the reassembled stream to match it exactly.
+        import dataclasses
+        check_engine = config.build_engine(llm=llm)
+        check_service = CompletionService(check_engine)
+        for i, (prompt, record) in enumerate(zip(prompts, records)):
+            response = check_service.create(
+                dataclasses.replace(request_for(i, prompt), stream=False))
+            match = response.text == record["text"]
+            if record.get("token_ids") is not None:
+                match = match and (
+                    list(response.choices[0].token_ids) == record["token_ids"]
+                )
+            record["batch_text"] = response.text
+            record["match"] = match
+            if not match:
+                failures += 1
+                print(f"MISMATCH on {prompt!r}:\n"
+                      f"  stream: {record['text']!r}\n"
+                      f"  batch:  {response.text!r}", file=sys.stderr)
+        if not quiet:
+            verdict = "OK" if failures == 0 else f"{failures} MISMATCHES"
+            print(f"\nstream-vs-batch check: {verdict} "
+                  f"({len(prompts)} completions)")
+
+    payload = {
+        "model": llm.model_config.name,
+        "backend": engine.backend.describe(),
+        "completions": records,
+        "aggregate": engine.report().as_dict(),
+    }
+    if args.json == "-":
+        import json as _json
+        print(_json.dumps(payload, indent=2, sort_keys=True, default=str))
+    elif args.json:
+        write_json(args.json, payload)
+        print(f"results written to {args.json}")
+    return 1 if failures else 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     llm = SpeedLLM(model=args.model, variant=args.variant, seed=args.seed,
                    position_stride=8)
@@ -326,6 +489,7 @@ _HANDLERS = {
     "generate": _cmd_generate,
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,
+    "serve-api": _cmd_serve_api,
     "validate": _cmd_validate,
     "export-graph": _cmd_export_graph,
 }

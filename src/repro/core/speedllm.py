@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 from ..accel.accelerator import AcceleratorGeneration, GenerationMetrics, SpeedLLMAccelerator
 from ..accel.config import AcceleratorConfig
 from ..accel.variants import variant_config
+from ..api.params import SamplingParams
 from ..fpga.power import EnergyModelConfig
 from ..fpga.resources import UtilizationReport
 from ..fpga.u280 import FpgaPlatform, u280
@@ -33,7 +34,6 @@ from ..llama.checkpoint import Checkpoint, load_checkpoint, synthesize_weights
 from ..llama.config import LlamaConfig, preset
 from ..llama.generation import generate as reference_generate
 from ..llama.model import LlamaModel
-from ..llama.sampler import Sampler
 from ..llama.tokenizer import Tokenizer, train_bpe
 from ..workloads.tinystories import generate_corpus
 
@@ -179,12 +179,22 @@ class SpeedLLM:
         temperature: float = 0.0,
         top_p: float = 1.0,
         seed: int = 0,
+        params: Optional[SamplingParams] = None,
     ) -> SpeedLLMOutput:
-        """Generate a completion on the simulated accelerator."""
+        """Generate a completion on the simulated accelerator.
+
+        Pass a :class:`~repro.api.SamplingParams` to share one validated
+        configuration with the serving engine; the loose keyword
+        arguments build the identical params object.
+        """
+        if params is None:
+            params = SamplingParams(max_tokens=max_new_tokens,
+                                    temperature=temperature, top_p=top_p,
+                                    seed=seed)
         tokens = self.encode(prompt)
-        sampler = Sampler(temperature=temperature, top_p=top_p, seed=seed)
         result: AcceleratorGeneration = self.accelerator.generate(
-            tokens, max_new_tokens=max_new_tokens, sampler=sampler,
+            tokens, max_new_tokens=params.max_tokens,
+            sampler=params.build_sampler(),
             position_stride=self.position_stride,
         )
         return SpeedLLMOutput(
@@ -202,6 +212,7 @@ class SpeedLLM:
         temperature: float = 0.0,
         top_p: float = 1.0,
         seed: int = 0,
+        params: Optional[SamplingParams] = None,
     ) -> str:
         """Generate with the NumPy reference engine.
 
@@ -210,12 +221,15 @@ class SpeedLLM:
         quantised), so greedy decodes are token-for-token comparable with
         :meth:`generate`.
         """
+        if params is None:
+            params = SamplingParams(max_tokens=max_new_tokens,
+                                    temperature=temperature, top_p=top_p,
+                                    seed=seed)
         if self._reference_model is None:
             self._reference_model = LlamaModel(self.accelerator.functional_checkpoint())
-        sampler = Sampler(temperature=temperature, top_p=top_p, seed=seed)
         result = reference_generate(
             self._reference_model, self.encode(prompt),
-            max_new_tokens=max_new_tokens, sampler=sampler,
+            max_new_tokens=params.max_tokens, sampler=params.build_sampler(),
         )
         return self.tokenizer.decode(result.generated_tokens)
 

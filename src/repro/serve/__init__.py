@@ -3,7 +3,10 @@
 This package turns the one-request-at-a-time :class:`repro.SpeedLLM`
 stack into a multi-tenant serving engine: requests are queued, admitted
 under a KV-memory budget, and decoded together in batched accelerator
-steps that stream each weight tile once for the whole batch.  See
+steps that stream each weight tile once for the whole batch.  Clients
+talk to it through the typed frontend in :mod:`repro.api`
+(:class:`~repro.api.SamplingParams` in, streaming
+:class:`~repro.api.RequestOutput` increments out).  See
 ``docs/ARCHITECTURE.md`` for the end-to-end request lifecycle.
 """
 

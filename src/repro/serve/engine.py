@@ -36,30 +36,65 @@ several simulated accelerators joined by a modelled interconnect.  The
 engine's job is the same either way — plan, execute, advance the clock,
 sample — and the token streams are identical across backends.
 
+Submission goes through the frontend API (:mod:`repro.api`):
+``submit(prompt, SamplingParams(...))`` validates once, admits once, and
+returns a :class:`~repro.api.RequestHandle` that streams incremental
+:class:`~repro.api.RequestOutput` increments (new tokens, detokenized
+delta, finish reason) while the batch advances.  The pre-PR 4 loose
+keyword form (``submit(prompt, max_new_tokens=..., temperature=...)``)
+remains as a deprecated shim that builds the same params object, so its
+token streams are byte-identical.
+
 :class:`AsyncServingEngine` wraps the same engine for asyncio callers:
 ``await engine.generate(...)`` submits a request and resolves when it
-completes, with a single cooperative driver task stepping the batch while
-any request is in flight.  Cancelling a pending ``generate`` aborts the
-request and frees its KV memory; the driver keeps stepping the rest.
+completes, and ``async for out in engine.stream(...)`` yields the same
+incremental outputs, with a single cooperative driver task stepping the
+batch while any request is in flight.  Cancelling a pending ``generate``
+— or abandoning a ``stream`` mid-flight — aborts the request and frees
+its KV memory; the driver keeps stepping the rest.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Dict, Iterable, List, Optional
+import warnings
+from typing import TYPE_CHECKING, AsyncIterator, Dict, Iterable, List, Optional
+
+import numpy as np
 
 from ..accel.accelerator import SpeedLLMAccelerator
+from ..api.errors import FrontendError, PromptTooLongError
+from ..api.outputs import RequestHandle, RequestOutput
+from ..api.params import SamplingParams
 from ..backend import ExecutionBackend, LocalBackend
-from ..core.speedllm import SpeedLLM
-from ..llama.sampler import Sampler
-from ..llama.tokenizer import EOS_ID
+from ..llama.tokenizer import BOS_ID, EOS_ID, UNK_ID
 from ..sim.stats import RunCounters
 from .metrics import RequestMetrics, ServeReport
 from .request import Request, RequestState
 from .scheduler import Scheduler, SchedulerConfig
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.speedllm import SpeedLLM
+
 __all__ = ["ServingEngine", "AsyncServingEngine"]
+
+
+def _log_softmax(logits: np.ndarray) -> np.ndarray:
+    x = np.asarray(logits, dtype=np.float64)
+    shifted = x - np.max(x)
+    return shifted - np.log(np.exp(shifted).sum())
+
+
+def _top_logprobs(logits: np.ndarray, k: int, sampled: int) -> Dict[int, float]:
+    """Logprobs of the ``k`` most likely tokens plus the sampled one."""
+    logprobs = _log_softmax(logits)
+    k = min(k, len(logprobs))
+    top = np.argpartition(-logprobs, k - 1)[:k]
+    top = top[np.argsort(-logprobs[top])]
+    entry = {int(t): float(logprobs[t]) for t in top}
+    entry.setdefault(sampled, float(logprobs[sampled]))
+    return entry
 
 
 class ServingEngine:
@@ -100,29 +135,73 @@ class ServingEngine:
     def submit(
         self,
         prompt: str,
-        max_new_tokens: int = 64,
-        temperature: float = 0.0,
-        top_p: float = 1.0,
-        seed: int = 0,
-        stop_at_eos: bool = True,
+        params: Optional[SamplingParams] = None,
+        *,
         request_id: Optional[str] = None,
         arrival_time: Optional[float] = None,
-    ) -> Request:
-        """Enqueue a generation request; returns its handle immediately."""
+        max_new_tokens: Optional[int] = None,
+        temperature: Optional[float] = None,
+        top_p: Optional[float] = None,
+        seed: Optional[int] = None,
+        stop_at_eos: Optional[bool] = None,
+    ) -> RequestHandle:
+        """Enqueue a generation request; returns its streaming handle.
+
+        ``params`` is the frontend API: a validated
+        :class:`~repro.api.SamplingParams`.  The loose keyword arguments
+        are the **deprecated** pre-PR 4 shim — they build the identical
+        params object (so token streams are byte-identical) and will be
+        removed in a future release.
+
+        Raises :class:`~repro.api.PromptTooLongError` when the prompt
+        leaves no room to decode even one token; a decode budget that
+        overflows the context window is clamped here, at admission, so
+        the overflow never has to be discovered mid-decode.
+        """
+        legacy = {
+            "max_new_tokens": max_new_tokens,
+            "temperature": temperature,
+            "top_p": top_p,
+            "seed": seed,
+            "stop_at_eos": stop_at_eos,
+        }
+        supplied = {k: v for k, v in legacy.items() if v is not None}
+        if params is None:
+            if supplied:
+                warnings.warn(
+                    "submit(**kwargs) is deprecated; pass "
+                    "SamplingParams(...) instead",
+                    DeprecationWarning, stacklevel=2,
+                )
+            defaults = SamplingParams()
+            params = SamplingParams(
+                max_tokens=(max_new_tokens if max_new_tokens is not None
+                            else defaults.max_tokens),
+                temperature=(temperature if temperature is not None
+                             else defaults.temperature),
+                top_p=top_p if top_p is not None else defaults.top_p,
+                seed=seed if seed is not None else defaults.seed,
+                stop_at_eos=(stop_at_eos if stop_at_eos is not None
+                             else defaults.stop_at_eos),
+            )
+        elif supplied:
+            raise FrontendError(
+                "pass sampling settings either as SamplingParams or as "
+                f"legacy keywords, not both (got {sorted(supplied)})"
+            )
         tokens = self.llm.encode(prompt)
-        if len(tokens) >= self.model_config.max_seq_len:
-            raise ValueError("prompt does not fit in the context window")
+        max_seq_len = self.model_config.max_seq_len
+        if len(tokens) >= max_seq_len:
+            raise PromptTooLongError(len(tokens), max_seq_len)
         request = Request(
             request_id=request_id or f"req-{next(self._ids)}",
             prompt_tokens=tokens,
-            max_new_tokens=max_new_tokens,
-            sampler=Sampler(temperature=temperature, top_p=top_p, seed=seed),
-            stop_at_eos=stop_at_eos,
+            sampling=params.capped(max_seq_len, len(tokens)),
             arrival_time=self.clock if arrival_time is None else arrival_time,
             prompt=prompt,
         )
         self.scheduler.submit(request)
-        return request
+        return RequestHandle(self, request)
 
     # ------------------------------------------------------------------
     # Stepping
@@ -188,40 +267,110 @@ class ServingEngine:
 
         The order of checks mirrors ``SpeedLLMAccelerator.generate``: the
         sampled token is always recorded (EOS included), then the request
-        retires on EOS, on an exhausted decode budget, or when the next
-        position would fall outside the context window.
+        retires on EOS or a matched stop sequence (``finish_reason
+        "stop"``), or on an exhausted decode budget / context window
+        (``finish_reason "length"``).  The decode budget was clamped to
+        the window at admission, so the window checks here are belt and
+        braces for directly-constructed requests.
         """
         token = request.sampler.sample(logits)
         request.generated_tokens.append(token)
         if request.first_token_time is None:
             request.first_token_time = self.clock
+        if request.logprobs is not None:
+            request.logprobs.append(
+                _top_logprobs(logits, request.sampling.logprobs, token)
+            )
+        reason: Optional[str] = None
+        if request.stop_at_eos and token == EOS_ID:
+            reason = "stop"
+        if reason is None and request.stop_strings:
+            reason = self._match_stop(request)
         decode_budget = min(
             request.max_new_tokens,
             self.model_config.max_seq_len - request.n_prompt,
         )
-        done = (
-            (request.stop_at_eos and token == EOS_ID)
-            or request.n_generated >= decode_budget
+        if reason is None and (
+            request.n_generated >= decode_budget
             or request.next_pos >= self.model_config.max_seq_len
-        )
-        if done:
+        ):
+            reason = "length"
+        if reason is not None:
+            request.finish_reason = reason
             self.scheduler.finish(request, self.clock)
             self._completed.append(request)
             return True
         request.pending_token = token
         return False
 
+    def _token_bytes(self, token: int) -> bytes:
+        """The UTF-8 bytes a token contributes to the decoded text."""
+        if token in (BOS_ID, EOS_ID, UNK_ID):
+            return b""
+        return self.tokenizer.id_to_token(token)
+
+    def _match_stop(self, request: Request) -> Optional[str]:
+        """Check for a completed stop sequence; truncate on match.
+
+        Matching is byte-level and incremental: the request carries the
+        UTF-8 bytes of its decoded output, each sampled token appends its
+        bytes, and only the tail window in which a match could newly
+        complete is searched — O(stop length) per token instead of
+        re-detokenizing the whole stream.  A byte-level hit always
+        decodes to the stop string (UTF-8 lead and continuation bytes
+        cannot alias each other), so this is equivalent to searching the
+        decoded text; only requests with stop sequences pay any of it.
+        """
+        cache = request.stop_byte_cache
+        if cache is None:
+            cache = bytearray()
+            for token in request.generated_tokens[:-1]:
+                cache += self._token_bytes(token)
+            request.stop_byte_cache = cache
+        appended = self._token_bytes(request.generated_tokens[-1])
+        cache += appended
+        stops = [stop.encode("utf-8") for stop in request.stop_strings]
+        longest = max(len(stop) for stop in stops)
+        # A new match must end inside the appended bytes; anything that
+        # ended earlier would have been found on a previous token.
+        start = max(0, len(cache) - len(appended) - longest + 1)
+        window = bytes(cache[start:])
+        cut = min(
+            (start + idx
+             for idx in (window.find(stop) for stop in stops) if idx >= 0),
+            default=None,
+        )
+        if cut is None:
+            return None
+        # Convert the byte offset to the char offset visible_text slices.
+        request.stop_text_limit = len(
+            bytes(cache[:cut]).decode("utf-8", errors="replace"))
+        return "stop"
+
+    # ------------------------------------------------------------------
+    # Output text
+    # ------------------------------------------------------------------
+    def visible_text(self, request: Request) -> str:
+        """The request's client-visible text: decoded and stop-truncated."""
+        text = self.tokenizer.decode(request.generated_tokens)
+        if request.stop_text_limit is not None:
+            return text[:request.stop_text_limit]
+        return text
+
     # ------------------------------------------------------------------
     # Cancellation
     # ------------------------------------------------------------------
-    def cancel(self, request: Request) -> bool:
-        """Abort a queued or running request.
+    def cancel(self, request) -> bool:
+        """Abort a queued or running request (or its handle).
 
         Its KV blocks (or reservation) are released immediately, so the
         freed capacity is available to the next admission and step; the
         remaining requests keep decoding unaffected.  Returns ``False``
         when the request already finished — a harmless race.
         """
+        # Accept the RequestHandle the new submit() returns as well as
+        # the raw Request the legacy surface handed out.
+        request = getattr(request, "request", request)
         return self.scheduler.cancel(request)
 
     # ------------------------------------------------------------------
@@ -239,25 +388,37 @@ class ServingEngine:
             steps += 1
         return self.report()
 
-    def serve(self, workloads: Iterable, **sampling) -> ServeReport:
+    def serve(
+        self,
+        workloads: Iterable,
+        params: Optional[SamplingParams] = None,
+        **sampling,
+    ) -> ServeReport:
         """Submit a suite of workloads and drain them.
 
         ``workloads`` yields objects with ``prompt`` and ``max_new_tokens``
-        attributes (e.g. :class:`repro.workloads.prompts.Workload`); extra
-        keyword arguments are passed to :meth:`submit` for each.
+        attributes (e.g. :class:`repro.workloads.prompts.Workload`).  Each
+        workload's decode budget overrides ``params.max_tokens`` (or the
+        legacy keyword arguments, which are passed through to
+        :meth:`submit`).
         """
+        import dataclasses
         for workload in workloads:
-            self.submit(workload.prompt,
-                        max_new_tokens=workload.max_new_tokens, **sampling)
+            if params is not None:
+                self.submit(workload.prompt, dataclasses.replace(
+                    params, max_tokens=workload.max_new_tokens))
+            else:
+                self.submit(workload.prompt,
+                            max_new_tokens=workload.max_new_tokens, **sampling)
         return self.run()
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
-    def result_for(self, request: Request) -> RequestMetrics:
+    def result_for(self, request) -> RequestMetrics:
         """Per-request metrics record (the request must have finished)."""
-        text = self.tokenizer.decode(request.generated_tokens)
-        return RequestMetrics.from_request(request, text)
+        request = getattr(request, "request", request)
+        return RequestMetrics.from_request(request, self.visible_text(request))
 
     def report(self) -> ServeReport:
         """Aggregate metrics over every request completed so far."""
@@ -302,15 +463,39 @@ class AsyncServingEngine:
 
     def __init__(
         self,
-        llm: SpeedLLM,
+        llm: Optional["SpeedLLM"] = None,
         scheduler_config: Optional[SchedulerConfig] = None,
         backend: Optional[ExecutionBackend] = None,
+        engine: Optional[ServingEngine] = None,
     ) -> None:
-        self.engine = ServingEngine(llm, scheduler_config, backend=backend)
+        """Wrap a pre-built ``engine``, or build one from ``llm`` (+
+        optional scheduler config and backend) exactly like
+        :class:`ServingEngine`."""
+        if engine is None:
+            if llm is None:
+                raise FrontendError(
+                    "AsyncServingEngine needs either an llm or an engine")
+            engine = ServingEngine(llm, scheduler_config, backend=backend)
+        elif llm is not None or scheduler_config is not None or backend is not None:
+            raise FrontendError(
+                "pass either a pre-built engine or llm/scheduler_config/"
+                "backend, not both")
+        self.engine = engine
         self._futures: Dict[str, "asyncio.Future[RequestMetrics]"] = {}
         self._driver: Optional["asyncio.Task"] = None
 
-    async def generate(self, prompt: str, **submit_kwargs) -> RequestMetrics:
+    def _ensure_driver(self) -> None:
+        """(Re)start the cooperative stepping task if it is not running."""
+        if self._driver is None or self._driver.done():
+            loop = asyncio.get_running_loop()
+            self._driver = loop.create_task(self._drive())
+
+    async def generate(
+        self,
+        prompt: str,
+        params: Optional[SamplingParams] = None,
+        **submit_kwargs,
+    ) -> RequestMetrics:
         """Submit a request and wait for its completion.
 
         Cancelling the awaiting task aborts the request: its KV memory is
@@ -318,17 +503,57 @@ class AsyncServingEngine:
         in-flight request.
         """
         loop = asyncio.get_running_loop()
-        request = self.engine.submit(prompt, **submit_kwargs)
+        handle = self.engine.submit(prompt, params, **submit_kwargs)
         future: "asyncio.Future[RequestMetrics]" = loop.create_future()
-        self._futures[request.request_id] = future
-        if self._driver is None or self._driver.done():
-            self._driver = loop.create_task(self._drive())
+        self._futures[handle.request_id] = future
+        self._ensure_driver()
         try:
             return await future
         except asyncio.CancelledError:
-            self._futures.pop(request.request_id, None)
-            self.engine.cancel(request)
+            self._futures.pop(handle.request_id, None)
+            self.engine.cancel(handle.request)
             raise
+
+    async def stream(
+        self,
+        prompt: str,
+        params: Optional[SamplingParams] = None,
+        **submit_kwargs,
+    ) -> AsyncIterator[RequestOutput]:
+        """Submit a request and yield its incremental outputs.
+
+        The async-generator twin of :meth:`ServingEngine.submit`'s
+        streaming handle: each yielded :class:`~repro.api.RequestOutput`
+        carries the tokens sampled since the previous one plus the
+        detokenized text delta, and the final one carries the finish
+        reason.  Abandoning the stream (``aclose()``, task cancellation,
+        breaking out of ``async for``) cancels the request — its KV
+        memory is freed immediately while the driver keeps stepping every
+        other in-flight request.
+        """
+        handle = self.engine.submit(prompt, params, **submit_kwargs)
+        self._ensure_driver()
+        try:
+            while True:
+                output = handle.poll()
+                if output is not None:
+                    yield output
+                    if output.finished:
+                        return
+                    continue
+                driver = self._driver
+                if driver is not None and driver.done():
+                    if not driver.cancelled() and driver.exception() is not None:
+                        raise driver.exception()
+                    if not handle.finished:
+                        # The driver drained between polls (or was
+                        # cancelled); restart it for this request.
+                        self._ensure_driver()
+                # Let the driver run a step before polling again.
+                await asyncio.sleep(0)
+        finally:
+            if not handle.finished:
+                self.engine.cancel(handle.request)
 
     async def _drive(self) -> None:
         engine = self.engine

@@ -10,7 +10,7 @@ generation.  Aggregates use the distribution helpers from
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.metrics import LatencySummary
 from ..fpga.power import EnergyBreakdown
@@ -34,6 +34,8 @@ class RequestMetrics:
     latency_s: float
     n_preemptions: int = 0
     prefix_hit_tokens: int = 0
+    #: Why the request retired: "stop" (EOS / stop sequence) or "length".
+    finish_reason: Optional[str] = None
 
     @classmethod
     def from_request(cls, request: Request, text: str) -> "RequestMetrics":
@@ -52,6 +54,7 @@ class RequestMetrics:
             latency_s=request.latency or 0.0,
             n_preemptions=request.n_preemptions,
             prefix_hit_tokens=request.prefix_hit_tokens,
+            finish_reason=request.finish_reason,
         )
 
     @property
@@ -67,6 +70,7 @@ class RequestMetrics:
             "queue_wait_ms": self.queue_wait_s * 1e3,
             "ttft_ms": self.time_to_first_token_s * 1e3,
             "latency_ms": self.latency_s * 1e3,
+            "finish_reason": self.finish_reason,
         }
 
 

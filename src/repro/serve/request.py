@@ -20,11 +20,18 @@ exactly where it stopped.  ``prefill_tokens`` is the stream a prefill
 actually feeds: the replay stream when one exists, the prompt otherwise.
 
 The request carries everything the scheduler and engine need to resume it
-at any step: its private KV cache, its private sampler (so stochastic
-decodes are reproducible regardless of batch composition), the next
-position to execute, and the token to feed there.  Timestamps are in
+at any step: its validated :class:`~repro.api.SamplingParams`, its
+private KV cache, its private sampler (derived from the params in one
+place — :meth:`SamplingParams.build_sampler` — so stochastic decodes are
+reproducible regardless of batch composition or preemption replays), the
+next position to execute, and the token to feed there.  Timestamps are in
 *simulated* seconds on the engine's clock, which is what the latency and
 queue-wait metrics report.
+
+Construction accepts either a ``sampling`` params object (the frontend
+API path) or the legacy loose fields (``max_new_tokens`` / ``sampler`` /
+``stop_at_eos``), which are consolidated into a params object on init so
+the rest of the stack sees exactly one configuration source.
 """
 
 from __future__ import annotations
@@ -32,8 +39,9 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, Iterator, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional
 
+from ..api.params import SamplingParams
 from ..llama.kv_cache import KVCache
 from ..llama.sampler import Sampler
 
@@ -56,11 +64,15 @@ class Request:
 
     request_id: str
     prompt_tokens: List[int]
-    max_new_tokens: int
-    sampler: Sampler = field(default_factory=Sampler)
+    max_new_tokens: int = 64
+    sampler: Optional[Sampler] = None
     stop_at_eos: bool = True
     arrival_time: float = 0.0
     prompt: str = ""
+    #: Validated sampling configuration.  When omitted, one is derived
+    #: from the legacy loose fields above; when given, it is the single
+    #: source of truth and the loose fields are overwritten from it.
+    sampling: Optional[SamplingParams] = None
 
     # Mutable progress state (owned by the scheduler/engine) ------------
     state: RequestState = RequestState.QUEUED
@@ -72,6 +84,16 @@ class Request:
     replay_tokens: Optional[List[int]] = None
     n_preemptions: int = 0
     prefix_hit_tokens: int = 0
+    #: Why the request retired ("stop" / "length" / "cancelled").
+    finish_reason: Optional[str] = None
+    #: Visible-text truncation point set when a stop sequence matched.
+    stop_text_limit: Optional[int] = None
+    #: Incremental UTF-8 bytes of the decoded output, maintained by the
+    #: engine's stop-sequence matcher (only when stop sequences are set).
+    stop_byte_cache: Optional[bytearray] = None
+    #: Per generated token: top-k token-id -> logprob maps, populated
+    #: only when ``sampling.logprobs`` is set.
+    logprobs: Optional[List[Dict[int, float]]] = None
 
     # Simulated-clock timestamps ---------------------------------------
     admitted_time: Optional[float] = None
@@ -81,8 +103,23 @@ class Request:
     def __post_init__(self) -> None:
         if not self.prompt_tokens:
             raise ValueError("prompt_tokens must not be empty")
-        if self.max_new_tokens <= 0:
-            raise ValueError("max_new_tokens must be positive")
+        if self.sampling is None:
+            # Legacy construction: consolidate the loose fields (the
+            # params validate them; an explicit sampler keeps its own
+            # temperature/top_p/seed, so only budget and EOS policy are
+            # taken from the loose fields in that case).
+            if self.max_new_tokens <= 0:
+                raise ValueError("max_new_tokens must be positive")
+            self.sampling = SamplingParams(
+                max_tokens=self.max_new_tokens,
+                stop_at_eos=self.stop_at_eos,
+            )
+        self.max_new_tokens = self.sampling.max_tokens
+        self.stop_at_eos = self.sampling.stops_at_eos
+        if self.sampler is None:
+            self.sampler = self.sampling.build_sampler()
+        if self.sampling.logprobs is not None and self.logprobs is None:
+            self.logprobs = []
         self.prompt_tokens = [int(t) for t in self.prompt_tokens]
 
     # ------------------------------------------------------------------
@@ -95,8 +132,17 @@ class Request:
         return len(self.generated_tokens)
 
     @property
+    def stop_strings(self) -> tuple:
+        """Stop sequences that truncate this request's visible text."""
+        return self.sampling.stop
+
+    @property
     def is_finished(self) -> bool:
         return self.state is RequestState.FINISHED
+
+    @property
+    def is_cancelled(self) -> bool:
+        return self.state is RequestState.CANCELLED
 
     @property
     def in_prefill(self) -> bool:

@@ -451,8 +451,10 @@ class Scheduler:
             self._release_running(request)
             request.cache = None
             request.state = RequestState.CANCELLED
+            request.finish_reason = "cancelled"
             return True
         if self.queue.remove(request):
             request.state = RequestState.CANCELLED
+            request.finish_reason = "cancelled"
             return True
         return False

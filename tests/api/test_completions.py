@@ -1,0 +1,131 @@
+"""Tests for the OpenAI-style completions layer (repro.api.completions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    CompletionRequest,
+    CompletionResponse,
+    CompletionService,
+    InvalidSamplingError,
+)
+from repro.serve import ServingEngine
+
+PROMPT = "Once upon a time"
+
+
+@pytest.fixture
+def service(llm):
+    return CompletionService(ServingEngine(llm))
+
+
+class TestCreate:
+    def test_response_matches_one_shot_generation(self, llm, service):
+        expected = llm.generate(PROMPT, max_new_tokens=8)
+        response = service.create(CompletionRequest(prompt=PROMPT,
+                                                    max_tokens=8))
+        assert isinstance(response, CompletionResponse)
+        assert response.object == "text_completion"
+        assert response.id.startswith("cmpl-")
+        assert response.text == expected.text
+        assert list(response.choices[0].token_ids) == expected.generated_tokens
+        assert response.choices[0].finish_reason == "length"
+
+    def test_usage_accounts_prompt_and_completion(self, llm, service):
+        response = service.create(CompletionRequest(prompt=PROMPT,
+                                                    max_tokens=6))
+        usage = response.usage
+        assert usage.prompt_tokens == len(llm.encode(PROMPT))
+        assert usage.completion_tokens == 6
+        assert usage.total_tokens == usage.prompt_tokens + 6
+
+    def test_ids_are_unique_and_monotonic(self, service):
+        first = service.create(CompletionRequest(prompt=PROMPT, max_tokens=2))
+        second = service.create(CompletionRequest(prompt=PROMPT, max_tokens=2))
+        assert first.id != second.id
+        assert second.created >= first.created  # simulated clock advances
+
+    def test_model_name_defaults_to_engine_model(self, llm, service):
+        response = service.create(CompletionRequest(prompt=PROMPT,
+                                                    max_tokens=2))
+        assert response.model == llm.model_config.name
+        override = service.create(CompletionRequest(prompt=PROMPT,
+                                                    max_tokens=2,
+                                                    model="custom"))
+        assert override.model == "custom"
+
+    def test_invalid_params_rejected_before_submission(self, service):
+        with pytest.raises(InvalidSamplingError):
+            service.create(CompletionRequest(prompt=PROMPT, max_tokens=0))
+
+    def test_create_rejects_stream_requests(self, service):
+        from repro.api import FrontendError
+        with pytest.raises(FrontendError, match="stream"):
+            service.create(CompletionRequest(prompt=PROMPT, max_tokens=4,
+                                             stream=True))
+        # stream() honours the flag's contract instead.
+        chunks = list(service.stream(CompletionRequest(
+            prompt=PROMPT, max_tokens=4, stream=True)))
+        assert chunks[-1].finish_reason is not None
+
+    def test_as_dict_is_json_shaped(self, service):
+        import json
+        response = service.create(CompletionRequest(prompt=PROMPT,
+                                                    max_tokens=3,
+                                                    logprobs=2))
+        payload = response.as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["object"] == "text_completion"
+        assert payload["choices"][0]["finish_reason"] == "length"
+        assert len(payload["choices"][0]["logprobs"]["top_logprobs"]) == 3
+        assert payload["usage"]["completion_tokens"] == 3
+
+
+class TestStream:
+    def test_chunks_reassemble_to_batch_text(self, llm, service):
+        expected = llm.generate(PROMPT, max_new_tokens=8)
+        chunks = list(service.stream(CompletionRequest(prompt=PROMPT,
+                                                       max_tokens=8)))
+        assert chunks
+        assert all(c.object == "text_completion.chunk" for c in chunks)
+        assert len({c.id for c in chunks}) == 1   # one id per completion
+        assert "".join(c.text for c in chunks) == expected.text
+        assert chunks[-1].finish_reason == "length"
+        assert all(c.finish_reason is None for c in chunks[:-1])
+
+    def test_stream_with_stop_sequence_truncates(self, llm, service):
+        full = llm.generate(PROMPT, max_new_tokens=12)
+        stop = full.text[2:6]
+        chunks = list(service.stream(CompletionRequest(
+            prompt=PROMPT, max_tokens=12, stop=stop)))
+        text = "".join(c.text for c in chunks)
+        assert text == full.text[:full.text.find(stop)]
+        assert chunks[-1].finish_reason == "stop"
+
+    def test_created_timestamps_do_not_go_backwards(self, service):
+        chunks = list(service.stream(CompletionRequest(prompt=PROMPT,
+                                                       max_tokens=6)))
+        created = [c.created for c in chunks]
+        assert created == sorted(created)
+
+
+class TestSubmitDrain:
+    def test_many_pending_completions_share_the_batch(self, llm):
+        prompts = [PROMPT, "The little dog was happy", "Sam ran home"]
+        sequential = {
+            p: llm.generate(p, max_new_tokens=6).generated_tokens
+            for p in prompts
+        }
+        engine = ServingEngine(llm)
+        service = CompletionService(engine)
+        pending = [
+            service.submit(CompletionRequest(prompt=p, max_tokens=6))
+            for p in prompts
+        ]
+        report = engine.run()
+        assert report.mean_batch_tokens > 1.0
+        for prompt, item in zip(prompts, pending):
+            response = item.response()
+            assert (list(response.choices[0].token_ids)
+                    == sequential[prompt])

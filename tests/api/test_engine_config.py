@@ -1,0 +1,94 @@
+"""Tests for EngineConfig (repro.api.config): one declaration, one factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EngineConfig, FrontendError
+from repro.backend import LocalBackend, ShardedBackend
+from repro.serve.engine import AsyncServingEngine
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"tensor_parallel": 0},
+        {"interconnect_gbps": 0.0},
+        {"interconnect_latency_us": -1.0},
+        {"position_stride": 0},
+        {"arrival_policy": "bursty"},
+        {"arrival_policy": "poisson"},               # needs a rate
+        {"arrival_policy": "poisson", "arrival_rate": 0.0},
+        {"max_batch_tokens": 0},                     # via SchedulerConfig
+        {"block_size": -1},
+    ])
+    def test_bad_values_rejected_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            EngineConfig(model="test-small", **kwargs)
+
+    def test_frontend_error_for_backend_knobs(self):
+        with pytest.raises(FrontendError):
+            EngineConfig(tensor_parallel=-2)
+
+
+class TestSchedulerMapping:
+    def test_scheduler_config_carries_every_knob(self):
+        config = EngineConfig(
+            max_batch_tokens=32, max_running=4, prefill_chunk=2,
+            kv_budget_bytes=1 << 20, paged=True, block_size=8,
+            watermark_fraction=0.1,
+        )
+        sched = config.scheduler_config()
+        assert sched.max_batch_tokens == 32
+        assert sched.max_running == 4
+        assert sched.prefill_chunk == 2
+        assert sched.kv_budget_bytes == 1 << 20
+        assert sched.paged is True
+        assert sched.block_tokens == 8
+        assert sched.watermark_fraction == 0.1
+
+
+class TestFactory:
+    def test_build_engine_local_backend(self, llm):
+        engine = EngineConfig(model="test-small").build_engine(llm=llm)
+        assert isinstance(engine.backend, LocalBackend)
+        assert engine.scheduler.pool is None
+        assert engine.llm is llm
+
+    def test_build_engine_paged_sharded(self, llm):
+        engine = EngineConfig(
+            model="test-small", paged=True, block_size=8,
+            tensor_parallel=2, interconnect_gbps=16.0,
+        ).build_engine(llm=llm)
+        assert isinstance(engine.backend, ShardedBackend)
+        assert engine.backend.n_shards == 2
+        assert engine.scheduler.pool is not None
+        assert engine.scheduler.pool.block_tokens == 8
+
+    def test_build_async_engine(self, llm):
+        engine = EngineConfig(model="test-small").build_async_engine(llm=llm)
+        assert isinstance(engine, AsyncServingEngine)
+        assert engine.engine.llm is llm
+
+    def test_built_engine_serves(self, llm):
+        from repro.api import SamplingParams
+        engine = EngineConfig(model="test-small",
+                              max_batch_tokens=8).build_engine(llm=llm)
+        handle = engine.submit("Once upon a time", SamplingParams(max_tokens=4))
+        report = engine.run()
+        assert report.n_requests == 1
+        assert handle.finished
+
+
+class TestArrivals:
+    def test_immediate_policy_has_no_schedule(self):
+        assert EngineConfig().arrival_times(5) is None
+
+    def test_poisson_schedule_is_reproducible_and_sorted(self):
+        config = EngineConfig(arrival_policy="poisson", arrival_rate=100.0,
+                              seed=3)
+        first = config.arrival_times(6)
+        second = config.arrival_times(6)
+        assert first == second
+        assert len(first) == 6
+        assert first == sorted(first)
+        assert all(t >= 0 for t in first)

@@ -1,0 +1,93 @@
+"""Tests for SamplingParams (repro.api.params): the one validation point."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import InvalidSamplingError, SamplingParams
+from repro.llama.sampler import Sampler
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_tokens": 0},
+        {"max_tokens": -3},
+        {"temperature": -0.1},
+        {"top_p": 0.0},
+        {"top_p": 1.5},
+        {"logprobs": 0},
+        {"logprobs": 1000},
+        {"stop": ("ok", "")},
+        {"stop": (b"bytes",)},
+        {"stop": 5},                       # not iterable: typed error too
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(InvalidSamplingError):
+            SamplingParams(**kwargs)
+
+    def test_invalid_sampling_error_is_a_value_error(self):
+        # Callers that caught the historical bare ValueError keep working.
+        with pytest.raises(ValueError):
+            SamplingParams(max_tokens=0)
+
+    def test_defaults_are_valid_and_greedy(self):
+        params = SamplingParams()
+        assert params.is_greedy
+        assert params.stops_at_eos
+        assert params.stop == ()
+
+    def test_frozen(self):
+        params = SamplingParams()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            params.max_tokens = 8
+
+
+class TestNormalization:
+    def test_single_stop_string_becomes_tuple(self):
+        assert SamplingParams(stop="END").stop == ("END",)
+
+    def test_stop_list_becomes_tuple(self):
+        assert SamplingParams(stop=["a", "b"]).stop == ("a", "b")
+
+    def test_ignore_eos_overrides_stop_at_eos(self):
+        assert SamplingParams(ignore_eos=True).stops_at_eos is False
+        assert SamplingParams(stop_at_eos=False).stops_at_eos is False
+        assert SamplingParams().stops_at_eos is True
+
+
+class TestSamplerDerivation:
+    def test_build_sampler_matches_direct_construction(self):
+        params = SamplingParams(temperature=0.7, top_p=0.9, seed=42)
+        derived = params.build_sampler()
+        direct = Sampler(temperature=0.7, top_p=0.9, seed=42)
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=64)
+        # Identically-seeded samplers pick identical tokens.
+        picks_a = [derived.sample(logits) for _ in range(16)]
+        picks_b = [direct.sample(logits) for _ in range(16)]
+        assert picks_a == picks_b
+
+    def test_each_call_builds_a_fresh_sampler(self):
+        params = SamplingParams(temperature=0.8, seed=7)
+        first, second = params.build_sampler(), params.build_sampler()
+        assert first is not second
+        logits = np.random.default_rng(1).normal(size=32)
+        assert ([first.sample(logits) for _ in range(8)]
+                == [second.sample(logits) for _ in range(8)])
+
+
+class TestCapping:
+    def test_capped_clamps_overflowing_budget(self):
+        params = SamplingParams(max_tokens=100)
+        capped = params.capped(max_seq_len=64, n_prompt=10)
+        assert capped.max_tokens == 54
+        # The rest of the configuration is untouched.
+        assert capped.temperature == params.temperature
+        assert capped.seed == params.seed
+
+    def test_capped_is_identity_when_budget_fits(self):
+        params = SamplingParams(max_tokens=8)
+        assert params.capped(max_seq_len=64, n_prompt=10) is params

@@ -1,0 +1,101 @@
+"""The PR's acceptance pin: every frontend surface produces identical
+token streams.
+
+The same prompts are driven through
+
+(a) the deprecated ``submit(**kwargs)`` shim,
+(b) ``SamplingParams`` + the streaming ``RequestHandle``, and
+(c) the OpenAI-style completions layer,
+
+for greedy and seeded top-p sampling, and all three must emit exactly the
+same tokens as one another and as sequential ``SpeedLLM.generate``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import CompletionRequest, CompletionService, SamplingParams
+from repro.serve import SchedulerConfig, ServingEngine
+
+PROMPTS = [
+    "Once upon a time",
+    "Lily and Tom went to the park",
+    "The little dog was happy",
+    "One day a bird found a shiny stone",
+]
+
+CONFIGS = [
+    pytest.param({"temperature": 0.0, "top_p": 1.0}, id="greedy"),
+    pytest.param({"temperature": 0.8, "top_p": 0.9}, id="top-p"),
+]
+
+
+def _streams_via_shim(llm, sampling, max_tokens):
+    engine = ServingEngine(llm, SchedulerConfig(max_batch_tokens=16))
+    handles = [
+        engine.submit(p, max_new_tokens=max_tokens, seed=11 + i, **sampling)
+        for i, p in enumerate(PROMPTS)
+    ]
+    engine.run()
+    return [list(h.token_ids) for h in handles]
+
+
+def _streams_via_params(llm, sampling, max_tokens):
+    engine = ServingEngine(llm, SchedulerConfig(max_batch_tokens=16))
+    handles = [
+        engine.submit(p, SamplingParams(max_tokens=max_tokens, seed=11 + i,
+                                        **sampling))
+        for i, p in enumerate(PROMPTS)
+    ]
+    # Consume through the streaming iterator rather than run(), so the
+    # incremental surface itself is what's being pinned.
+    collected = []
+    for handle in handles:
+        collected.append([t for out in handle for t in out.new_token_ids])
+    return collected
+
+
+def _streams_via_completions(llm, sampling, max_tokens):
+    engine = ServingEngine(llm, SchedulerConfig(max_batch_tokens=16))
+    service = CompletionService(engine)
+    pending = [
+        service.submit(CompletionRequest(prompt=p, max_tokens=max_tokens,
+                                         seed=11 + i, **sampling))
+        for i, p in enumerate(PROMPTS)
+    ]
+    engine.run()
+    return [list(p.response().choices[0].token_ids) for p in pending]
+
+
+@pytest.mark.parametrize("sampling", CONFIGS)
+def test_all_three_surfaces_emit_identical_streams(llm, sampling):
+    max_tokens = 8
+    sequential = [
+        llm.generate(p, max_new_tokens=max_tokens, seed=11 + i,
+                     **sampling).generated_tokens
+        for i, p in enumerate(PROMPTS)
+    ]
+    shim = _streams_via_shim(llm, sampling, max_tokens)
+    params = _streams_via_params(llm, sampling, max_tokens)
+    completions = _streams_via_completions(llm, sampling, max_tokens)
+    assert shim == sequential
+    assert params == sequential
+    assert completions == sequential
+
+
+def test_identity_holds_under_paged_kv(llm):
+    max_tokens = 8
+    config = SchedulerConfig(paged=True, block_tokens=8)
+    sequential = [
+        llm.generate(p, max_new_tokens=max_tokens).generated_tokens
+        for p in PROMPTS
+    ]
+    engine = ServingEngine(llm, config)
+    service = CompletionService(engine)
+    pending = [service.submit(CompletionRequest(prompt=p,
+                                                max_tokens=max_tokens))
+               for p in PROMPTS]
+    engine.run()
+    streams = [list(p.response().choices[0].token_ids) for p in pending]
+    assert streams == sequential
