@@ -205,13 +205,14 @@ class SpeedLLMAccelerator:
         context_lens: Sequence[int],
         need_logits: Optional[Sequence[bool]] = None,
         kv_block_tokens: Optional[int] = None,
+        run_ids: Optional[Sequence[int]] = None,
     ) -> Program:
         """Merged weight-stationary program for one batched step.
 
         See :meth:`StepTimingModel.batch_program_for`.
         """
         return self.timing.batch_program_for(
-            context_lens, need_logits, kv_block_tokens
+            context_lens, need_logits, kv_block_tokens, run_ids=run_ids
         )
 
     def simulate_batched_step(
@@ -219,10 +220,11 @@ class SpeedLLMAccelerator:
         context_lens: Sequence[int],
         need_logits: Optional[Sequence[bool]] = None,
         kv_block_tokens: Optional[int] = None,
+        run_ids: Optional[Sequence[int]] = None,
     ) -> StepResult:
         """Cycle-accurate simulation of one batched decode step, cached."""
         return self.timing.simulate_batched_step(
-            context_lens, need_logits, kv_block_tokens
+            context_lens, need_logits, kv_block_tokens, run_ids=run_ids
         )
 
     def _sample_positions(self, n_positions: int, stride: int) -> List[int]:

@@ -15,7 +15,12 @@ already-compiled single-sequence programs:
   streaming, and the batch amortizes exactly that traffic.
 * **Attention packets** read each sequence's own KV window, so they stay
   per-sequence: one packet per sequence with its own context-dependent
-  load and compute.
+  load and compute.  Within a speculative *verify run* — consecutive
+  slots of one request scoring its draft tokens — the window of slot
+  ``i+1`` is the window of slot ``i`` plus the key/value the run itself
+  just produced on chip, so followers charge only the *incremental* HBM
+  bytes (usually zero); see :func:`batch_run_ids` and the ``run_ids``
+  parameter of :func:`merge_batch_programs`.
 * **SFU / DMA packets** (norms, RoPE, softmax, element-wise, embedding
   gather, KV append) operate on per-sequence activations and also stay
   per-sequence, but they share the operator's single instruction
@@ -41,9 +46,10 @@ from typing import List, Optional, Sequence
 
 from ..llama.kv_cache import KVCache
 from .config import MPEConfig
-from .instructions import OpProgram, Program, TilePacket
+from .instructions import ComputeUnit, OpProgram, Program, TilePacket
 
-__all__ = ["BatchSlot", "block_padded_context", "merge_batch_programs"]
+__all__ = ["BatchSlot", "batch_run_ids", "block_padded_context",
+           "merge_batch_programs"]
 
 
 def block_padded_context(pos: int, block_tokens: int, max_seq_len: int) -> int:
@@ -79,10 +85,40 @@ class BatchSlot:
     cache: KVCache
     need_logits: bool = True
     request_id: Optional[str] = None
+    #: Part of a speculative verify run: consecutive speculative slots of
+    #: one request share their KV window in the timing model (the run is
+    #: one fused multi-token attention pass) and are rolled back together
+    #: when draft tokens are rejected.
+    speculative: bool = False
 
     def __post_init__(self) -> None:
         if self.pos < 0:
             raise ValueError("pos must be >= 0")
+
+
+def batch_run_ids(slots: Sequence[BatchSlot]) -> Optional[List[int]]:
+    """Group ids for run-aware program merging, or None when unneeded.
+
+    Consecutive *speculative* slots of the same request form one verify
+    run and share an id; every other slot gets its own.  Returns None
+    when no slot is speculative, so non-speculative steps keep the exact
+    merge (and cache keys) they had before speculative decoding existed.
+    """
+    if not any(slot.speculative for slot in slots):
+        return None
+    ids: List[int] = []
+    next_id = 0
+    prev_key: Optional[str] = None
+    for slot in slots:
+        key = (slot.request_id
+               if slot.speculative and slot.request_id is not None else None)
+        if key is not None and key == prev_key:
+            ids.append(ids[-1])
+        else:
+            ids.append(next_id)
+            next_id += 1
+        prev_key = key
+    return ids
 
 
 def _merged_weight_tile(packets: Sequence[TilePacket], mpe: MPEConfig) -> TilePacket:
@@ -108,10 +144,66 @@ def _merged_weight_tile(packets: Sequence[TilePacket], mpe: MPEConfig) -> TilePa
     )
 
 
+def _merged_run_packet(
+    group: Sequence[tuple], mpe: MPEConfig
+) -> TilePacket:
+    """Fuse one op's per-sequence packets across a speculative verify run.
+
+    ``group`` holds ``(slot_index, packet)`` pairs for the consecutive
+    positions of one request's verify run.  A multi-token verify kernel
+    processes those positions in a single vectorized pass, so the run
+    issues **one** packet per operator — paying the buffer acquisition,
+    HBM access latency and dispatch slot once — instead of one packet per
+    draft token:
+
+    * **Attention products** (MPE packets without weights) share the KV
+      window: position ``i+1`` attends over position ``i``'s window plus
+      the key/value the run itself just produced on chip, so the fused
+      packet loads the first position's window from HBM plus only the
+      incremental bytes later positions add (non-zero only when paged
+      block padding crosses a block boundary mid-run).  The re-read
+      overlap moves to on-chip traffic; every position still pays its
+      full score/context *compute*, pipelined like a weight tile
+      (``sum(passes) + fill/drain once``).
+    * **SFU / DMA packets** (norms, RoPE, softmax, KV appends) operate on
+      per-position activations: bytes and flops sum, but the run shares
+      one instruction and one transfer's access latency.
+    """
+    lead_index, lead = group[0]
+    if lead.unit is ComputeUnit.MPE:
+        depth = mpe.pipeline_depth
+        compute = sum(
+            max(p.compute_cycles - depth, 1) for _, p in group
+        ) + depth
+        load = lead.load_bytes
+        onchip = lead.onchip_bytes
+        previous = lead
+        for _, packet in group[1:]:
+            incremental = max(packet.load_bytes - previous.load_bytes, 0)
+            load += incremental
+            onchip += packet.onchip_bytes + (packet.load_bytes - incremental)
+            previous = packet
+    else:
+        compute = sum(p.compute_cycles for _, p in group)
+        load = sum(p.load_bytes for _, p in group)
+        onchip = sum(p.onchip_bytes for _, p in group)
+    return dataclasses.replace(
+        lead,
+        load_bytes=load,
+        compute_cycles=compute,
+        store_bytes=sum(p.store_bytes for _, p in group),
+        macs=sum(p.macs for _, p in group),
+        sfu_flops=sum(p.sfu_flops for _, p in group),
+        onchip_bytes=onchip,
+        label=f"{lead.label}#run{lead_index}x{len(group)}",
+    )
+
+
 def merge_batch_programs(
     programs: Sequence[Program],
     mpe: MPEConfig,
     name: Optional[str] = None,
+    run_ids: Optional[Sequence[int]] = None,
 ) -> Program:
     """Merge per-sequence decode-step programs into one batched program.
 
@@ -120,9 +212,17 @@ def merge_batch_programs(
     with it).  The result orders work exactly like the single-sequence
     programs — operator by operator — with weight tiles batched and
     per-sequence packets interleaved behind a single dispatch.
+
+    ``run_ids`` (one per program, consecutive slots of a run contiguous —
+    see :func:`batch_run_ids`) marks speculative verify runs: attention
+    packets of a run's followers charge only the incremental KV bytes
+    their predecessor did not already stream, modelling the fused
+    multi-token attention pass of a verify kernel.
     """
     if not programs:
         raise ValueError("at least one program is required")
+    if run_ids is not None and len(run_ids) != len(programs):
+        raise ValueError("run_ids must match programs in length")
     if len(programs) == 1:
         return programs[0]
     # Programs may differ in length: positions that skip the classifier
@@ -132,16 +232,17 @@ def merge_batch_programs(
     n_ops = max(len(program.ops) for program in programs)
     merged = Program(name=name or f"{programs[0].name}-batch{len(programs)}")
     for j in range(n_ops):
-        op_versions = [program.ops[j] for program in programs
+        op_versions = [(i, program.ops[j])
+                       for i, program in enumerate(programs)
                        if j < len(program.ops)]
-        lead = op_versions[0]
-        if any(op.op_name != lead.op_name for op in op_versions):
+        lead = op_versions[0][1]
+        if any(op.op_name != lead.op_name for _, op in op_versions):
             raise ValueError(
                 f"operator mismatch at index {j} "
-                f"({sorted({op.op_name for op in op_versions})}); batched "
+                f"({sorted({op.op_name for _, op in op_versions})}); batched "
                 "steps require a common decode-step topology prefix"
             )
-        n_packets = {len(op.packets) for op in op_versions}
+        n_packets = {len(op.packets) for _, op in op_versions}
         if len(n_packets) != 1:
             raise ValueError(
                 f"operator {lead.op_name!r} has mismatched packet counts "
@@ -149,15 +250,37 @@ def merge_batch_programs(
             )
         packets: List[TilePacket] = []
         for k in range(len(lead.packets)):
-            versions = [op.packets[k] for op in op_versions]
-            first = versions[0]
+            versions = [(i, op.packets[k]) for i, op in op_versions]
+            first = versions[0][1]
             if first.weight_bytes > 0:
-                packets.append(_merged_weight_tile(versions, mpe))
-            else:
-                for i, packet in enumerate(versions):
+                packets.append(_merged_weight_tile(
+                    [p for _, p in versions], mpe
+                ))
+            elif run_ids is None:
+                for i, packet in versions:
                     packets.append(dataclasses.replace(
                         packet, label=f"{packet.label}#b{i}"
                     ))
+            else:
+                # Group the consecutive slots of each verify run: their
+                # per-sequence work fuses into one vectorized packet.
+                start = 0
+                while start < len(versions):
+                    end = start + 1
+                    anchor = versions[start][0]
+                    while (end < len(versions)
+                           and versions[end][0] == versions[end - 1][0] + 1
+                           and run_ids[versions[end][0]] == run_ids[anchor]):
+                        end += 1
+                    group = versions[start:end]
+                    if len(group) == 1:
+                        i, packet = group[0]
+                        packets.append(dataclasses.replace(
+                            packet, label=f"{packet.label}#b{i}"
+                        ))
+                    else:
+                        packets.append(_merged_run_packet(group, mpe))
+                    start = end
         merged.add(OpProgram(op_name=lead.op_name, unit=lead.unit,
                              packets=packets))
     merged.metadata["batch_size"] = len(programs)

@@ -115,6 +115,7 @@ class StepTimingModel:
         context_lens: Sequence[int],
         need_logits: Optional[Sequence[bool]] = None,
         kv_block_tokens: Optional[int] = None,
+        run_ids: Optional[Sequence[int]] = None,
     ) -> Program:
         """Merged weight-stationary program for one batched step.
 
@@ -125,6 +126,12 @@ class StepTimingModel:
         :mod:`repro.accel.batching`.  With ``kv_block_tokens`` set (paged
         KV serving) every attention window is padded to whole KV blocks,
         so the simulated HBM sees block-granular cache reads.
+
+        ``run_ids`` groups consecutive slots into speculative verify runs
+        (:func:`~repro.accel.batching.batch_run_ids`): a run's follower
+        positions share the KV window its first position streamed, so
+        their attention packets charge only incremental HBM bytes — the
+        cycle-accurate cost of scoring K draft tokens in one pass.
         """
         if need_logits is None:
             need_logits = [True] * len(context_lens)
@@ -133,7 +140,8 @@ class StepTimingModel:
         context_lens = self.padded_contexts(context_lens, kv_block_tokens)
         programs = [self.program_for(ctx, logits)
                     for ctx, logits in zip(context_lens, need_logits)]
-        return merge_batch_programs(programs, self.config.mpe)
+        return merge_batch_programs(programs, self.config.mpe,
+                                    run_ids=run_ids)
 
     def padded_contexts(
         self,
@@ -154,12 +162,19 @@ class StepTimingModel:
         context_lens: Sequence[int],
         need_logits: Optional[Sequence[bool]] = None,
         kv_block_tokens: Optional[int] = None,
+        run_ids: Optional[Sequence[int]] = None,
     ) -> StepResult:
-        """Cycle-accurate simulation of one batched decode step, cached."""
+        """Cycle-accurate simulation of one batched decode step, cached.
+
+        ``run_ids`` (see :meth:`batch_program_for`) joins the cache key:
+        the same context/logits composition prices differently when some
+        slots form speculative verify runs.
+        """
         if need_logits is None:
             need_logits = [True] * len(context_lens)
         context_lens = self.padded_contexts(context_lens, kv_block_tokens)
-        key = (tuple(context_lens), tuple(need_logits))
+        key = (tuple(context_lens), tuple(need_logits),
+               tuple(run_ids) if run_ids is not None else None)
         cache = self._batch_step_cache
         if key in cache:
             cache.move_to_end(key)
@@ -168,7 +183,8 @@ class StepTimingModel:
             result = self.simulate_step(context_lens[0], need_logits[0])
         else:
             result = self._executor.run(
-                self.batch_program_for(context_lens, need_logits)
+                self.batch_program_for(context_lens, need_logits,
+                                       run_ids=run_ids)
             )
         cache[key] = result
         while len(cache) > self._batch_step_cache_size:

@@ -6,9 +6,12 @@ Everything a client of the serving system touches lives here:
   configuration (temperature, top-p, seed, decode budget, stop
   sequences, EOS policy, optional logprobs);
 * :class:`EngineConfig` — one declarative engine description (model
-  preset, scheduler/KV knobs, tensor-parallel degree, interconnect,
-  arrival policy) with :meth:`~EngineConfig.build_engine` factories that
-  replace hand-wiring scheduler + KV pool + backend;
+  preset, scheduler/KV knobs, speculative-decoding policy,
+  tensor-parallel degree, interconnect, arrival policy) with
+  :meth:`~EngineConfig.build_engine` factories that replace hand-wiring
+  scheduler + KV pool + backend;
+* :class:`SpecConfig` — the speculative draft-and-verify policy
+  (``EngineConfig(speculative=SpecConfig(method="ngram"))``);
 * :class:`RequestHandle` / :class:`RequestOutput` — the streaming
   surface returned by :meth:`repro.serve.ServingEngine.submit`:
   incremental tokens, detokenized deltas and a finish reason;
@@ -37,6 +40,7 @@ from .completions import (
     CompletionUsage,
     PendingCompletion,
 )
+from ..spec.config import SpecConfig
 from .config import EngineConfig
 from .errors import FrontendError, InvalidSamplingError, PromptTooLongError
 from .outputs import RequestHandle, RequestOutput
@@ -57,4 +61,5 @@ __all__ = [
     "RequestHandle",
     "RequestOutput",
     "SamplingParams",
+    "SpecConfig",
 ]

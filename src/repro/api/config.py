@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, List, Optional, Union
 from ..backend import build_backend
 from ..llama.config import LlamaConfig
 from ..serve.scheduler import DEFAULT_KV_BUDGET_BYTES, SchedulerConfig
+from ..spec.config import SpecConfig
 from .errors import FrontendError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -52,6 +53,11 @@ class EngineConfig:
     paged: bool = False
     block_size: int = 16
     watermark_fraction: float = 0.05
+
+    # Speculative decoding ----------------------------------------------
+    #: Draft-and-verify policy (:class:`repro.spec.SpecConfig`); None
+    #: decodes one token per request per step.
+    speculative: Optional[SpecConfig] = None
 
     # Execution backend -------------------------------------------------
     tensor_parallel: int = 1
@@ -96,6 +102,7 @@ class EngineConfig:
             paged=self.paged,
             block_tokens=self.block_size,
             watermark_fraction=self.watermark_fraction,
+            speculative=self.speculative,
         )
 
     def build_llm(self) -> "SpeedLLM":

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..accel.accelerator import SpeedLLMAccelerator
-from ..accel.batching import BatchSlot
+from ..accel.batching import BatchSlot, batch_run_ids
 from ..fpga.power import EnergyBreakdown
 from ..sim.stats import RunCounters
 from .base import BackendStep, ExecutionBackend
@@ -43,6 +43,7 @@ class LocalBackend(ExecutionBackend):
             [slot.pos for slot in slots],
             [slot.need_logits for slot in slots],
             kv_block_tokens=kv_block_tokens,
+            run_ids=batch_run_ids(slots),
         )
         seconds = self.platform.cycles_to_seconds(timing.cycles)
         return BackendStep(

@@ -32,7 +32,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..accel.accelerator import SpeedLLMAccelerator
-from ..accel.batching import BatchSlot
+from ..accel.batching import BatchSlot, batch_run_ids
 from ..accel.timing import StepTimingModel
 from ..fpga.power import EnergyBreakdown
 from ..graph.sharding import ShardSpec
@@ -118,6 +118,7 @@ class ShardedBackend(ExecutionBackend):
             [slot.pos for slot in slots],
             need_logits,
             kv_block_tokens=kv_block_tokens,
+            run_ids=batch_run_ids(slots),
         )
         tp = self.n_shards
         compute_seconds = self.platform.cycles_to_seconds(timing.cycles)

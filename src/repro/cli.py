@@ -10,7 +10,10 @@ Six subcommands cover the everyday workflows:
   continuous-batching :class:`~repro.serve.ServingEngine` (assembled
   from a declarative :class:`~repro.api.EngineConfig`, submitted through
   the OpenAI-style completions layer) and compare aggregate throughput
-  against the sequential one-shot baseline;
+  against the sequential one-shot baseline; with ``--speculative
+  {ngram,draft}`` the same suite is also served speculation-off for an
+  honest speculative speedup, and ``--check`` asserts token identity
+  between the two;
 * ``serve-api`` — the frontend-API demo: run OpenAI-style completions
   (streamed chunk-by-chunk by default) through the engine, optionally
   asserting that the reassembled stream matches the non-streamed result;
@@ -31,7 +34,7 @@ import sys
 from typing import Optional, Sequence
 
 from .accel.variants import PAPER_VARIANTS
-from .api import CompletionRequest, CompletionService, EngineConfig
+from .api import CompletionRequest, CompletionService, EngineConfig, SpecConfig
 from .core.report import format_table, render_bar_chart, write_json
 from .core.runner import ExperimentConfig, ExperimentRunner
 from .core.speedllm import SpeedLLM
@@ -40,7 +43,8 @@ from .graph.builder import build_decode_graph
 from .graph.export import to_dot, to_json
 from .graph.fusion import fuse_graph
 from .llama.config import available_presets, preset
-from .workloads.prompts import default_suite, shared_prefix_suite
+from .workloads.prompts import (default_suite, repetitive_suite,
+                                shared_prefix_suite)
 
 __all__ = ["main", "build_parser"]
 
@@ -61,6 +65,23 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                              "reservations")
     parser.add_argument("--block-size", type=int, default=16,
                         help="token positions per KV block (with --paged)")
+    parser.add_argument("--speculative", choices=("ngram", "draft"),
+                        default=None,
+                        help="speculative decoding: 'ngram' drafts by "
+                             "prompt lookup (no extra weights), 'draft' "
+                             "runs a small draft model; each decode turn "
+                             "verifies up to --spec-tokens drafts in one "
+                             "weight-stationary pass")
+    parser.add_argument("--spec-tokens", type=int, default=4,
+                        help="draft tokens per verify step (with "
+                             "--speculative)")
+    parser.add_argument("--draft-model", default=None,
+                        help="draft-model preset for --speculative draft "
+                             "(default: 'self', the target's own weights "
+                             "— exact greedy acceptance)")
+    parser.add_argument("--ngram-max", type=int, default=3,
+                        help="longest suffix n-gram the ngram drafter "
+                             "matches (with --speculative ngram)")
     parser.add_argument("--tensor-parallel", type=int, default=1,
                         help="shard execution over N simulated accelerators "
                              "(tensor-parallel attention heads / FFN "
@@ -73,10 +94,23 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                              "microseconds (with --tensor-parallel > 1)")
 
 
+def _spec_config(args: argparse.Namespace) -> Optional[SpecConfig]:
+    """The speculative policy the CLI flags describe (None when off)."""
+    if args.speculative is None:
+        return None
+    return SpecConfig(
+        method=args.speculative,
+        num_draft_tokens=args.spec_tokens,
+        ngram_max=args.ngram_max,
+        draft_model=args.draft_model,
+    )
+
+
 def _engine_config(args: argparse.Namespace) -> EngineConfig:
     """Map parsed CLI flags onto one declarative engine configuration."""
     arrival_rate = getattr(args, "arrival_rate", None)
     return EngineConfig(
+        speculative=_spec_config(args),
         model=args.model,
         variant=args.variant,
         seed=args.seed,
@@ -143,6 +177,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shared-prefix", action="store_true",
                        help="serve prompts sharing one system preamble "
                             "(the workload prefix caching accelerates)")
+    serve.add_argument("--repetitive", action="store_true",
+                       help="serve templated, highly repetitive prompts "
+                            "(the workload n-gram draft lookup "
+                            "accelerates)")
+    serve.add_argument("--adversarial", action="store_true",
+                       help="with --repetitive: novel-text prompts whose "
+                            "n-grams never recur (the drafter's "
+                            "worst case)")
+    serve.add_argument("--ignore-eos", action="store_true",
+                       help="never retire on EOS (fixed-length decode "
+                            "benchmarking)")
+    serve.add_argument("--check", action="store_true",
+                       help="with --speculative: re-serve the suite "
+                            "non-speculatively and fail unless every "
+                            "token stream is identical")
     serve.add_argument("--arrival-rate", type=float, default=None,
                        help="Poisson request arrival rate in requests per "
                             "simulated second (default: all requests "
@@ -259,6 +308,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_suite(config: EngineConfig, llm, suite, ignore_eos: bool):
+    """Serve one workload suite through the completions layer; report."""
+    engine = config.build_engine(llm=llm)
+    service = CompletionService(engine)
+    arrivals = config.arrival_times(len(suite)) or [None] * len(suite)
+    pending = [
+        service.submit(
+            CompletionRequest(prompt=workload.prompt,
+                              max_tokens=workload.max_new_tokens,
+                              ignore_eos=ignore_eos),
+            arrival_time=arrival,
+        )
+        for workload, arrival in zip(suite, arrivals)
+    ]
+    report = engine.run()
+    return engine, report, [p.response() for p in pending]
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     config = _engine_config(args)
     llm = config.build_llm()
@@ -266,6 +333,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         suite = shared_prefix_suite(n_prompts=args.requests,
                                     max_new_tokens=args.tokens,
                                     seed=args.seed)
+    elif args.repetitive:
+        suite = repetitive_suite(n_prompts=args.requests,
+                                 max_new_tokens=args.tokens,
+                                 seed=args.seed,
+                                 adversarial=args.adversarial)
     else:
         suite = default_suite(n_prompts=args.requests,
                               max_new_tokens=args.tokens, seed=args.seed)
@@ -280,19 +352,32 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     # The served run goes through the frontend API end to end: one
     # declarative EngineConfig assembles scheduler + KV pool + backend,
     # and requests enter through the OpenAI-style completions layer.
-    engine = config.build_engine(llm=llm)
-    service = CompletionService(engine)
-    arrivals = config.arrival_times(len(suite)) or [None] * len(suite)
-    pending = [
-        service.submit(
-            CompletionRequest(prompt=workload.prompt,
-                              max_tokens=workload.max_new_tokens),
-            arrival_time=arrival,
-        )
-        for workload, arrival in zip(suite, arrivals)
-    ]
-    report = engine.run()
-    completions = [p.response() for p in pending]
+    engine, report, completions = _serve_suite(
+        config, llm, suite, args.ignore_eos)
+
+    # With speculation on, also serve the identical suite with it off:
+    # its serving throughput is the honest baseline the speculative
+    # speedup is measured against (the sequential baseline already
+    # includes the continuous-batching win).
+    plain_report = None
+    check_failures = 0
+    if config.speculative is not None:
+        import dataclasses as _dc
+        plain_config = _dc.replace(config, speculative=None)
+        _, plain_report, plain_completions = _serve_suite(
+            plain_config, llm, suite, args.ignore_eos)
+        if args.check:
+            # Both runs serve the suite in submission order, so compare
+            # request by request (duplicate prompts must not collapse).
+            for workload, spec_c, plain_c in zip(
+                suite, completions, plain_completions
+            ):
+                if (list(spec_c.choices[0].token_ids)
+                        != list(plain_c.choices[0].token_ids)):
+                    check_failures += 1
+                    print(f"MISMATCH on {workload.prompt[:40]!r}...: "
+                          "speculative and plain greedy token streams "
+                          "differ", file=sys.stderr)
 
     aggregate = report.as_dict()
     speedup = (report.throughput_tokens_per_second / seq_throughput
@@ -300,6 +385,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     aggregate["sequential_throughput_tokens_per_second"] = seq_throughput
     aggregate["speedup"] = speedup
     aggregate["backend"] = engine.backend.describe()
+    if plain_report is not None:
+        plain_tps = plain_report.throughput_tokens_per_second
+        aggregate["plain_throughput_tokens_per_second"] = plain_tps
+        aggregate["speculative_speedup"] = (
+            report.throughput_tokens_per_second / plain_tps
+            if plain_tps > 0 else 0.0)
+        if args.check:
+            aggregate["token_identity_check"] = (
+                "pass" if check_failures == 0 else "fail")
     payload = {
         "requests": report.request_rows(),
         "completions": [c.as_dict() for c in completions],
@@ -308,7 +402,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.json == "-":
         import json as _json
         print(_json.dumps(payload, indent=2, sort_keys=True, default=str))
-        return 0
+        return 1 if check_failures else 0
 
     print(format_table(report.request_rows()))
     print()
@@ -336,13 +430,30 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               f"{report.total_prefill_tokens} prefill tokens)")
         print(f"preemptions            {report.n_preemptions}")
         print(f"mean KV utilization    {report.mean_kv_utilization:.1%}")
+    if report.speculative:
+        print(f"speculative method     {report.spec_method} "
+              f"(K={config.speculative.num_draft_tokens})")
+        print(f"draft acceptance       {report.acceptance_rate:.1%} "
+              f"({report.spec_accepted_tokens} of "
+              f"{report.spec_draft_tokens} draft tokens)")
+        print(f"tokens per decode turn {report.tokens_per_decode_step:.2f}")
+        if plain_report is not None:
+            print(f"plain throughput       "
+                  f"{aggregate['plain_throughput_tokens_per_second']:.1f} "
+                  f"tokens/s")
+            print(f"speculative speedup    "
+                  f"{aggregate['speculative_speedup']:.2f}x")
+        if args.check:
+            verdict = ("PASS" if check_failures == 0
+                       else f"{check_failures} MISMATCHES")
+            print(f"token identity check   {verdict}")
     print(f"sequential throughput  {seq_throughput:.1f} tokens/s")
     print(f"batched throughput     {report.throughput_tokens_per_second:.1f} tokens/s")
     print(f"continuous-batching speedup: {speedup:.2f}x")
     if args.json:
         write_json(args.json, payload)
         print(f"results written to {args.json}")
-    return 0
+    return 1 if check_failures else 0
 
 
 #: Demo prompts of the serve-api walkthrough (used when --prompt absent).

@@ -151,10 +151,32 @@ class PagedKVCache:
         blocks belong to whichever sequence needs them next.  The cache
         itself stays usable — the next append re-attaches blocks.
         """
-        for block in self.block_table:
-            self.allocator.release(block)
-        self.block_table.clear()
-        self._length = 0
+        self.truncate(0)
+
+    def truncate(self, length: int) -> None:
+        """Drop cached positions at or past ``length``, freeing tail blocks.
+
+        The rollback primitive of speculative decoding: whole blocks past
+        the last kept position return to the pool, the partially-kept
+        block (if any) stays attached, and the logical length shrinks
+        (never grows).  Each dropped block reference is released exactly
+        once — the ids leave the block table *before* their release, so a
+        re-entrant or repeated truncate can never double-release a block
+        this cache shares with a fork or a prefix hit (the sharer's
+        reference keeps the block alive; only this cache's claim is
+        dropped).  Stale rows inside the kept tail block are never read
+        (gathers are bounded by ``length``) and a later append into a
+        still-shared block copies-on-write as usual.
+        """
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        keep = self.allocator.blocks_for(length)
+        if keep < len(self.block_table):
+            dropped = self.block_table[keep:]
+            del self.block_table[keep:]
+            for block in dropped:
+                self.allocator.release(block)
+        self._length = min(self._length, length)
 
     # ------------------------------------------------------------------
     # KVCache view API

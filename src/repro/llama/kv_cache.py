@@ -125,6 +125,19 @@ class KVCache:
         """
         self._length = 0
 
+    def truncate(self, length: int) -> None:
+        """Drop cached positions at or past ``length`` (never grows).
+
+        This is the rollback primitive of speculative decoding: a verify
+        step writes K+1 positions optimistically and truncates back to
+        the last committed one when draft tokens are rejected.  Stale
+        entries past the new length are never read (views are bounded by
+        ``length``) and the next append simply overwrites them.
+        """
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        self._length = min(self._length, length)
+
     # ------------------------------------------------------------------
     def append(self, layer: int, key: np.ndarray, value: np.ndarray, pos: int) -> None:
         """Store the key/value vectors for ``pos`` in ``layer``.

@@ -89,6 +89,43 @@ class Sampler:
         """Re-seed the internal generator (for reproducible reruns)."""
         self._rng = np.random.default_rng(self.seed if seed is None else seed)
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """The sampler's private seeded generator.
+
+        Exposed so speculative rejection sampling
+        (:func:`repro.spec.verify.verify_run`) draws its accept/resample
+        randomness from the same stream ordinary sampling uses, keeping
+        stochastic decodes reproducible per request.
+        """
+        return self._rng
+
+    def probs(self, logits: np.ndarray) -> np.ndarray:
+        """The full-vocabulary categorical distribution this policy samples.
+
+        Temperature scaling and nucleus filtering are applied exactly as
+        :meth:`sample` applies them (tokens outside the nucleus get
+        probability zero and the rest renormalise), so speculative
+        rejection sampling accepts/resamples against the very
+        distribution ordinary decoding would have drawn from.  Greedy
+        samplers have no sampling distribution — call :func:`greedy`.
+        """
+        if self.temperature == 0.0:
+            raise ValueError(
+                "a greedy sampler has no sampling distribution; "
+                "use greedy(logits)"
+            )
+        probs = _softmax(np.asarray(logits, dtype=np.float64) / self.temperature)
+        if self.top_p >= 1.0:
+            return probs
+        order = np.argsort(probs)[::-1]
+        cumulative = np.cumsum(probs[order])
+        cutoff = int(np.searchsorted(cumulative, self.top_p) + 1)
+        kept = order[:cutoff]
+        nucleus = np.zeros_like(probs)
+        nucleus[kept] = probs[kept]
+        return nucleus / nucleus.sum()
+
     def sample(self, logits: np.ndarray) -> int:
         """Pick the next token id from ``logits`` under this policy."""
         if self.temperature == 0.0:

@@ -28,6 +28,15 @@ read up to whole KV blocks so the modelled HBM sees the paged transfer
 pattern.  Token streams remain identical — prefix sharing and preemption
 replay change *which* positions execute, never what they compute.
 
+With a speculative policy (``SchedulerConfig(speculative=SpecConfig())``)
+each decode turn becomes a *verify run*: a :class:`~repro.spec.Drafter`
+proposes up to K tokens, the scheduler emits them as extra slots, one
+batched pass scores all K+1 positions (streaming every weight tile once
+— the whole point), and :func:`~repro.spec.verify_run` decides which
+tokens commit.  Greedy runs commit exactly the tokens plain greedy
+decoding would; rejected positions roll the KV cache back
+(``truncate``), block-granularly in paged mode.
+
 Execution is delegated to an :class:`~repro.backend.ExecutionBackend`:
 the default :class:`~repro.backend.LocalBackend` runs steps on the one
 simulated accelerator (the historical behaviour), while a
@@ -70,6 +79,7 @@ from ..api.params import SamplingParams
 from ..backend import ExecutionBackend, LocalBackend
 from ..llama.tokenizer import BOS_ID, EOS_ID, UNK_ID
 from ..sim.stats import RunCounters
+from ..spec import build_drafter, verify_run
 from .metrics import RequestMetrics, ServeReport
 from .request import Request, RequestState
 from .scheduler import Scheduler, SchedulerConfig
@@ -116,6 +126,11 @@ class ServingEngine:
             self.model_config, scheduler_config,
             kv_shards=self.backend.kv_shards,
         )
+        self.spec_config = self.scheduler.spec
+        self.drafter = None
+        if self.spec_config is not None:
+            self.drafter = build_drafter(self.spec_config, llm)
+            self.scheduler.attach_drafter(self.drafter)
         self.clock = 0.0
         self._ids = itertools.count()
         self._completed: List[Request] = []
@@ -128,6 +143,11 @@ class ServingEngine:
         self._compute_seconds = 0.0
         self._interconnect_seconds = 0.0
         self._shard_utilization_sums = [0.0] * self.backend.n_shards
+        # Speculative-decoding accounting (all zero when spec is off).
+        self._spec_decode_steps = 0
+        self._spec_committed_tokens = 0
+        self._spec_draft_tokens = 0
+        self._spec_accepted_tokens = 0
 
     # ------------------------------------------------------------------
     # Submission
@@ -239,41 +259,103 @@ class ServingEngine:
         for i, utilization in enumerate(step.shard_utilization):
             self._shard_utilization_sums[i] += utilization
 
-        frontier: Dict[str, tuple] = {}
+        groups: Dict[str, List[tuple]] = {}
         for slot, output in zip(slots, outputs):
-            frontier[slot.request_id] = (slot, output)
+            groups.setdefault(slot.request_id, []).append((slot, output))
 
         finished: List[Request] = []
         for request in list(scheduler.running):
-            entry = frontier.get(request.request_id)
-            if entry is None:
+            entries = groups.get(request.request_id)
+            if not entries:
                 continue
-            last_slot, last_output = entry
-            request.next_pos = last_slot.pos + 1
             if request.in_prefill:
+                last_slot, last_output = entries[-1]
+                request.next_pos = last_slot.pos + 1
                 # Register freshly completed prefill blocks for sharing.
                 # Decode steps never complete a prefill block, so skip the
                 # index walk once the prompt is consumed.
                 scheduler.note_progress(request)
-            if request.in_prefill and request.next_pos >= request.n_prefill:
-                request.state = RequestState.DECODE
-            if request.in_decode and last_slot.need_logits:
-                if self._sample(request, last_output):
+                if request.next_pos >= request.n_prefill:
+                    request.state = RequestState.DECODE
+                if request.in_decode and last_slot.need_logits:
+                    if self._sample(request, last_output):
+                        finished.append(request)
+            elif request.in_decode:
+                if self._commit_decode(request, entries):
                     finished.append(request)
         return finished
 
     def _sample(self, request: Request, logits) -> bool:
-        """Sample the next token; returns True if the request retired.
-
-        The order of checks mirrors ``SpeedLLMAccelerator.generate``: the
-        sampled token is always recorded (EOS included), then the request
-        retires on EOS or a matched stop sequence (``finish_reason
-        "stop"``), or on an exhausted decode budget / context window
-        (``finish_reason "length"``).  The decode budget was clamped to
-        the window at admission, so the window checks here are belt and
-        braces for directly-constructed requests.
-        """
+        """Sample one token at ``request.next_pos``; True when retired."""
         token = request.sampler.sample(logits)
+        return self._commit_token(request, token, logits)
+
+    def _commit_decode(self, request: Request, entries: List[tuple]) -> bool:
+        """Commit one decode turn's verify run; True when the request retired.
+
+        ``entries`` are the request's ``(slot, output)`` pairs in
+        position order: the pending token's slot first, then one slot per
+        draft token the scheduler emitted.  :func:`repro.spec.verify_run`
+        decides the committed tokens (exactly one when no draft ran —
+        plain decoding); each commits through the same per-token path as
+        non-speculative decoding (logprobs, EOS, stop sequences, budget),
+        stopping early when the request retires mid-run.  Afterwards the
+        KV cache rolls back past the last position whose written entry is
+        still valid — rejected draft positions are truncated block-
+        granularly in paged mode, by length in reservation mode.
+        """
+        slots = [slot for slot, _ in entries]
+        logit_rows = [output for _, output in entries]
+        draft = request.draft_tokens
+        request.draft_tokens = []
+        if len(slots) != len(draft) + 1:
+            raise RuntimeError(
+                f"request {request.request_id!r} executed {len(slots)} "
+                f"decode slots for {len(draft)} draft tokens"
+            )
+        base_pos = slots[0].pos
+        outcome = verify_run(draft, logit_rows, request.sampler)
+        if self.spec_config is not None:
+            # Draft-less turns of a speculative engine still count: the
+            # tokens-per-decode-step metric must reflect every turn, not
+            # only the lucky ones.  A plain engine keeps all-zero
+            # counters.
+            self._spec_decode_steps += 1
+            self._spec_draft_tokens += outcome.n_draft
+            self._spec_accepted_tokens += outcome.n_accepted
+            request.draft_tokens_proposed += outcome.n_draft
+            request.draft_tokens_accepted += outcome.n_accepted
+        retired = False
+        n_committed = 0
+        for token, logits in zip(outcome.committed, outcome.logits):
+            n_committed += 1
+            request.next_pos = base_pos + n_committed
+            if self._commit_token(request, token, logits):
+                retired = True
+                break
+        if self.spec_config is not None:
+            self._spec_committed_tokens += n_committed
+        if not retired and n_committed < len(slots):
+            # Positions past the last accepted one hold rejected draft
+            # KV entries; drop them so the next step re-executes from the
+            # corrected token.  (A retired request's cache is released
+            # wholesale by the scheduler instead.)
+            request.cache.truncate(base_pos + n_committed)
+        return retired
+
+    def _commit_token(self, request: Request, token: int, logits) -> bool:
+        """Record one committed token; returns True if the request retired.
+
+        ``request.next_pos`` must already point one past the token's
+        position.  The order of checks mirrors
+        ``SpeedLLMAccelerator.generate``: the token is always recorded
+        (EOS included), then the request retires on EOS or a matched stop
+        sequence (``finish_reason "stop"``), or on an exhausted decode
+        budget / context window (``finish_reason "length"``).  The decode
+        budget was clamped to the window at admission, so the window
+        checks here are belt and braces for directly-constructed
+        requests.
+        """
         request.generated_tokens.append(token)
         if request.first_token_time is None:
             request.first_token_time = self.clock
@@ -299,6 +381,8 @@ class ServingEngine:
             request.finish_reason = reason
             self.scheduler.finish(request, self.clock)
             self._completed.append(request)
+            if self.drafter is not None:
+                self.drafter.release(request)
             return True
         request.pending_token = token
         return False
@@ -371,7 +455,10 @@ class ServingEngine:
         # Accept the RequestHandle the new submit() returns as well as
         # the raw Request the legacy surface handed out.
         request = getattr(request, "request", request)
-        return self.scheduler.cancel(request)
+        cancelled = self.scheduler.cancel(request)
+        if cancelled and self.drafter is not None:
+            self.drafter.release(request)
+        return cancelled
 
     # ------------------------------------------------------------------
     # Draining
@@ -446,6 +533,13 @@ class ServingEngine:
             interconnect_seconds=self._interconnect_seconds,
             shard_utilization=[s / n_steps if n_steps else 0.0
                                for s in self._shard_utilization_sums],
+            speculative=self.spec_config is not None,
+            spec_method=(self.spec_config.method
+                         if self.spec_config is not None else None),
+            spec_decode_steps=self._spec_decode_steps,
+            spec_committed_tokens=self._spec_committed_tokens,
+            spec_draft_tokens=self._spec_draft_tokens,
+            spec_accepted_tokens=self._spec_accepted_tokens,
         )
 
 

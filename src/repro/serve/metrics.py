@@ -36,6 +36,10 @@ class RequestMetrics:
     prefix_hit_tokens: int = 0
     #: Why the request retired: "stop" (EOS / stop sequence) or "length".
     finish_reason: Optional[str] = None
+    #: Speculative decoding: draft tokens this request's verify runs
+    #: scored, and how many of them were accepted (zero when spec is off).
+    draft_tokens_proposed: int = 0
+    draft_tokens_accepted: int = 0
 
     @classmethod
     def from_request(cls, request: Request, text: str) -> "RequestMetrics":
@@ -55,6 +59,8 @@ class RequestMetrics:
             n_preemptions=request.n_preemptions,
             prefix_hit_tokens=request.prefix_hit_tokens,
             finish_reason=request.finish_reason,
+            draft_tokens_proposed=request.draft_tokens_proposed,
+            draft_tokens_accepted=request.draft_tokens_accepted,
         )
 
     @property
@@ -97,6 +103,15 @@ class ServeReport:
     interconnect_seconds: float = 0.0
     #: Mean MPE utilisation of each shard over the run's steps.
     shard_utilization: List[float] = field(default_factory=list)
+    # Speculative-decoding accounting (all zero / False when spec is off).
+    speculative: bool = False
+    spec_method: Optional[str] = None
+    #: Decode turns (per-request verify/commit events) over the run.
+    spec_decode_steps: int = 0
+    #: Tokens committed by those decode turns (>= spec_decode_steps).
+    spec_committed_tokens: int = 0
+    spec_draft_tokens: int = 0
+    spec_accepted_tokens: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -142,6 +157,25 @@ class ServeReport:
         if self.n_steps <= 0:
             return 0.0
         return self.compute_seconds / self.n_steps
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of proposed draft tokens the verify steps accepted."""
+        if self.spec_draft_tokens <= 0:
+            return 0.0
+        return self.spec_accepted_tokens / self.spec_draft_tokens
+
+    @property
+    def tokens_per_decode_step(self) -> float:
+        """Mean tokens committed per decode turn (1.0 without speculation).
+
+        This is the speculation multiplier on the decode hot path: each
+        decode turn streams the model weights once, so committing ``m``
+        tokens per turn cuts per-token weight traffic by ``m``.
+        """
+        if self.spec_decode_steps <= 0:
+            return 0.0
+        return self.spec_committed_tokens / self.spec_decode_steps
 
     @property
     def tokens_per_joule(self) -> float:
@@ -200,4 +234,10 @@ class ServeReport:
             "mean_step_compute_ms": self.mean_step_compute_seconds * 1e3,
             "interconnect_fraction": self.interconnect_fraction,
             "shard_utilization": list(self.shard_utilization),
+            "speculative": self.speculative,
+            "spec_method": self.spec_method,
+            "spec_draft_tokens": self.spec_draft_tokens,
+            "spec_accepted_tokens": self.spec_accepted_tokens,
+            "acceptance_rate": self.acceptance_rate,
+            "tokens_per_decode_step": self.tokens_per_decode_step,
         }

@@ -84,6 +84,13 @@ class Request:
     replay_tokens: Optional[List[int]] = None
     n_preemptions: int = 0
     prefix_hit_tokens: int = 0
+    #: Draft tokens the current step's verify run is scoring (set by the
+    #: scheduler when it emits the run's slots, consumed by the engine's
+    #: commit; empty outside a speculative decode turn).
+    draft_tokens: List[int] = field(default_factory=list)
+    #: Lifetime speculative-decoding accounting of this request.
+    draft_tokens_proposed: int = 0
+    draft_tokens_accepted: int = 0
     #: Why the request retired ("stop" / "length" / "cancelled").
     finish_reason: Optional[str] = None
     #: Visible-text truncation point set when a stop sequence matched.

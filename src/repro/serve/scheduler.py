@@ -36,14 +36,18 @@ tested without building an accelerator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..accel.batching import BatchSlot
 from ..kvpool import KVPool
 from ..llama.config import LlamaConfig
 from ..llama.kv_cache import KVCache
 from ..sim.memory import MemoryBudget
+from ..spec.config import SpecConfig
 from .request import Request, RequestQueue, RequestState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..spec.drafter import Drafter
 
 __all__ = ["Scheduler", "SchedulerConfig"]
 
@@ -63,6 +67,12 @@ class SchedulerConfig:
     paged: bool = False             # paged-block KV instead of reservations
     block_tokens: int = 16          # token positions per KV block
     watermark_fraction: float = 0.05  # free blocks held back at admission
+    #: Speculative decoding policy; None decodes one token per request
+    #: per step.  With a policy set (and a drafter attached by the
+    #: engine), each decoding request may occupy up to
+    #: ``speculative.num_draft_tokens`` extra slots per step — one
+    #: verify run — committing several tokens per weight-streaming pass.
+    speculative: Optional[SpecConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_tokens <= 0:
@@ -116,6 +126,19 @@ class Scheduler:
         self.n_preemptions = 0
         self.prefix_hit_tokens = 0
         self.total_prefill_tokens = 0
+        #: Speculative decoding: the engine attaches the drafter built
+        #: from ``config.speculative`` (the scheduler cannot build it —
+        #: drafters may need the model stack).
+        self.spec: Optional[SpecConfig] = self.config.speculative
+        self.drafter: Optional["Drafter"] = None
+
+    def attach_drafter(self, drafter: "Drafter") -> None:
+        """Enable speculative step building with ``drafter`` proposals."""
+        if self.spec is None:
+            raise ValueError(
+                "attach_drafter needs SchedulerConfig.speculative to be set"
+            )
+        self.drafter = drafter
 
     # ------------------------------------------------------------------
     @property
@@ -336,7 +359,14 @@ class Scheduler:
         n = len(self.running)
         self._rotation %= n
         order = [self.running[(self._rotation + i) % n] for i in range(n)]
-        if n > self.config.max_batch_tokens:
+        # Rotate whenever the token budget may not cover every running
+        # request: more requests than budget, or speculative turns that
+        # occupy K+1 slots each (crowding later requests out of the
+        # step).  When everything fits the start index is irrelevant, so
+        # rotating is safe either way.
+        if n > self.config.max_batch_tokens or (
+            self.drafter is not None and n > 1
+        ):
             self._rotation += 1
         granted_ids: set = set()
         for request in order:
@@ -345,19 +375,44 @@ class Scheduler:
             if request not in self.running:
                 continue  # preempted while building this step
             if request.in_decode and request.pending_token is not None:
-                if paged and not self._grant_blocks(
-                    request, request.next_pos + 1, granted_ids
-                ):
-                    continue
+                draft = self._propose_draft(request, budget)
+                if paged:
+                    # Draft positions are opportunistic: never preempt a
+                    # victim (whole-prefill recompute on readmission) just
+                    # to back them — drop the draft instead and let the
+                    # turn decode plainly.  Only the one guaranteed
+                    # position may preempt, exactly as without
+                    # speculation.
+                    if draft and not request.cache.ensure_capacity(
+                        request.next_pos + 1 + len(draft)
+                    ):
+                        draft = []
+                    if not self._grant_blocks(
+                        request, request.next_pos + 1, granted_ids
+                    ):
+                        request.draft_tokens = []
+                        continue
+                request.draft_tokens = draft
+                speculative = bool(draft)
                 slots.append(BatchSlot(
                     token=request.pending_token,
                     pos=request.next_pos,
                     cache=request.cache,
                     need_logits=True,
                     request_id=request.request_id,
+                    speculative=speculative,
                 ))
+                for offset, token in enumerate(draft):
+                    slots.append(BatchSlot(
+                        token=token,
+                        pos=request.next_pos + 1 + offset,
+                        cache=request.cache,
+                        need_logits=True,
+                        request_id=request.request_id,
+                        speculative=True,
+                    ))
                 granted_ids.add(request.request_id)
-                budget -= 1
+                budget -= 1 + len(draft)
         for request in order:
             if budget <= 0:
                 break
@@ -390,6 +445,46 @@ class Scheduler:
             granted_ids.add(request.request_id)
             budget -= chunk
         return slots
+
+    # ------------------------------------------------------------------
+    def _propose_draft(self, request: Request, budget: int) -> List[int]:
+        """Draft tokens for one decode turn, clamped to every budget.
+
+        The clamp covers the step's remaining token budget (a verify run
+        of L draft tokens occupies ``L + 1`` slots), the request's
+        remaining decode budget (at most ``L + 1`` tokens commit per
+        run, so drafting past it is wasted verification), and the KV
+        capacity / context window (every fed position must be storable).
+        Anything the drafter returns beyond the clamp is discarded; an
+        empty proposal degrades to plain single-token decoding.
+        """
+        if self.drafter is None or self.spec is None or budget <= 1:
+            return []
+        decode_budget = min(
+            request.max_new_tokens,
+            self.model_config.max_seq_len - request.n_prompt,
+        )
+        limit = min(
+            self.spec.num_draft_tokens,
+            budget - 1,
+            decode_budget - request.n_generated - 1,
+            self.model_config.max_seq_len - 1 - request.next_pos,
+            request.cache.capacity - 1 - request.next_pos,
+        )
+        if limit <= 0:
+            return []
+        draft = self.drafter.propose(request, limit)
+        # An out-of-vocabulary proposal cannot be fed to the model; keep
+        # the valid prefix (truncating, not filtering, so every draft
+        # token is still verified at the position it was proposed for).
+        vocab = self.model_config.vocab_size
+        clean: List[int] = []
+        for token in draft[:limit]:
+            token = int(token)
+            if not 0 <= token < vocab:
+                break
+            clean.append(token)
+        return clean
 
     # ------------------------------------------------------------------
     def note_progress(self, request: Request) -> None:

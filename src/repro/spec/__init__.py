@@ -1,0 +1,39 @@
+"""Speculative decoding: draft-and-verify multi-token serving steps.
+
+Per-step weight streaming is the HBM-bound hot path of single-token
+decode on the weight-stationary accelerator; this package amortizes it
+over several tokens per step.  A :class:`Drafter` guesses the next
+``K`` tokens of a decoding request, the scheduler emits them as extra
+batch slots, one batched *verify* pass scores all ``K + 1`` positions
+while streaming every weight tile once, and :func:`verify_run` decides
+which tokens commit — greedy runs are token-identical to plain greedy
+decoding, stochastic runs use seeded rejection sampling.  Rejected
+positions roll the paged or flat KV cache back block-granularly
+(``truncate``), refcount-safe under prefix sharing and preemption.
+
+Wire it up declaratively::
+
+    from repro.api import EngineConfig, SpecConfig
+
+    engine = EngineConfig(
+        speculative=SpecConfig(method="ngram", num_draft_tokens=4),
+    ).build_engine()
+
+or from the CLI: ``speedllm serve-bench --speculative ngram
+--spec-tokens 4``.
+"""
+
+from .config import SPEC_METHODS, SpecConfig
+from .drafter import Drafter, DraftModelDrafter, NgramDrafter, build_drafter
+from .verify import SpecOutcome, verify_run
+
+__all__ = [
+    "SPEC_METHODS",
+    "SpecConfig",
+    "Drafter",
+    "DraftModelDrafter",
+    "NgramDrafter",
+    "build_drafter",
+    "SpecOutcome",
+    "verify_run",
+]

@@ -1,0 +1,92 @@
+"""Configuration of the speculative-decoding subsystem.
+
+:class:`SpecConfig` is the one declarative description of a speculative
+decode policy: which drafter proposes tokens (``ngram`` prompt-lookup or
+a small ``draft`` model) and how many draft tokens each verify step may
+score.  It travels inside :class:`~repro.serve.scheduler.SchedulerConfig`
+(and therefore inside :class:`~repro.api.EngineConfig`), is validated
+once at construction, and is deliberately free of any serving-layer
+imports so the scheduler, engine and CLI can all depend on it without
+cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["SpecConfig", "SPEC_METHODS"]
+
+#: Drafter families understood by :func:`repro.spec.build_drafter`.
+SPEC_METHODS = ("ngram", "draft")
+
+#: Hard ceiling on draft tokens per verify step; beyond this the verify
+#: pass stops being decode-shaped (it degenerates into a prefill chunk).
+MAX_DRAFT_TOKENS = 64
+
+
+@dataclass(frozen=True)
+class SpecConfig:
+    """Speculative decoding policy of one serving engine.
+
+    Attributes
+    ----------
+    method:
+        ``"ngram"`` — prompt-lookup drafting from the request's own token
+        history (no extra weights); ``"draft"`` — a small draft model run
+        on the existing llama runtime proposes continuations.
+    num_draft_tokens:
+        Maximum draft tokens (``K``) scored per verify step.  Each decode
+        turn of a speculative request occupies up to ``K + 1`` batch
+        slots and commits between 1 and ``K + 1`` tokens.
+    ngram_max / ngram_min:
+        Longest and shortest suffix n-gram the prompt-lookup drafter
+        matches against the request's history (longest first).
+    draft_model:
+        Preset name of the draft model (``"draft"`` method).  ``None`` or
+        ``"self"`` reuses the target model's functional weights — the
+        degenerate self-draft whose greedy acceptance is exact, useful
+        for pinning the verify/rollback machinery.
+    draft_seed:
+        Seed of the synthesized draft-model checkpoint (ignored for
+        self-drafting).
+    """
+
+    method: str = "ngram"
+    num_draft_tokens: int = 4
+    ngram_max: int = 3
+    ngram_min: int = 1
+    draft_model: Optional[str] = None
+    draft_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.method not in SPEC_METHODS:
+            raise ValueError(
+                f"speculative method must be one of {SPEC_METHODS}, got "
+                f"{self.method!r}"
+            )
+        if not 1 <= self.num_draft_tokens <= MAX_DRAFT_TOKENS:
+            raise ValueError(
+                f"num_draft_tokens must be in [1, {MAX_DRAFT_TOKENS}], got "
+                f"{self.num_draft_tokens}"
+            )
+        if self.ngram_min < 1:
+            raise ValueError(
+                f"ngram_min must be >= 1, got {self.ngram_min}"
+            )
+        if self.ngram_max < self.ngram_min:
+            raise ValueError(
+                f"ngram_max ({self.ngram_max}) must be >= ngram_min "
+                f"({self.ngram_min})"
+            )
+
+    def describe(self) -> dict:
+        """Flat description for reports and JSON payloads."""
+        info = {"method": self.method,
+                "num_draft_tokens": self.num_draft_tokens}
+        if self.method == "ngram":
+            info["ngram_max"] = self.ngram_max
+            info["ngram_min"] = self.ngram_min
+        else:
+            info["draft_model"] = self.draft_model or "self"
+        return info

@@ -1,0 +1,236 @@
+"""Draft-token proposers for speculative decoding.
+
+A :class:`Drafter` guesses the next few tokens of a decoding request so
+the verify step can score them all in one weight-stationary pass.  The
+contract is deliberately loose: a drafter may propose *any* number of
+tokens up to the limit it is given (zero is fine — the request simply
+decodes one token that step), and proposals never affect correctness.
+Greedy verification commits exactly the tokens plain greedy decoding
+would have produced; a bad drafter only costs speculation efficiency.
+
+Two implementations:
+
+* :class:`NgramDrafter` — prompt-lookup decoding: the longest suffix
+  n-gram of the request's token history (prompt plus generated tokens)
+  is searched for a most-recent earlier occurrence, and the tokens that
+  followed it are proposed.  No extra weights, no extra model — the
+  drafter that wins on templated / repetitive workloads.
+* :class:`DraftModelDrafter` — a small draft model run greedily on the
+  existing NumPy llama runtime (:class:`~repro.llama.model.LlamaModel`).
+  The drafter keeps one private flat KV cache per request, resynchronizes
+  it with the committed stream before each proposal (rolling back any
+  tokens the verify step rejected) and truncates its own speculative
+  tail afterwards, so its state always mirrors exactly the committed
+  prefix.
+
+Draft-model compute runs host-side in this simulation and is not charged
+to the accelerator's clock; the cycle-accurate cost model covers the
+*verify* pass (see :mod:`repro.accel.batching`).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, List, Optional, Protocol, Sequence, TYPE_CHECKING
+
+from ..llama.checkpoint import synthesize_weights
+from ..llama.config import preset
+from ..llama.kv_cache import KVCache
+from ..llama.model import LlamaModel
+from ..llama.sampler import greedy
+from .config import SpecConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.speedllm import SpeedLLM
+
+__all__ = ["Drafter", "NgramDrafter", "DraftModelDrafter", "build_drafter"]
+
+
+class _DraftableRequest(Protocol):
+    """The slice of a serving request a drafter reads (duck-typed so the
+    spec package never imports the serving layer)."""
+
+    request_id: str
+    prompt_tokens: List[int]
+    generated_tokens: List[int]
+
+
+class Drafter(abc.ABC):
+    """Proposes draft tokens continuing a request's committed stream."""
+
+    #: Short name surfaced in reports ("ngram", "draft").
+    name: str = "drafter"
+
+    @abc.abstractmethod
+    def propose(self, request: _DraftableRequest, max_tokens: int) -> List[int]:
+        """Up to ``max_tokens`` draft tokens continuing the request.
+
+        The stream being continued is ``prompt_tokens + generated_tokens``
+        (the last generated token is the still-pending one the verify
+        step feeds first).  May return fewer tokens than asked, including
+        none at all.
+        """
+
+    def release(self, request: _DraftableRequest) -> None:
+        """Drop any per-request state (the request retired)."""
+
+    def describe(self) -> dict:
+        """Flat description for reports and JSON payloads."""
+        return {"drafter": self.name}
+
+
+class NgramDrafter(Drafter):
+    """Prompt-lookup drafting from the request's own token history.
+
+    The longest suffix n-gram (``ngram_max`` down to ``ngram_min``
+    tokens) is matched against earlier occurrences in the history,
+    most recent first; the tokens that followed the match are proposed.
+    Templated and code-like streams — boilerplate, repeated phrases,
+    quoting the prompt — hit constantly; adversarially novel text almost
+    never does, and the request quietly falls back to plain decoding.
+    """
+
+    name = "ngram"
+
+    def __init__(self, ngram_max: int = 3, ngram_min: int = 1) -> None:
+        if ngram_min < 1:
+            raise ValueError(f"ngram_min must be >= 1, got {ngram_min}")
+        if ngram_max < ngram_min:
+            raise ValueError(
+                f"ngram_max ({ngram_max}) must be >= ngram_min ({ngram_min})"
+            )
+        self.ngram_max = ngram_max
+        self.ngram_min = ngram_min
+
+    def propose(self, request: _DraftableRequest, max_tokens: int) -> List[int]:
+        if max_tokens <= 0:
+            return []
+        stream = list(request.prompt_tokens) + list(request.generated_tokens)
+        for n in range(self.ngram_max, self.ngram_min - 1, -1):
+            if len(stream) <= n:
+                continue
+            suffix = stream[-n:]
+            # Most recent earlier occurrence wins: recency tracks the
+            # local repetition structure (loops, templates) better than
+            # the first occurrence does.
+            for start in range(len(stream) - n - 1, -1, -1):
+                if stream[start:start + n] == suffix:
+                    continuation = stream[start + n:start + n + max_tokens]
+                    if continuation:
+                        return [int(t) for t in continuation]
+                    break
+        return []
+
+    def describe(self) -> dict:
+        return {"drafter": self.name, "ngram_max": self.ngram_max,
+                "ngram_min": self.ngram_min}
+
+
+class DraftModelDrafter(Drafter):
+    """Greedy proposals from a small draft model on the llama runtime.
+
+    One private :class:`~repro.llama.kv_cache.KVCache` is kept per
+    request together with the token list it was built from.  Each
+    proposal resynchronizes: the cache is truncated back to the longest
+    common prefix of what it has seen and what is now committed (verify
+    rejections shrink that prefix), the new committed tokens are fed, and
+    ``max_tokens`` greedy continuations are decoded and handed back.  The
+    speculative tail is truncated immediately, so the cache never holds
+    unverified state between calls.
+    """
+
+    name = "draft"
+
+    def __init__(self, model: LlamaModel) -> None:
+        self.model = model
+        self._caches: Dict[str, KVCache] = {}
+        self._fed: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _sync(self, request: _DraftableRequest, stream: Sequence[int]) -> Optional[KVCache]:
+        """Bring the request's draft cache up to date with ``stream``.
+
+        Returns the cache positioned so every stream token except the
+        last has been fed, or None when the stream does not fit the draft
+        context window.
+        """
+        rid = request.request_id
+        cache = self._caches.get(rid)
+        if cache is None:
+            cache = self.model.new_cache()
+            self._caches[rid] = cache
+            self._fed[rid] = []
+        if len(stream) > cache.capacity:
+            return None
+        fed = self._fed[rid]
+        common = 0
+        limit = min(len(fed), len(stream) - 1)
+        while common < limit and fed[common] == stream[common]:
+            common += 1
+        cache.truncate(common)
+        del fed[common:]
+        for pos in range(common, len(stream) - 1):
+            self.model.forward(int(stream[pos]), pos, cache)
+            fed.append(int(stream[pos]))
+        return cache
+
+    def propose(self, request: _DraftableRequest, max_tokens: int) -> List[int]:
+        if max_tokens <= 0:
+            return []
+        stream = list(request.prompt_tokens) + list(request.generated_tokens)
+        if not stream:
+            return []
+        cache = self._sync(request, stream)
+        if cache is None:
+            return []
+        committed = len(stream) - 1
+        draft: List[int] = []
+        token = int(stream[-1])
+        pos = committed
+        budget = min(max_tokens, cache.capacity - len(stream))
+        for _ in range(max(budget, 0)):
+            logits = self.model.forward(token, pos, cache)
+            token = greedy(logits)
+            draft.append(token)
+            pos += 1
+        # Drop the speculative tail: only verified tokens may persist in
+        # the draft cache (the verify step decides their fate).
+        cache.truncate(committed)
+        return draft
+
+    def release(self, request: _DraftableRequest) -> None:
+        self._caches.pop(request.request_id, None)
+        self._fed.pop(request.request_id, None)
+
+    def describe(self) -> dict:
+        return {"drafter": self.name,
+                "draft_model": self.model.config.name,
+                "draft_params": self.model.checkpoint.n_params}
+
+
+def build_drafter(config: SpecConfig, llm: "SpeedLLM") -> Drafter:
+    """Construct the drafter a :class:`SpecConfig` describes.
+
+    ``llm`` supplies the target stack the drafter must stay compatible
+    with: draft models are rebuilt with the target's vocabulary and
+    context window so every proposed token id is valid for the verify
+    pass, and self-drafting (``draft_model in (None, "self")``) reuses
+    the accelerator's functional (dequantised) weights so its greedy
+    proposals agree with the verify pass exactly.
+    """
+    if config.method == "ngram":
+        return NgramDrafter(config.ngram_max, config.ngram_min)
+    if config.draft_model in (None, "self"):
+        checkpoint = llm.accelerator.functional_checkpoint()
+        return DraftModelDrafter(LlamaModel(checkpoint))
+    base = preset(config.draft_model)
+    target = llm.model_config
+    draft_config = dataclasses.replace(
+        base,
+        vocab_size=target.vocab_size,
+        max_seq_len=target.max_seq_len,
+        name=f"{base.name}-draft",
+    )
+    checkpoint = synthesize_weights(draft_config, seed=config.draft_seed)
+    return DraftModelDrafter(LlamaModel(checkpoint))

@@ -16,7 +16,7 @@ from typing import List, Sequence
 from .tinystories import StoryGenerator
 
 __all__ = ["Workload", "PromptSuite", "default_suite", "latency_suite",
-           "shared_prefix_suite"]
+           "repetitive_suite", "shared_prefix_suite"]
 
 
 @dataclass(frozen=True)
@@ -106,6 +106,53 @@ def shared_prefix_suite(
         for i in range(n_prompts)
     )
     return PromptSuite(name="shared-prefix", workloads=workloads)
+
+
+def repetitive_suite(
+    n_prompts: int = 4,
+    repeats: int = 4,
+    phrase_words: int = 6,
+    max_new_tokens: int = 48,
+    seed: int = 17,
+    adversarial: bool = False,
+) -> PromptSuite:
+    """Templated prompts that make (or break) n-gram draft lookup.
+
+    The *favorable* shape is boilerplate: each prompt is one short phrase
+    repeated ``repeats`` times, the code-completion / form-letter pattern
+    where the continuation of the current n-gram has already appeared
+    verbatim.  Prompt-lookup drafting
+    (:class:`repro.spec.NgramDrafter`) finds those earlier occurrences
+    constantly, and greedy decoding over such prompts tends to keep
+    cycling the template, so acceptance stays high for the whole decode.
+
+    ``adversarial=True`` flips the shape: every prompt is a long run of
+    *distinct* story words with no phrase repeated, so suffix n-grams
+    (almost) never recur and the drafter proposes little to nothing —
+    the workload that bounds speculation overhead from below.  Sweeping
+    both shapes is how the acceptance-rate table in the README is made.
+    """
+    if n_prompts <= 0:
+        raise ValueError("n_prompts must be positive")
+    if repeats <= 0 or phrase_words <= 0:
+        raise ValueError("repeats and phrase_words must be positive")
+    gen = StoryGenerator(seed=seed)
+    workloads: List[Workload] = []
+    for i in range(n_prompts):
+        if adversarial:
+            # One long pass of fresh narrative text; phrases never repeat
+            # within a prompt, so suffix lookups miss.
+            prompt = gen.prompt(max_words=repeats * phrase_words)
+            name = f"novel-{i}"
+        else:
+            phrase = gen.prompt(max_words=phrase_words)
+            prompt = " ".join([phrase] * repeats)
+            name = f"template-{i}"
+        workloads.append(Workload(
+            name=name, prompt=prompt, max_new_tokens=max_new_tokens,
+        ))
+    suite_name = "repetitive-adversarial" if adversarial else "repetitive"
+    return PromptSuite(name=suite_name, workloads=tuple(workloads))
 
 
 def latency_suite(

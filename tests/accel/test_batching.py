@@ -207,3 +207,77 @@ class TestExecuteSlots:
         outputs = accelerator.execute_slots(slots)
         assert outputs[-1] == pytest.approx(stepwise_logits)
         assert batched_cache.length == stepwise_cache.length
+
+
+class TestSpeculativeRuns:
+    """Run-aware merging: a verify run fuses per-sequence work."""
+
+    def test_batch_run_ids_none_without_speculative_slots(self, accelerator):
+        from repro.accel.batching import batch_run_ids
+        cache = KVCache(accelerator.model_config, max_seq_len=16)
+        slots = [BatchSlot(token=1, pos=0, cache=cache, request_id="a"),
+                 BatchSlot(token=2, pos=0, cache=cache, request_id="b")]
+        assert batch_run_ids(slots) is None
+
+    def test_batch_run_ids_group_consecutive_speculative_slots(self, accelerator):
+        from repro.accel.batching import batch_run_ids
+        cache = KVCache(accelerator.model_config, max_seq_len=16)
+        slots = [
+            BatchSlot(token=1, pos=4, cache=cache, request_id="a",
+                      speculative=True),
+            BatchSlot(token=2, pos=5, cache=cache, request_id="a",
+                      speculative=True),
+            BatchSlot(token=3, pos=2, cache=cache, request_id="b"),
+            BatchSlot(token=4, pos=7, cache=cache, request_id="c",
+                      speculative=True),
+            BatchSlot(token=5, pos=8, cache=cache, request_id="c",
+                      speculative=True),
+        ]
+        ids = batch_run_ids(slots)
+        assert ids[0] == ids[1]
+        assert ids[3] == ids[4]
+        assert len({ids[0], ids[2], ids[3]}) == 3
+
+    def test_run_fuses_per_sequence_packets(self, accelerator):
+        ctxs = [8, 9, 10, 11]
+        flat = accelerator.batch_program_for(ctxs)
+        run = accelerator.batch_program_for(ctxs, run_ids=[0, 0, 0, 0])
+        # One fused packet replaces the four per-sequence packets of every
+        # non-weight operator; weight tiles are unchanged.
+        for flat_op, run_op in zip(flat.ops, run.ops):
+            flat_weight = [p for p in flat_op.packets if p.weight_bytes > 0]
+            run_weight = [p for p in run_op.packets if p.weight_bytes > 0]
+            assert flat_weight == run_weight
+            if len(flat_op.packets) > len(flat_weight):
+                assert len(run_op.packets) < len(flat_op.packets)
+        # Compute work is conserved: every position still scores its
+        # window and streams through every weight tile.
+        assert run.total_macs == flat.total_macs
+
+    def test_run_amortizes_attention_kv_reads(self, accelerator):
+        ctxs = [8, 9, 10, 11]
+        flat = accelerator.batch_program_for(ctxs)
+        run = accelerator.batch_program_for(ctxs, run_ids=[0, 0, 0, 0])
+        # Followers re-read (almost) none of the shared KV window from
+        # HBM, so the fused program loads strictly less.
+        assert run.total_load_bytes < flat.total_load_bytes
+
+    def test_runs_do_not_fuse_across_requests(self, accelerator):
+        ctxs = [8, 9, 10, 11]
+        two_runs = accelerator.batch_program_for(ctxs, run_ids=[0, 0, 1, 1])
+        one_run = accelerator.batch_program_for(ctxs, run_ids=[0, 0, 0, 0])
+        assert two_runs.total_load_bytes > one_run.total_load_bytes
+
+    def test_run_ids_length_mismatch_raises(self, accelerator):
+        programs = [accelerator.program_for(c) for c in (4, 5)]
+        with pytest.raises(ValueError, match="run_ids"):
+            merge_batch_programs(programs, accelerator.config.mpe,
+                                 run_ids=[0])
+
+    def test_run_timing_cached_separately(self, accelerator):
+        timing = accelerator.timing
+        flat = timing.simulate_batched_step([8, 9, 10])
+        run = timing.simulate_batched_step([8, 9, 10], run_ids=[0, 0, 0])
+        assert run.cycles < flat.cycles
+        again = timing.simulate_batched_step([8, 9, 10], run_ids=[0, 0, 0])
+        assert again.cycles == run.cycles

@@ -1,0 +1,67 @@
+"""Coverage for the deprecated ``submit(**kwargs)`` shim.
+
+The pre-PR-4 loose-keyword surface must emit a *real*
+:class:`DeprecationWarning` attributed to the caller (so downstreams see
+which of their call sites to migrate), fire once per call site under the
+default warning filters, and stay silent on the typed
+:class:`~repro.api.SamplingParams` path — the evidence needed to retire
+the shim on schedule.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import SamplingParams
+from repro.serve import ServingEngine
+
+
+@pytest.fixture()
+def engine(llm):
+    return ServingEngine(llm)
+
+
+class TestSubmitShimDeprecation:
+    def test_legacy_kwargs_emit_deprecation_warning(self, engine):
+        with pytest.warns(DeprecationWarning, match="SamplingParams"):
+            engine.submit("Once upon a time", max_new_tokens=4)
+
+    def test_warning_attributed_to_the_call_site(self, engine):
+        with pytest.warns(DeprecationWarning) as record:
+            engine.submit("Once upon a time", temperature=0.5, seed=1)
+        deprecations = [w for w in record
+                        if w.category is DeprecationWarning]
+        assert deprecations
+        assert deprecations[0].filename == __file__
+
+    def test_warning_fires_once_per_call_site(self, engine):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.resetwarnings()
+            warnings.simplefilter("default")
+            for i in range(3):
+                engine.submit(f"Once upon a time {i}", max_new_tokens=2)
+        seen = [w for w in record if w.category is DeprecationWarning]
+        assert len(seen) == 1
+
+    def test_params_path_is_silent(self, engine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine.submit("Once upon a time", SamplingParams(max_tokens=4))
+
+    def test_shim_builds_identical_params(self, engine):
+        with pytest.warns(DeprecationWarning):
+            legacy = engine.submit(
+                "Once upon a time", max_new_tokens=4, temperature=0.5,
+                top_p=0.9, seed=7, stop_at_eos=False)
+        typed = engine.submit("Once upon a time", SamplingParams(
+            max_tokens=4, temperature=0.5, top_p=0.9, seed=7,
+            stop_at_eos=False))
+        assert legacy.request.sampling == typed.request.sampling
+
+    def test_mixing_params_and_kwargs_rejected(self, engine):
+        from repro.api import FrontendError
+        with pytest.raises(FrontendError, match="not both"):
+            engine.submit("Once upon a time", SamplingParams(),
+                          max_new_tokens=4)

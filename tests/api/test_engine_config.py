@@ -92,3 +92,27 @@ class TestArrivals:
         assert len(first) == 6
         assert first == sorted(first)
         assert all(t >= 0 for t in first)
+
+
+class TestSpeculativePlumbing:
+    def test_spec_config_reaches_scheduler_and_engine(self, llm):
+        from repro.api import SpecConfig
+        from repro.spec import NgramDrafter
+        config = EngineConfig(
+            model="test-small",
+            speculative=SpecConfig(method="ngram", num_draft_tokens=3),
+        )
+        assert config.scheduler_config().speculative.num_draft_tokens == 3
+        engine = config.build_engine(llm=llm)
+        assert isinstance(engine.drafter, NgramDrafter)
+        assert engine.scheduler.drafter is engine.drafter
+
+    def test_speculation_off_by_default(self, llm):
+        engine = EngineConfig(model="test-small").build_engine(llm=llm)
+        assert engine.drafter is None
+        assert engine.scheduler.spec is None
+
+    def test_invalid_spec_config_fails_at_construction(self):
+        from repro.api import SpecConfig
+        with pytest.raises(ValueError):
+            EngineConfig(speculative=SpecConfig(method="nope"))

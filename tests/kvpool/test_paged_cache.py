@@ -189,3 +189,87 @@ class TestSharingAndFork:
         child.release()
         assert allocator.refcount(original.block_table[0]) == 1
         assert np.isfinite(original.keys(0)).all()
+
+
+class TestTruncate:
+    """Speculative-rollback truncation (tail blocks released exactly once)."""
+
+    def test_truncate_frees_whole_tail_blocks(self, micro_config, allocator):
+        cache = PagedKVCache(allocator, max_seq_len=16)
+        fill(cache, micro_config, range(10))  # 3 blocks (4+4+2)
+        assert cache.n_blocks == 3
+        cache.truncate(5)
+        assert cache.length == 5
+        assert cache.n_blocks == 2  # the partially-kept block stays
+        assert allocator.blocks_in_use == 2
+
+    def test_truncate_is_idempotent_and_never_grows(self, micro_config, allocator):
+        cache = PagedKVCache(allocator, max_seq_len=16)
+        fill(cache, micro_config, range(10))
+        cache.truncate(5)
+        cache.truncate(5)
+        cache.truncate(9)   # beyond current length: no-op
+        assert cache.length == 5
+        assert cache.n_blocks == 2
+        assert allocator.blocks_in_use == 2
+
+    def test_truncate_mid_block_keeps_valid_prefix(self, micro_config, allocator):
+        cache = PagedKVCache(allocator, max_seq_len=16)
+        fill(cache, micro_config, range(6))
+        before = cache.keys(0, 5).copy()
+        cache.truncate(5)
+        assert np.array_equal(cache.keys(0, 5), before)
+        # Appending after the rollback overwrites the stale row cleanly.
+        fill(cache, micro_config, [5], value=99.0)
+        assert cache.length == 6
+        assert cache.keys(0, 6)[5, 0] == 99.0
+
+    def test_shared_tail_released_exactly_once_after_fork(
+        self, micro_config, allocator
+    ):
+        """Regression: rollback of a forked sequence must drop only its
+        own reference to a shared tail block — never double-release."""
+        parent = PagedKVCache(allocator, max_seq_len=16)
+        fill(parent, micro_config, range(8))  # 2 full blocks
+        child = parent.fork()
+        shared = list(parent.block_table)
+        assert all(allocator.refcount(b) == 2 for b in shared)
+        # Parent rolls its tail block back (speculative rejection).
+        parent.truncate(4)
+        assert allocator.refcount(shared[1]) == 1  # child still holds it
+        # A second rollback of the same region must not touch it again.
+        parent.truncate(4)
+        parent.truncate(0)
+        assert allocator.refcount(shared[1]) == 1
+        # The child's data is intact and its release frees the block.
+        assert child.keys(0, 8).shape[0] == 8
+        child.release()
+        assert allocator.blocks_in_use == 0
+
+    def test_double_release_still_raises_for_direct_misuse(
+        self, micro_config, allocator
+    ):
+        cache = PagedKVCache(allocator, max_seq_len=16)
+        fill(cache, micro_config, range(4))
+        block = cache.block_table[0]
+        cache.truncate(0)
+        with pytest.raises(BlockAllocatorError, match="double release"):
+            allocator.release(block)
+
+    def test_negative_length_rejected(self, allocator):
+        cache = PagedKVCache(allocator, max_seq_len=16)
+        with pytest.raises(ValueError):
+            cache.truncate(-1)
+
+    def test_flat_cache_truncate(self, micro_config):
+        flat = KVCache(micro_config, max_seq_len=8)
+        k = np.ones(micro_config.kv_dim, dtype=np.float32)
+        for pos in range(6):
+            for layer in range(micro_config.n_layers):
+                flat.append(layer, k * pos, k, pos)
+        flat.truncate(3)
+        assert flat.length == 3
+        flat.truncate(7)  # never grows
+        assert flat.length == 3
+        with pytest.raises(ValueError):
+            flat.truncate(-2)

@@ -1,0 +1,127 @@
+"""Unit tests for draft-token proposers (repro.spec.drafter)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import pytest
+
+from repro.llama.config import preset
+from repro.llama.model import LlamaModel
+from repro.spec import (DraftModelDrafter, NgramDrafter, SpecConfig,
+                        build_drafter)
+
+
+@dataclass
+class FakeRequest:
+    request_id: str = "req-0"
+    prompt_tokens: List[int] = field(default_factory=list)
+    generated_tokens: List[int] = field(default_factory=list)
+
+
+class TestNgramDrafter:
+    def test_longest_ngram_wins(self):
+        drafter = NgramDrafter(ngram_max=3, ngram_min=1)
+        request = FakeRequest(prompt_tokens=[1, 2, 3, 9, 9, 1, 2],
+                              generated_tokens=[3])
+        # Suffix [1, 2, 3] matched at the start; continuation is [9, 9, ...].
+        assert drafter.propose(request, 4) == [9, 9, 1, 2]
+
+    def test_most_recent_occurrence_preferred(self):
+        drafter = NgramDrafter(ngram_max=1, ngram_min=1)
+        request = FakeRequest(prompt_tokens=[5, 7, 5, 8], generated_tokens=[5])
+        # Token 5 occurs at 0 (followed by 7) and 2 (followed by 8): the
+        # recent one wins.
+        assert drafter.propose(request, 1) == [8]
+
+    def test_no_match_proposes_nothing(self):
+        drafter = NgramDrafter()
+        request = FakeRequest(prompt_tokens=[1, 2, 3], generated_tokens=[4])
+        assert drafter.propose(request, 4) == []
+
+    def test_max_tokens_clamps_proposal(self):
+        drafter = NgramDrafter(ngram_max=2, ngram_min=1)
+        request = FakeRequest(prompt_tokens=[1, 2, 3, 4, 5, 1, 2])
+        assert drafter.propose(request, 2) == [3, 4]
+        assert drafter.propose(request, 0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NgramDrafter(ngram_max=0, ngram_min=0)
+        with pytest.raises(ValueError):
+            NgramDrafter(ngram_max=1, ngram_min=2)
+
+
+@pytest.fixture(scope="module")
+def draft_model(small_checkpoint):
+    return LlamaModel(small_checkpoint)
+
+
+class TestDraftModelDrafter:
+    def test_proposals_are_greedy_continuations(self, draft_model):
+        drafter = DraftModelDrafter(draft_model)
+        request = FakeRequest(prompt_tokens=[1, 4, 7], generated_tokens=[9])
+        draft = drafter.propose(request, 3)
+        assert len(draft) == 3
+        # Proposing again from the same state reproduces exactly.
+        assert drafter.propose(request, 3) == draft
+
+    def test_matches_fresh_model_after_divergence(self, draft_model):
+        """Rollback-resync: rejected tokens must not linger in the cache."""
+        drafter = DraftModelDrafter(draft_model)
+        request = FakeRequest(prompt_tokens=[1, 4, 7], generated_tokens=[9])
+        first = drafter.propose(request, 4)
+        # The verify step rejected the proposals: commit a different token.
+        request.generated_tokens = [9, 23]
+        resynced = drafter.propose(request, 4)
+        fresh = DraftModelDrafter(draft_model).propose(request, 4)
+        assert resynced == fresh
+        assert resynced != first or first == fresh
+
+    def test_release_drops_state(self, draft_model):
+        drafter = DraftModelDrafter(draft_model)
+        request = FakeRequest(prompt_tokens=[1, 2], generated_tokens=[3])
+        drafter.propose(request, 2)
+        assert request.request_id in drafter._caches
+        drafter.release(request)
+        assert request.request_id not in drafter._caches
+
+    def test_context_window_clamps(self, draft_model):
+        drafter = DraftModelDrafter(draft_model)
+        capacity = draft_model.config.max_seq_len
+        request = FakeRequest(prompt_tokens=[1] * (capacity - 2),
+                              generated_tokens=[2])
+        draft = drafter.propose(request, 8)
+        assert len(draft) <= 1  # only one position left in the window
+        too_long = FakeRequest(request_id="req-1",
+                               prompt_tokens=[1] * (capacity + 4))
+        assert drafter.propose(too_long, 4) == []
+
+
+class TestBuildDrafter:
+    def test_ngram_method(self, llm):
+        drafter = build_drafter(SpecConfig(method="ngram", ngram_max=5), llm)
+        assert isinstance(drafter, NgramDrafter)
+        assert drafter.ngram_max == 5
+
+    def test_self_draft_agrees_with_functional_weights(self, llm):
+        drafter = build_drafter(SpecConfig(method="draft"), llm)
+        assert isinstance(drafter, DraftModelDrafter)
+        assert drafter.model.config.vocab_size == llm.model_config.vocab_size
+
+    def test_preset_draft_model_resized_to_target(self, llm):
+        drafter = build_drafter(
+            SpecConfig(method="draft", draft_model="test-micro"), llm)
+        assert drafter.model.config.vocab_size == llm.model_config.vocab_size
+        assert drafter.model.config.max_seq_len == llm.model_config.max_seq_len
+        # The underlying architecture stays the small preset's.
+        assert drafter.model.config.dim == preset("test-micro").dim
+
+    def test_preset_draft_checkpoint_is_reproducible(self, llm):
+        a = build_drafter(
+            SpecConfig(method="draft", draft_model="test-micro"), llm)
+        b = build_drafter(
+            SpecConfig(method="draft", draft_model="test-micro"), llm)
+        request = FakeRequest(prompt_tokens=[3, 1, 4], generated_tokens=[1])
+        assert a.propose(request, 4) == b.propose(request, 4)

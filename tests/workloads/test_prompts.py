@@ -5,7 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.workloads.prompts import (PromptSuite, Workload, default_suite,
-                                     latency_suite, shared_prefix_suite)
+                                     latency_suite, repetitive_suite,
+                                     shared_prefix_suite)
 
 
 class TestWorkload:
@@ -62,3 +63,42 @@ class TestSuites:
             shared_prefix_suite(n_prompts=0)
         with pytest.raises(ValueError):
             shared_prefix_suite(system_words=0)
+
+
+class TestRepetitiveSuite:
+    def test_favorable_prompts_repeat_one_phrase(self):
+        suite = repetitive_suite(n_prompts=3, repeats=4, phrase_words=5,
+                                 max_new_tokens=16)
+        assert len(suite) == 3
+        for workload in suite:
+            words = workload.prompt.split()
+            assert len(words) % 4 == 0
+            phrase_len = len(words) // 4
+            phrase = words[:phrase_len]
+            assert words == phrase * 4  # pure template repetition
+        assert len({w.prompt for w in suite}) == 3  # distinct phrases
+
+    def test_adversarial_prompts_do_not_repeat(self):
+        suite = repetitive_suite(n_prompts=3, repeats=4, phrase_words=5,
+                                 adversarial=True)
+        assert suite.name == "repetitive-adversarial"
+        for workload in suite:
+            words = workload.prompt.split()
+            phrase_len = len(words) // 4
+            if phrase_len:
+                assert words[:phrase_len] * 4 != words
+
+    def test_deterministic_per_seed(self):
+        a = repetitive_suite(seed=9)
+        b = repetitive_suite(seed=9)
+        assert [w.prompt for w in a] == [w.prompt for w in b]
+        assert ([w.prompt for w in repetitive_suite(seed=10)]
+                != [w.prompt for w in a])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            repetitive_suite(n_prompts=0)
+        with pytest.raises(ValueError):
+            repetitive_suite(repeats=0)
+        with pytest.raises(ValueError):
+            repetitive_suite(phrase_words=-1)
