@@ -55,6 +55,9 @@ class CompletionRequest:
     stream: bool = False
     #: Extension: never retire on EOS (fixed-length benchmarking).
     ignore_eos: bool = False
+    #: Extension: SLO tier (smaller = more urgent; acted on by the
+    #: priority/fairness scheduling policies).
+    priority: int = 0
 
     def to_sampling_params(self) -> SamplingParams:
         """Map the wire-level fields onto validated native params."""
@@ -66,6 +69,7 @@ class CompletionRequest:
             stop=self.stop,
             logprobs=self.logprobs,
             ignore_eos=self.ignore_eos,
+            priority=self.priority,
         )
 
 

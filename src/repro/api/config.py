@@ -54,6 +54,18 @@ class EngineConfig:
     block_size: int = 16
     watermark_fraction: float = 0.05
 
+    # Scheduling policy / chunked prefill ------------------------------
+    #: Admission & preemption-victim ordering: "fifo" (strict arrival),
+    #: "priority" (SLO tiers first) or "fairness" (priority with aging).
+    policy: str = "fifo"
+    fairness_aging_s: float = 0.1
+    #: Share a per-step prefill token budget across requests so prompts
+    #: ride along decode steps instead of monopolising them.
+    chunked_prefill: bool = False
+    #: Explicit per-step prefill budget (defaults to half the step's
+    #: token budget when chunked prefill is on).
+    prefill_chunk_tokens: Optional[int] = None
+
     # Speculative decoding ----------------------------------------------
     #: Draft-and-verify policy (:class:`repro.spec.SpecConfig`); None
     #: decodes one token per request per step.
@@ -103,6 +115,10 @@ class EngineConfig:
             block_tokens=self.block_size,
             watermark_fraction=self.watermark_fraction,
             speculative=self.speculative,
+            policy=self.policy,
+            fairness_aging_s=self.fairness_aging_s,
+            chunked_prefill=self.chunked_prefill,
+            prefill_chunk_tokens=self.prefill_chunk_tokens,
         )
 
     def build_llm(self) -> "SpeedLLM":

@@ -62,6 +62,12 @@ class SamplingParams:
     logprobs:
         When set, each generated token records the log-probabilities of
         the ``logprobs`` most likely tokens (plus the sampled token).
+    priority:
+        SLO tier of the request: smaller numbers are more urgent (0 is
+        the interactive default).  Only the ``priority`` and
+        ``fairness`` scheduling policies act on it — they admit urgent
+        tiers first and draw preemption victims from the least urgent
+        tier; the default ``fifo`` policy ignores it.
     """
 
     max_tokens: int = 64
@@ -72,6 +78,7 @@ class SamplingParams:
     stop_at_eos: bool = True
     ignore_eos: bool = False
     logprobs: Optional[int] = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if isinstance(self.stop, str):
@@ -103,6 +110,14 @@ class SamplingParams:
                 raise InvalidSamplingError(
                     f"logprobs must be in [1, {MAX_LOGPROBS}], got "
                     f"{self.logprobs}")
+        if not isinstance(self.priority, int) or isinstance(self.priority,
+                                                            bool):
+            raise InvalidSamplingError(
+                f"priority must be an integer, got {self.priority!r}")
+        if self.priority < 0:
+            raise InvalidSamplingError(
+                f"priority must be >= 0 (0 is most urgent), got "
+                f"{self.priority}")
 
     # ------------------------------------------------------------------
     @property

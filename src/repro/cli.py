@@ -43,8 +43,8 @@ from .graph.builder import build_decode_graph
 from .graph.export import to_dot, to_json
 from .graph.fusion import fuse_graph
 from .llama.config import available_presets, preset
-from .workloads.prompts import (default_suite, repetitive_suite,
-                                shared_prefix_suite)
+from .workloads.prompts import (default_suite, mixed_chat_suite,
+                                repetitive_suite, shared_prefix_suite)
 
 __all__ = ["main", "build_parser"]
 
@@ -65,6 +65,23 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                              "reservations")
     parser.add_argument("--block-size", type=int, default=16,
                         help="token positions per KV block (with --paged)")
+    parser.add_argument("--chunked-prefill", action="store_true",
+                        help="share a per-step prefill token budget across "
+                             "requests so long prompts ride along decode "
+                             "steps instead of monopolising them")
+    parser.add_argument("--prefill-chunk-tokens", type=int, default=None,
+                        help="per-step prefill budget with --chunked-prefill "
+                             "(default: half of --batch-tokens)")
+    parser.add_argument("--policy", choices=("fifo", "priority", "fairness"),
+                        default="fifo",
+                        help="scheduling policy: 'fifo' admits in arrival "
+                             "order, 'priority' admits urgent SLO tiers "
+                             "first and preempts the least urgent, "
+                             "'fairness' is priority with aging so low "
+                             "tiers cannot starve")
+    parser.add_argument("--fairness-aging", type=float, default=0.1,
+                        help="seconds of queue wait worth one priority "
+                             "level (with --policy fairness)")
     parser.add_argument("--speculative", choices=("ngram", "draft"),
                         default=None,
                         help="speculative decoding: 'ngram' drafts by "
@@ -120,6 +137,10 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         kv_budget_bytes=args.kv_budget_mb * 1024 * 1024,
         paged=args.paged,
         block_size=args.block_size,
+        chunked_prefill=args.chunked_prefill,
+        prefill_chunk_tokens=args.prefill_chunk_tokens,
+        policy=args.policy,
+        fairness_aging_s=args.fairness_aging,
         tensor_parallel=args.tensor_parallel,
         interconnect_gbps=args.interconnect_gbps,
         interconnect_latency_us=args.interconnect_latency_us,
@@ -181,6 +202,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve templated, highly repetitive prompts "
                             "(the workload n-gram draft lookup "
                             "accelerates)")
+    serve.add_argument("--mixed", action="store_true",
+                       help="serve short interactive chats (priority 0) "
+                            "mixed with long-prompt batch documents "
+                            "(priority 1) — the workload chunked prefill "
+                            "and priority scheduling exist for")
     serve.add_argument("--adversarial", action="store_true",
                        help="with --repetitive: novel-text prompts whose "
                             "n-grams never recur (the drafter's "
@@ -189,9 +215,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="never retire on EOS (fixed-length decode "
                             "benchmarking)")
     serve.add_argument("--check", action="store_true",
-                       help="with --speculative: re-serve the suite "
-                            "non-speculatively and fail unless every "
-                            "token stream is identical")
+                       help="re-serve the suite on a plain baseline "
+                            "engine (no speculation, unchunked prefill, "
+                            "fifo) and fail unless every token stream is "
+                            "identical — scheduling and speculation must "
+                            "never change what a request generates")
+    serve.add_argument("--bench-out", default=None, metavar="PATH",
+                       help="run the fixed serving-config matrix on the "
+                            "mixed workload and write a versioned "
+                            "BENCH_v1.json benchmark report to PATH")
     serve.add_argument("--arrival-rate", type=float, default=None,
                        help="Poisson request arrival rate in requests per "
                             "simulated second (default: all requests "
@@ -308,25 +340,71 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_suite(config: EngineConfig, llm, suite, ignore_eos: bool):
+def _serve_suite(config: EngineConfig, llm, workloads, ignore_eos: bool,
+                 arrivals=None):
     """Serve one workload suite through the completions layer; report."""
     engine = config.build_engine(llm=llm)
     service = CompletionService(engine)
-    arrivals = config.arrival_times(len(suite)) or [None] * len(suite)
+    workloads = list(workloads)
+    if arrivals is None:
+        arrivals = (config.arrival_times(len(workloads))
+                    or [None] * len(workloads))
     pending = [
         service.submit(
             CompletionRequest(prompt=workload.prompt,
                               max_tokens=workload.max_new_tokens,
-                              ignore_eos=ignore_eos),
+                              ignore_eos=ignore_eos,
+                              priority=getattr(workload, "priority", 0)),
             arrival_time=arrival,
         )
-        for workload, arrival in zip(suite, arrivals)
+        for workload, arrival in zip(workloads, arrivals)
     ]
     report = engine.run()
     return engine, report, [p.response() for p in pending]
 
 
+def _staggered_mixed_arrivals(config: EngineConfig, llm, suite,
+                              ignore_eos: bool):
+    """Arrival schedule that lands document prefills mid-chat-decode.
+
+    The inter-token stall chunked prefill prevents only exists when a
+    long prompt arrives while short requests are streaming; with every
+    arrival at t=0 the engine simply prefills everything first.  A probe
+    run on the plain twin calibrates the mean step time, then chats
+    arrive at t=0 and each document a few (simulated) steps into the
+    chats' decode.  Returns ``(workloads, arrivals)`` sorted by arrival
+    so FIFO admission order equals arrival order.
+    """
+    _, probe, _ = _serve_suite(_baseline_config(config), llm, suite,
+                               ignore_eos)
+    step_s = probe.makespan_seconds / max(1, probe.n_steps)
+    timed = []
+    n_docs = 0
+    for workload in suite:
+        if getattr(workload, "priority", 0) > 0:
+            timed.append((workload, (6 + 5 * n_docs) * step_s))
+            n_docs += 1
+        else:
+            timed.append((workload, 0.0))
+    timed.sort(key=lambda pair: pair[1])
+    return [w for w, _ in timed], [t for _, t in timed]
+
+
+def _baseline_config(config: EngineConfig) -> EngineConfig:
+    """The plain twin a served run is checked/compared against.
+
+    Same model, KV memory and backend — but no speculation, monolithic
+    prefill and strict-FIFO admission, so it isolates exactly the
+    features under test.  Greedy token streams must be identical.
+    """
+    import dataclasses as _dc
+    return _dc.replace(config, speculative=None, chunked_prefill=False,
+                       prefill_chunk_tokens=None, policy="fifo")
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    if args.bench_out:
+        return _cmd_bench_matrix(args)
     config = _engine_config(args)
     llm = config.build_llm()
     if args.shared_prefix:
@@ -338,13 +416,24 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                                  max_new_tokens=args.tokens,
                                  seed=args.seed,
                                  adversarial=args.adversarial)
+    elif args.mixed:
+        suite = mixed_chat_suite(n_chats=args.requests,
+                                 n_documents=max(1, args.requests // 3),
+                                 chat_new_tokens=args.tokens,
+                                 seed=args.seed)
     else:
         suite = default_suite(n_prompts=args.requests,
                               max_new_tokens=args.tokens, seed=args.seed)
 
+    workloads = list(suite)
+    arrivals = None
+    if args.mixed and args.arrival_rate is None:
+        workloads, arrivals = _staggered_mixed_arrivals(
+            config, llm, suite, args.ignore_eos)
+
     # Sequential baseline: one SpeedLLM.generate call per request.
     sequential = [llm.generate(w.prompt, max_new_tokens=w.max_new_tokens)
-                  for w in suite]
+                  for w in workloads]
     seq_seconds = sum(out.metrics.total_seconds for out in sequential)
     seq_tokens = sum(len(out.generated_tokens) for out in sequential)
     seq_throughput = seq_tokens / seq_seconds if seq_seconds > 0 else 0.0
@@ -353,30 +442,31 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     # declarative EngineConfig assembles scheduler + KV pool + backend,
     # and requests enter through the OpenAI-style completions layer.
     engine, report, completions = _serve_suite(
-        config, llm, suite, args.ignore_eos)
+        config, llm, workloads, args.ignore_eos, arrivals=arrivals)
 
-    # With speculation on, also serve the identical suite with it off:
-    # its serving throughput is the honest baseline the speculative
-    # speedup is measured against (the sequential baseline already
-    # includes the continuous-batching win).
+    # When any feature under test is on (speculation, chunked prefill, a
+    # non-FIFO policy), also serve the identical suite on the plain twin:
+    # its serving throughput is the honest baseline the feature speedup
+    # is measured against (the sequential baseline already includes the
+    # continuous-batching win), and --check asserts the features never
+    # changed what any request generated.
+    plain_config = _baseline_config(config)
     plain_report = None
     check_failures = 0
-    if config.speculative is not None:
-        import dataclasses as _dc
-        plain_config = _dc.replace(config, speculative=None)
+    if plain_config != config or args.check:
         _, plain_report, plain_completions = _serve_suite(
-            plain_config, llm, suite, args.ignore_eos)
+            plain_config, llm, workloads, args.ignore_eos, arrivals=arrivals)
         if args.check:
             # Both runs serve the suite in submission order, so compare
             # request by request (duplicate prompts must not collapse).
-            for workload, spec_c, plain_c in zip(
-                suite, completions, plain_completions
+            for workload, feat_c, plain_c in zip(
+                workloads, completions, plain_completions
             ):
-                if (list(spec_c.choices[0].token_ids)
+                if (list(feat_c.choices[0].token_ids)
                         != list(plain_c.choices[0].token_ids)):
                     check_failures += 1
                     print(f"MISMATCH on {workload.prompt[:40]!r}...: "
-                          "speculative and plain greedy token streams "
+                          "featured and baseline greedy token streams "
                           "differ", file=sys.stderr)
 
     aggregate = report.as_dict()
@@ -388,9 +478,16 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if plain_report is not None:
         plain_tps = plain_report.throughput_tokens_per_second
         aggregate["plain_throughput_tokens_per_second"] = plain_tps
-        aggregate["speculative_speedup"] = (
-            report.throughput_tokens_per_second / plain_tps
-            if plain_tps > 0 else 0.0)
+        if config.speculative is not None:
+            aggregate["speculative_speedup"] = (
+                report.throughput_tokens_per_second / plain_tps
+                if plain_tps > 0 else 0.0)
+        baseline_itl_p95 = plain_report.itl_summary().p95
+        featured_itl_p95 = report.itl_summary().p95
+        aggregate["baseline_itl_p95_ms"] = baseline_itl_p95 * 1e3
+        aggregate["itl_p95_reduction"] = (
+            1.0 - featured_itl_p95 / baseline_itl_p95
+            if baseline_itl_p95 > 0 else 0.0)
         if args.check:
             aggregate["token_identity_check"] = (
                 "pass" if check_failures == 0 else "fail")
@@ -413,7 +510,26 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
           f"{aggregate['latency_p95_ms']:.3f} ms")
     print(f"ttft p50 / p95         {aggregate['ttft_p50_ms']:.3f} / "
           f"{aggregate['ttft_p95_ms']:.3f} ms")
+    print(f"itl p50 / p95 / p99    {aggregate['itl_p50_ms']:.3f} / "
+          f"{aggregate['itl_p95_ms']:.3f} / "
+          f"{aggregate['itl_p99_ms']:.3f} ms")
     print(f"mean queue wait        {aggregate['mean_queue_wait_ms']:.3f} ms")
+    if report.policy != "fifo" or report.chunked_prefill:
+        chunk = ("chunked prefill "
+                 f"({config.scheduler_config().step_prefill_budget} "
+                 "tokens/step)" if report.chunked_prefill
+                 else "monolithic prefill")
+        print(f"scheduling             {report.policy} policy, {chunk}")
+    if len(report.tiers) > 1:
+        print()
+        print(format_table([
+            {"tier": tier, **{k: round(v, 3) if isinstance(v, float) else v
+                              for k, v in row.items()}}
+            for tier, row in report.tier_breakdown().items()
+        ], columns=["tier", "n_requests", "ttft_p50_ms", "ttft_p95_ms",
+                    "itl_p50_ms", "itl_p95_ms", "itl_p99_ms",
+                    "mean_queue_wait_ms"]))
+        print()
     if report.n_shards > 1:
         print(f"tensor parallel        {report.n_shards} shards")
         print(f"per-step compute       "
@@ -437,16 +553,20 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               f"({report.spec_accepted_tokens} of "
               f"{report.spec_draft_tokens} draft tokens)")
         print(f"tokens per decode turn {report.tokens_per_decode_step:.2f}")
-        if plain_report is not None:
-            print(f"plain throughput       "
-                  f"{aggregate['plain_throughput_tokens_per_second']:.1f} "
-                  f"tokens/s")
+    if plain_report is not None:
+        print(f"baseline throughput    "
+              f"{aggregate['plain_throughput_tokens_per_second']:.1f} "
+              f"tokens/s (no spec, unchunked, fifo)")
+        if "speculative_speedup" in aggregate:
             print(f"speculative speedup    "
                   f"{aggregate['speculative_speedup']:.2f}x")
-        if args.check:
-            verdict = ("PASS" if check_failures == 0
-                       else f"{check_failures} MISMATCHES")
-            print(f"token identity check   {verdict}")
+        print(f"baseline itl p95       "
+              f"{aggregate['baseline_itl_p95_ms']:.3f} ms "
+              f"({aggregate['itl_p95_reduction']:+.1%} reduction)")
+    if args.check:
+        verdict = ("PASS" if check_failures == 0
+                   else f"{check_failures} MISMATCHES")
+        print(f"token identity check   {verdict}")
     print(f"sequential throughput  {seq_throughput:.1f} tokens/s")
     print(f"batched throughput     {report.throughput_tokens_per_second:.1f} tokens/s")
     print(f"continuous-batching speedup: {speedup:.2f}x")
@@ -454,6 +574,82 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         write_json(args.json, payload)
         print(f"results written to {args.json}")
     return 1 if check_failures else 0
+
+
+#: The serving-config matrix ``serve-bench --bench-out`` sweeps on the
+#: mixed chat/document workload.  Each entry overrides the CLI-derived
+#: base config; the first is the plain baseline everything else is read
+#: against.
+_BENCH_MATRIX = (
+    ("fifo-unchunked", {"policy": "fifo", "chunked_prefill": False,
+                        "prefill_chunk_tokens": None, "speculative": None}),
+    ("fifo-chunked", {"policy": "fifo", "chunked_prefill": True}),
+    ("priority-chunked", {"policy": "priority", "chunked_prefill": True}),
+    ("fairness-chunked", {"policy": "fairness", "chunked_prefill": True}),
+    ("paged-priority-chunked", {"paged": True, "policy": "priority",
+                                "chunked_prefill": True}),
+    ("spec-ngram-fifo", {"policy": "fifo", "chunked_prefill": False,
+                         "prefill_chunk_tokens": None,
+                         "speculative": SpecConfig(method="ngram")}),
+)
+
+#: Version tag of the benchmark report schema ``--bench-out`` writes.
+BENCH_SCHEMA = "BENCH_v1"
+
+
+def _cmd_bench_matrix(args: argparse.Namespace) -> int:
+    """Serve the mixed workload under every matrix config; write JSON.
+
+    The report is versioned (:data:`BENCH_SCHEMA`) and fully simulated —
+    latencies are engine-clock seconds — so the same command on the same
+    seed reproduces it bit-for-bit, and CI can regenerate and upload it.
+    """
+    import dataclasses as _dc
+    # The base config is the plain baseline; feature flags the user set
+    # (--chunked-prefill, --policy, --speculative) are irrelevant here —
+    # the matrix itself decides which features each entry turns on.
+    plain_args = argparse.Namespace(**vars(args))
+    plain_args.chunked_prefill = False
+    plain_args.prefill_chunk_tokens = None
+    plain_args.policy = "fifo"
+    plain_args.speculative = None
+    base = _engine_config(plain_args)
+    llm = base.build_llm()
+    suite = mixed_chat_suite(n_chats=args.requests,
+                             n_documents=max(1, args.requests // 3),
+                             chat_new_tokens=args.tokens,
+                             document_new_tokens=max(4, args.tokens // 4),
+                             seed=args.seed)
+    # One arrival schedule, shared by every config, with document
+    # prefills landing mid-chat-decode (the regime the matrix compares).
+    workloads, arrivals = _staggered_mixed_arrivals(
+        base, llm, suite, args.ignore_eos)
+    configs = {}
+    for name, overrides in _BENCH_MATRIX:
+        if overrides.get("chunked_prefill") and args.prefill_chunk_tokens:
+            overrides = {**overrides,
+                         "prefill_chunk_tokens": args.prefill_chunk_tokens}
+        config = _dc.replace(base, **overrides)
+        _, report, _ = _serve_suite(config, llm, workloads, args.ignore_eos,
+                                    arrivals=arrivals)
+        entry = report.as_dict()
+        configs[name] = entry
+        print(f"{name:24s} {report.throughput_tokens_per_second:8.1f} tok/s"
+              f"  itl p95 {entry['itl_p95_ms']:.3f} ms"
+              f"  kv util {report.mean_kv_utilization:.1%}"
+              f"  accept {report.acceptance_rate:.1%}")
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "model": llm.model_config.name,
+        "suite": suite.name,
+        "n_requests": len(suite),
+        "seed": args.seed,
+        "max_batch_tokens": base.max_batch_tokens,
+        "configs": configs,
+    }
+    write_json(args.bench_out, payload)
+    print(f"benchmark report ({BENCH_SCHEMA}) written to {args.bench_out}")
+    return 0
 
 
 #: Demo prompts of the serve-api walkthrough (used when --prompt absent).

@@ -152,6 +152,7 @@ class LatencySummary:
     p50: float
     p95: float
     max: float
+    p99: float = 0.0
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "LatencySummary":
@@ -163,9 +164,10 @@ class LatencySummary:
             mean=sum(values) / len(values),
             p50=percentile(values, 50.0),
             p95=percentile(values, 95.0),
+            p99=percentile(values, 99.0),
             max=float(max(values)),
         )
 
     def as_dict(self) -> Dict[str, float]:
         return {"n": self.n, "mean": self.mean, "p50": self.p50,
-                "p95": self.p95, "max": self.max}
+                "p95": self.p95, "p99": self.p99, "max": self.max}

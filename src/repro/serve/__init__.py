@@ -12,6 +12,14 @@ talk to it through the typed frontend in :mod:`repro.api`
 
 from .engine import AsyncServingEngine, ServingEngine
 from .metrics import RequestMetrics, ServeReport
+from .policy import (
+    POLICIES,
+    FairnessPolicy,
+    FIFOPolicy,
+    PriorityPolicy,
+    SchedulingPolicy,
+    build_policy,
+)
 from .request import Request, RequestQueue, RequestState
 from .scheduler import Scheduler, SchedulerConfig
 
@@ -25,4 +33,10 @@ __all__ = [
     "RequestState",
     "Scheduler",
     "SchedulerConfig",
+    "SchedulingPolicy",
+    "FIFOPolicy",
+    "PriorityPolicy",
+    "FairnessPolicy",
+    "POLICIES",
+    "build_policy",
 ]

@@ -357,6 +357,7 @@ class ServingEngine:
         requests.
         """
         request.generated_tokens.append(token)
+        request.token_times.append(self.clock)
         if request.first_token_time is None:
             request.first_token_time = self.clock
         if request.logprobs is not None:
@@ -487,13 +488,16 @@ class ServingEngine:
         attributes (e.g. :class:`repro.workloads.prompts.Workload`).  Each
         workload's decode budget overrides ``params.max_tokens`` (or the
         legacy keyword arguments, which are passed through to
-        :meth:`submit`).
+        :meth:`submit`); a workload's ``priority`` attribute, when
+        present and non-default, overrides ``params.priority``.
         """
         import dataclasses
         for workload in workloads:
             if params is not None:
+                priority = getattr(workload, "priority", 0) or params.priority
                 self.submit(workload.prompt, dataclasses.replace(
-                    params, max_tokens=workload.max_new_tokens))
+                    params, max_tokens=workload.max_new_tokens,
+                    priority=priority))
             else:
                 self.submit(workload.prompt,
                             max_new_tokens=workload.max_new_tokens, **sampling)
@@ -516,6 +520,8 @@ class ServingEngine:
         n_steps = self._n_steps
         return ServeReport(
             requests=[self.result_for(r) for r in self._completed],
+            policy=scheduler.config.policy,
+            chunked_prefill=scheduler.config.chunked_prefill,
             n_steps=n_steps,
             total_slots=self._total_slots,
             makespan_seconds=self.clock,

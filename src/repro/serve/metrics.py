@@ -32,6 +32,11 @@ class RequestMetrics:
     queue_wait_s: float
     time_to_first_token_s: float
     latency_s: float
+    #: SLO tier the request was served under (smaller = more urgent).
+    priority: int = 0
+    #: Gaps between consecutive committed tokens (simulated seconds);
+    #: the tier-level inter-token-latency percentiles pool these.
+    inter_token_latencies_s: List[float] = field(default_factory=list)
     n_preemptions: int = 0
     prefix_hit_tokens: int = 0
     #: Why the request retired: "stop" (EOS / stop sequence) or "length".
@@ -56,6 +61,8 @@ class RequestMetrics:
             queue_wait_s=request.queue_wait or 0.0,
             time_to_first_token_s=request.time_to_first_token or 0.0,
             latency_s=request.latency or 0.0,
+            priority=request.priority,
+            inter_token_latencies_s=request.inter_token_latencies,
             n_preemptions=request.n_preemptions,
             prefix_hit_tokens=request.prefix_hit_tokens,
             finish_reason=request.finish_reason,
@@ -71,6 +78,7 @@ class RequestMetrics:
         """Flat dictionary for table rendering / JSON export."""
         return {
             "request": self.request_id,
+            "priority": self.priority,
             "prompt_tokens": len(self.prompt_tokens),
             "generated_tokens": self.n_generated,
             "queue_wait_ms": self.queue_wait_s * 1e3,
@@ -90,6 +98,10 @@ class ServeReport:
     makespan_seconds: float
     counters: RunCounters
     energy: EnergyBreakdown
+    #: Scheduling policy the run used ("fifo" / "priority" / "fairness").
+    policy: str = "fifo"
+    #: Whether prefill shared a per-step chunk budget with decode.
+    chunked_prefill: bool = False
     # Paged-KV accounting (zero / False under the reservation scheduler).
     paged: bool = False
     peak_running: int = 0
@@ -205,12 +217,64 @@ class ServeReport:
         """Admission-wait distribution."""
         return self._summary([r.queue_wait_s for r in self.requests])
 
+    # ------------------------------------------------------------------
+    # SLO tiers: per-priority latency breakdown
+    # ------------------------------------------------------------------
+    def _tier_requests(self, priority: Optional[int]) -> List[RequestMetrics]:
+        if priority is None:
+            return self.requests
+        return [r for r in self.requests if r.priority == priority]
+
+    def itl_summary(self, priority: Optional[int] = None) -> LatencySummary:
+        """Inter-token-latency distribution, pooled over every gap of
+        every request (optionally restricted to one priority tier).
+
+        This is the latency chunked prefill protects: the simulated time
+        a client waits between consecutive streamed tokens, which grows
+        with the size of whatever step ran in between — a monolithic
+        long-prompt prefill shows up here as a fat tail.
+        """
+        return self._summary([
+            gap
+            for r in self._tier_requests(priority)
+            for gap in r.inter_token_latencies_s
+        ])
+
+    @property
+    def tiers(self) -> List[int]:
+        """Priority tiers present in the served population, most urgent
+        first."""
+        return sorted({r.priority for r in self.requests})
+
+    def tier_breakdown(self) -> Dict[int, Dict[str, float]]:
+        """Per-tier latency percentiles (milliseconds) and counts."""
+        breakdown: Dict[int, Dict[str, float]] = {}
+        for tier in self.tiers:
+            members = self._tier_requests(tier)
+            ttft = self._summary([r.time_to_first_token_s for r in members])
+            itl = self.itl_summary(tier)
+            breakdown[tier] = {
+                "n_requests": len(members),
+                "generated_tokens": sum(r.n_generated for r in members),
+                "ttft_p50_ms": ttft.p50 * 1e3,
+                "ttft_p95_ms": ttft.p95 * 1e3,
+                "ttft_p99_ms": ttft.p99 * 1e3,
+                "itl_p50_ms": itl.p50 * 1e3,
+                "itl_p95_ms": itl.p95 * 1e3,
+                "itl_p99_ms": itl.p99 * 1e3,
+                "mean_queue_wait_ms": (
+                    sum(r.queue_wait_s for r in members) / len(members) * 1e3
+                ),
+            }
+        return breakdown
+
     def request_rows(self) -> List[Dict[str, object]]:
         return [r.as_row() for r in self.requests]
 
     def as_dict(self) -> Dict[str, object]:
         latency = self.latency_summary()
         ttft = self.ttft_summary()
+        itl = self.itl_summary()
         return {
             "n_requests": self.n_requests,
             "n_steps": self.n_steps,
@@ -218,10 +282,17 @@ class ServeReport:
             "makespan_seconds": self.makespan_seconds,
             "throughput_tokens_per_second": self.throughput_tokens_per_second,
             "mean_batch_tokens": self.mean_batch_tokens,
+            "policy": self.policy,
+            "chunked_prefill": self.chunked_prefill,
             "latency_p50_ms": latency.p50 * 1e3,
             "latency_p95_ms": latency.p95 * 1e3,
             "ttft_p50_ms": ttft.p50 * 1e3,
             "ttft_p95_ms": ttft.p95 * 1e3,
+            "ttft_p99_ms": ttft.p99 * 1e3,
+            "itl_p50_ms": itl.p50 * 1e3,
+            "itl_p95_ms": itl.p95 * 1e3,
+            "itl_p99_ms": itl.p99 * 1e3,
+            "tiers": {str(t): row for t, row in self.tier_breakdown().items()},
             "mean_queue_wait_ms": self.queue_wait_summary().mean * 1e3,
             "tokens_per_joule": self.tokens_per_joule,
             "hbm_gbytes": self.counters.hbm_bytes / 1e9,

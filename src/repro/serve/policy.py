@@ -1,0 +1,210 @@
+"""Scheduling policies: admission order and preemption-victim selection.
+
+The scheduler delegates three decisions to a :class:`SchedulingPolicy`:
+
+* **admission order** — which queued request is considered next when KV
+  budget frees up (:meth:`SchedulingPolicy.select`);
+* **step order** — the order in-flight requests are scanned when a
+  batched step is packed (:meth:`SchedulingPolicy.step_order`);
+* **victim selection** — which running request is evicted when the
+  paged KV pool runs dry (:meth:`SchedulingPolicy.pick_victim`).
+
+Three policies ship:
+
+``fifo``
+    Strict arrival order (the historical behaviour).  Priorities are
+    ignored; admission is head-of-line blocked on the earliest arrival
+    and the preemption victim is the latest-admitted request.
+``priority``
+    Strict SLO tiers.  Requests carry a small-is-urgent integer
+    priority (:attr:`repro.api.SamplingParams.priority`); admission
+    picks the most urgent arrived request, step packing scans urgent
+    tiers first, and a preemption victim is only ever drawn from tiers
+    *no more urgent* than the request that needs the memory — a
+    higher-priority request is never evicted to make room for a
+    lower-priority one.
+``fairness``
+    Priority with aging.  A queued request's effective priority
+    improves linearly with its wait (``priority - wait /
+    aging_s``), so a persistent stream of urgent arrivals cannot
+    starve a patient low-priority request forever; preemption uses the
+    same tier rule as ``priority``.
+
+Every ordering decision breaks ties on ``Request.arrival_seq`` — the
+monotonic submission sequence number the scheduler stamps — so equal
+keys resolve identically on every run, including requests that were
+preempted and re-queued via ``push_front`` (they keep their original
+sequence number and therefore their place among equals).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .request import Request, RequestQueue
+
+__all__ = [
+    "SchedulingPolicy",
+    "FIFOPolicy",
+    "PriorityPolicy",
+    "FairnessPolicy",
+    "POLICIES",
+    "build_policy",
+]
+
+
+class SchedulingPolicy:
+    """Admission order, step order and preemption choice of a scheduler."""
+
+    name = "base"
+
+    # -- admission ------------------------------------------------------
+    def select(self, queue: RequestQueue, now: float) -> Optional[Request]:
+        """The queued request admission should try next (``None``: none
+        has arrived yet, or the queue is empty)."""
+        raise NotImplementedError
+
+    def next_arrival(self, queue: RequestQueue) -> Optional[float]:
+        """Clock instant at which :meth:`select` would next return a
+        request, used by the engine to fast-forward through idle gaps."""
+        raise NotImplementedError
+
+    # -- step packing ---------------------------------------------------
+    def step_order(self, running: List[Request], rotation: int) -> List[Request]:
+        """Order the in-flight requests are scanned when packing a step.
+
+        ``rotation`` is the scheduler's monotonically advancing counter;
+        policies that round-robin use it as the scan start so no request
+        is starved of slots when the token budget is oversubscribed.
+        """
+        raise NotImplementedError
+
+    # -- preemption -----------------------------------------------------
+    def pick_victim(
+        self, candidates: List[Request], beneficiary: Request
+    ) -> Optional[Request]:
+        """The running request to evict so ``beneficiary`` can proceed.
+
+        ``candidates`` are the preemptible running requests in admission
+        order (the beneficiary and requests already holding slots in the
+        step under construction are excluded by the caller).  ``None``
+        means nothing may be evicted and the beneficiary skips the step.
+        """
+        raise NotImplementedError
+
+
+def _rotated(running: List[Request], rotation: int) -> List[Request]:
+    n = len(running)
+    if n == 0:
+        return []
+    start = rotation % n
+    return [running[(start + i) % n] for i in range(n)]
+
+
+class FIFOPolicy(SchedulingPolicy):
+    """Strict arrival order; priorities are ignored (PR 1 behaviour)."""
+
+    name = "fifo"
+
+    def select(self, queue: RequestQueue, now: float) -> Optional[Request]:
+        # Head-of-line blocking: if the head has not arrived (or does
+        # not fit, which the scheduler checks), nothing behind it runs.
+        head = queue.peek()
+        if head is None or head.arrival_time > now:
+            return None
+        return head
+
+    def next_arrival(self, queue: RequestQueue) -> Optional[float]:
+        head = queue.peek()
+        return head.arrival_time if head is not None else None
+
+    def step_order(self, running: List[Request], rotation: int) -> List[Request]:
+        return _rotated(running, rotation)
+
+    def pick_victim(
+        self, candidates: List[Request], beneficiary: Request
+    ) -> Optional[Request]:
+        # Latest-admitted first: it has the least work to recompute and
+        # the weakest seniority claim.
+        return candidates[-1] if candidates else None
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Strict SLO tiers: smaller ``priority`` values run first."""
+
+    name = "priority"
+
+    def _key(self, request: Request, now: float) -> Tuple[float, int]:
+        return (request.priority, request.arrival_seq)
+
+    def select(self, queue: RequestQueue, now: float) -> Optional[Request]:
+        arrived = [r for r in queue if r.arrival_time <= now]
+        if not arrived:
+            return None
+        return min(arrived, key=lambda r: self._key(r, now))
+
+    def next_arrival(self, queue: RequestQueue) -> Optional[float]:
+        times = [r.arrival_time for r in queue]
+        return min(times) if times else None
+
+    def step_order(self, running: List[Request], rotation: int) -> List[Request]:
+        # Urgent tiers first; within a tier, round-robin so an
+        # oversubscribed token budget still reaches every peer, and
+        # equal rotation offsets resolve by arrival sequence.
+        tiers: dict = {}
+        for request in sorted(running, key=lambda r: (r.priority,
+                                                      r.arrival_seq)):
+            tiers.setdefault(request.priority, []).append(request)
+        ordered: List[Request] = []
+        for priority in sorted(tiers):
+            ordered.extend(_rotated(tiers[priority], rotation))
+        return ordered
+
+    def pick_victim(
+        self, candidates: List[Request], beneficiary: Request
+    ) -> Optional[Request]:
+        # Never evict a request more urgent than the beneficiary; among
+        # the eligible, take the least urgent, latest-submitted one.
+        eligible = [c for c in candidates if c.priority >= beneficiary.priority]
+        if not eligible:
+            return None
+        return max(eligible, key=lambda c: (c.priority, c.arrival_seq))
+
+
+class FairnessPolicy(PriorityPolicy):
+    """Priority with aging: waiting erodes a request's priority number.
+
+    A queued request's effective key is ``priority - wait / aging_s``,
+    so after ``aging_s * delta`` simulated seconds of waiting it
+    outranks fresh arrivals ``delta`` tiers more urgent — bounded
+    starvation instead of the strict policy's unbounded one.  Step
+    packing and preemption fall back to the plain tier rules (a running
+    request is already being served; aging is an *admission* remedy).
+    """
+
+    name = "fairness"
+
+    def __init__(self, aging_s: float = 0.1) -> None:
+        if aging_s <= 0:
+            raise ValueError("aging_s must be positive")
+        self.aging_s = aging_s
+
+    def _key(self, request: Request, now: float) -> Tuple[float, int]:
+        wait = max(0.0, now - request.arrival_time)
+        return (request.priority - wait / self.aging_s, request.arrival_seq)
+
+
+#: Policy names accepted by :class:`repro.serve.SchedulerConfig`.
+POLICIES = ("fifo", "priority", "fairness")
+
+
+def build_policy(name: str, fairness_aging_s: float = 0.1) -> SchedulingPolicy:
+    """Instantiate the policy ``name`` (one of :data:`POLICIES`)."""
+    if name == "fifo":
+        return FIFOPolicy()
+    if name == "priority":
+        return PriorityPolicy()
+    if name == "fairness":
+        return FairnessPolicy(aging_s=fairness_aging_s)
+    raise ValueError(f"unknown scheduling policy {name!r}; "
+                     f"choose one of {POLICIES}")

@@ -73,6 +73,16 @@ class Request:
     #: from the legacy loose fields above; when given, it is the single
     #: source of truth and the loose fields are overwritten from it.
     sampling: Optional[SamplingParams] = None
+    #: SLO tier: smaller numbers are more urgent.  Mirrors
+    #: ``sampling.priority`` (which wins when both are given); only the
+    #: ``priority`` / ``fairness`` scheduling policies act on it.
+    priority: int = 0
+    #: Monotonic submission sequence number, stamped by the scheduler.
+    #: Every scheduling-order tie (equal priority, equal arrival time)
+    #: breaks on it, so admission and preemption order are deterministic
+    #: — including preempted requests re-queued via ``push_front``,
+    #: which keep their original number.
+    arrival_seq: int = 0
 
     # Mutable progress state (owned by the scheduler/engine) ------------
     state: RequestState = RequestState.QUEUED
@@ -101,6 +111,11 @@ class Request:
     #: Per generated token: top-k token-id -> logprob maps, populated
     #: only when ``sampling.logprobs`` is set.
     logprobs: Optional[List[Dict[int, float]]] = None
+    #: Engine-clock timestamp of every committed token, in commit order.
+    #: Consecutive differences are the request's inter-token latencies
+    #: (tokens committed by one speculative verify run share a
+    #: timestamp: they reached the client together).
+    token_times: List[float] = field(default_factory=list)
 
     # Simulated-clock timestamps ---------------------------------------
     admitted_time: Optional[float] = None
@@ -123,6 +138,8 @@ class Request:
             )
         self.max_new_tokens = self.sampling.max_tokens
         self.stop_at_eos = self.sampling.stops_at_eos
+        if self.sampling.priority != 0:
+            self.priority = self.sampling.priority
         if self.sampler is None:
             self.sampler = self.sampling.build_sampler()
         if self.sampling.logprobs is not None and self.logprobs is None:
@@ -209,6 +226,16 @@ class Request:
         if self.finish_time is None:
             return None
         return self.finish_time - self.arrival_time
+
+    @property
+    def inter_token_latencies(self) -> List[float]:
+        """Gaps between consecutive committed tokens (simulated seconds).
+
+        The first token's wait is TTFT, reported separately; a request
+        that produced fewer than two tokens has no gaps.
+        """
+        times = self.token_times
+        return [b - a for a, b in zip(times, times[1:])]
 
 
 class RequestQueue:

@@ -5,28 +5,47 @@ and decides, for every accelerator step, which token positions run.  The
 policy is the iteration-level scheduling of production serving engines
 (Orca/vLLM style) applied to the simulated SpeedLLM accelerator:
 
-* **Admission** is FIFO and budget-gated; head-of-line blocking keeps
-  admission order fair.  In **reservation mode** (the PR 1 policy) a
-  request is admitted only if its *worst-case* KV-cache footprint (prompt
-  plus full decode budget) fits in the KV memory budget, and the
-  reservation is held until it retires.  In **paged mode** the budget is
-  carved into fixed-size blocks by a :class:`~repro.kvpool.KVPool`:
-  admission is optimistic — it requires blocks for the *prompt* only
-  (minus any prefix already cached by earlier requests, plus a small
-  free-block watermark) — and decode-time blocks are allocated on demand,
-  step by step.
+* **Admission** is policy-ordered and budget-gated: a
+  :class:`~repro.serve.policy.SchedulingPolicy` (``fifo`` — the
+  historical strict arrival order — or ``priority`` / ``fairness``,
+  which order by the per-request SLO tier) picks the next candidate,
+  and head-of-line blocking on that candidate keeps the order honest.
+  In **reservation mode** (the PR 1 policy) a request is admitted only
+  if its *worst-case* KV-cache footprint (prompt plus full decode
+  budget) fits in the KV memory budget, and the reservation is held
+  until it retires.  In **paged mode** the budget is carved into
+  fixed-size blocks by a :class:`~repro.kvpool.KVPool`: admission is
+  optimistic — it requires blocks for the *prompt* only (minus any
+  prefix already cached by earlier requests, plus a small free-block
+  watermark) — and decode-time blocks are allocated on demand, step by
+  step.
 * **Step building** fills a token budget (``max_batch_tokens``) one
   position at a time: decoding requests first — one position each, they
   are latency-critical and keep the batch "continuous" — then prefilling
-  requests contribute chunks of up to ``prefill_chunk`` prompt positions.
+  requests contribute chunks of prompt positions.  Two prefill regimes
+  exist.  The legacy one grants each request up to ``prefill_chunk``
+  positions, bounded only by the step budget — a long prompt may fill
+  the whole step and stall every decode batched alongside.  With
+  **chunked prefill** (``chunked_prefill=True``) all prefilling requests
+  share a single per-step budget of ``prefill_chunk_tokens`` positions,
+  so prompt processing trickles into the spare capacity of the decode
+  steps that are happening anyway and the step time — which is what
+  bounds every decoding request's inter-token latency — stays flat.
   Only a request's *last* prompt position asks for logits; every other
   prefill slot skips the classifier entirely.  In paged mode every
   scheduled position is backed by a physical block before its slot is
-  emitted; when the pool runs dry the scheduler **preempts** the
-  lowest-priority running request that has no slots in this step — its
-  blocks are freed and it returns to the front of the queue to recompute
-  its KV entries on readmission (often a prefix hit on its own
-  still-cached blocks).
+  emitted; when the pool runs dry the scheduler **preempts** a victim
+  chosen by the policy (``fifo``: latest-admitted; ``priority`` /
+  ``fairness``: least-urgent tier, never a tier more urgent than the
+  request that needs the memory) among requests with no slots in this
+  step — its blocks are freed and it returns to the front of the queue
+  to recompute its KV entries on readmission (often a prefix hit on its
+  own still-cached blocks).
+
+Every ordering decision ties-breaks on ``Request.arrival_seq``, the
+monotonic sequence number :meth:`Scheduler.submit` stamps, so scheduling
+order is deterministic run to run — including preempted requests
+re-queued at the head of the line.
 
 The scheduler is purely about *which* positions run; executing them and
 advancing request state is the engine's job, so the scheduler can be unit
@@ -44,6 +63,7 @@ from ..llama.config import LlamaConfig
 from ..llama.kv_cache import KVCache
 from ..sim.memory import MemoryBudget
 from ..spec.config import SpecConfig
+from .policy import POLICIES, build_policy
 from .request import Request, RequestQueue, RequestState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -67,6 +87,22 @@ class SchedulerConfig:
     paged: bool = False             # paged-block KV instead of reservations
     block_tokens: int = 16          # token positions per KV block
     watermark_fraction: float = 0.05  # free blocks held back at admission
+    #: Chunked prefill: all prefilling requests share one per-step
+    #: budget of ``prefill_chunk_tokens`` prompt positions (instead of
+    #: each taking up to ``prefill_chunk``), so long prompts ride along
+    #: decode steps without inflating step time.
+    chunked_prefill: bool = False
+    #: Per-step prefill token budget under chunked prefill; ``None``
+    #: defaults to half of ``max_batch_tokens`` (at least 1).
+    prefill_chunk_tokens: Optional[int] = None
+    #: Scheduling policy: ``"fifo"`` (strict arrival order),
+    #: ``"priority"`` (SLO tiers, smaller = more urgent) or
+    #: ``"fairness"`` (priority with admission aging).
+    policy: str = "fifo"
+    #: Fairness aging constant: a queued request gains one priority
+    #: tier of urgency per ``fairness_aging_s`` simulated seconds
+    #: waited (``"fairness"`` policy only).
+    fairness_aging_s: float = 0.1
     #: Speculative decoding policy; None decodes one token per request
     #: per step.  With a policy set (and a drafter attached by the
     #: engine), each decoding request may occupy up to
@@ -87,6 +123,24 @@ class SchedulerConfig:
             raise ValueError("block_tokens must be positive")
         if not 0.0 <= self.watermark_fraction < 1.0:
             raise ValueError("watermark_fraction must be in [0, 1)")
+        if self.prefill_chunk_tokens is not None:
+            if not self.chunked_prefill:
+                raise ValueError(
+                    "prefill_chunk_tokens requires chunked_prefill=True")
+            if self.prefill_chunk_tokens <= 0:
+                raise ValueError("prefill_chunk_tokens must be positive")
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"policy must be one of {POLICIES}, got {self.policy!r}")
+        if self.fairness_aging_s <= 0:
+            raise ValueError("fairness_aging_s must be positive")
+
+    @property
+    def step_prefill_budget(self) -> int:
+        """Per-step prefill token budget under chunked prefill."""
+        if self.prefill_chunk_tokens is not None:
+            return self.prefill_chunk_tokens
+        return max(1, self.max_batch_tokens // 2)
 
 
 class Scheduler:
@@ -121,11 +175,22 @@ class Scheduler:
                 watermark_fraction=self.config.watermark_fraction,
                 shards=kv_shards,
             )
+        self.policy = build_policy(
+            self.config.policy,
+            fairness_aging_s=self.config.fairness_aging_s,
+        )
         self._rotation = 0  # round-robin start index for step building
+        self._seq = 0       # arrival_seq stamp of the next submission
         # Paged-mode accounting, surfaced through the serving report.
         self.n_preemptions = 0
         self.prefix_hit_tokens = 0
         self.total_prefill_tokens = 0
+        #: Preemption audit log: ``(victim_id, victim_priority,
+        #: beneficiary_id, beneficiary_priority)`` per eviction.  The
+        #: policy invariant — a victim is never more urgent than its
+        #: beneficiary under priority/fairness — is asserted against it
+        #: by the property tests.
+        self.preemption_events: List[tuple] = []
         #: Speculative decoding: the engine attaches the drafter built
         #: from ``config.speculative`` (the scheduler cannot build it —
         #: drafters may need the model stack).
@@ -149,14 +214,14 @@ class Scheduler:
     def next_arrival(self) -> Optional[float]:
         """Arrival time of the request admission would consider next.
 
-        Admission is strictly FIFO, so this is the *head's* arrival time
-        — not the queue-wide minimum.  The engine fast-forwards its idle
-        clock to this instant; targeting an out-of-order earlier arrival
-        behind the head would never unblock admission and the drain loop
-        would spin forever.
+        Policy-dependent: under FIFO this is the *head's* arrival time —
+        not the queue-wide minimum, because nothing behind a not-yet-
+        arrived head can be admitted and fast-forwarding anywhere else
+        would spin the drain loop forever.  The priority and fairness
+        policies admit any arrived request, so they fast-forward to the
+        earliest arrival in the queue.
         """
-        head = self.queue.peek()
-        return head.arrival_time if head is not None else None
+        return self.policy.next_arrival(self.queue)
 
     @property
     def kv_block_tokens(self) -> Optional[int]:
@@ -199,6 +264,8 @@ class Scheduler:
                     f"{self.kv_budget.capacity_bytes}; it can never be "
                     "admitted"
                 )
+        request.arrival_seq = self._seq
+        self._seq += 1
         self.queue.push(request)
 
     def _kv_footprint(self, request: Request) -> int:
@@ -211,25 +278,29 @@ class Scheduler:
     def admit(self, now: float) -> List[Request]:
         """Admit queued requests while budgets allow; returns the admitted.
 
-        Admission is strictly FIFO: if the head of the queue does not fit
-        (or has not arrived yet on the simulated clock), nothing behind it
-        is considered.  Reservation mode sizes a private KV cache to the
-        worst-case footprint; paged mode maps any cached prompt prefix to
-        shared blocks and requires free blocks only for the rest of the
-        prompt (plus the watermark, waived when nothing is running so a
-        lone request can always start).
+        Admission is policy-ordered with head-of-line blocking: the
+        policy picks the next candidate (FIFO: the arrival-order head;
+        priority/fairness: the most urgent arrived request) and if that
+        candidate does not fit, nothing else is considered — a policy's
+        chosen request is never overtaken by one it outranks.
+        Reservation mode sizes a private KV cache to the worst-case
+        footprint; paged mode maps any cached prompt prefix to shared
+        blocks and requires free blocks only for the rest of the prompt
+        (plus the watermark, waived when nothing is running so a lone
+        request can always start).
         """
         if self.pool is not None:
             return self._admit_paged(now)
         admitted: List[Request] = []
         while self.queue and len(self.running) < self.config.max_running:
-            head = self.queue.peek()
-            if head.arrival_time > now:
+            head = self.policy.select(self.queue, now)
+            if head is None:
                 break
             footprint = self._kv_footprint(head)
             if not self.kv_budget.reserve(footprint):
                 break
-            request = self.queue.pop()
+            request = head
+            self.queue.remove(request)
             positions = request.total_positions(self.model_config.max_seq_len)
             request.cache = KVCache(self.model_config, max_seq_len=positions)
             request.kv_reserved_bytes = footprint
@@ -243,8 +314,8 @@ class Scheduler:
         pool = self.pool
         admitted: List[Request] = []
         while self.queue and len(self.running) < self.config.max_running:
-            head = self.queue.peek()
-            if head.arrival_time > now:
+            head = self.policy.select(self.queue, now)
+            if head is None:
                 break
             stream = head.prefill_tokens
             matched = pool.match_prefix(stream)
@@ -260,7 +331,8 @@ class Scheduler:
                 new_blocks + cached_matched + headroom
             ):
                 break
-            request = self.queue.pop()
+            request = head
+            self.queue.remove(request)
             cache = pool.new_cache(max_seq_len=self.model_config.max_seq_len)
             cache.adopt_prefix(matched)
             hit = cache.length
@@ -286,14 +358,17 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Paged-mode block granting and preemption
     # ------------------------------------------------------------------
-    def _pick_victim(self, exclude_ids: set) -> Optional[Request]:
-        """Latest-admitted running request that may be preempted."""
-        for request in reversed(self.running):
-            if request.request_id not in exclude_ids:
-                return request
-        return None
+    def _pick_victim(
+        self, exclude_ids: set, beneficiary: Request
+    ) -> Optional[Request]:
+        """Policy-chosen running request that may be evicted for
+        ``beneficiary`` (FIFO: latest-admitted; priority/fairness: the
+        least urgent tier, never one more urgent than the beneficiary)."""
+        candidates = [r for r in self.running
+                      if r.request_id not in exclude_ids]
+        return self.policy.pick_victim(candidates, beneficiary)
 
-    def _preempt(self, victim: Request) -> None:
+    def _preempt(self, victim: Request, beneficiary: Request) -> None:
         """Evict a running request; it will recompute on readmission."""
         if victim.cache is not None:
             victim.cache.release()
@@ -309,6 +384,10 @@ class Scheduler:
         victim.state = RequestState.QUEUED
         victim.n_preemptions += 1
         self.n_preemptions += 1
+        self.preemption_events.append(
+            (victim.request_id, victim.priority,
+             beneficiary.request_id, beneficiary.priority)
+        )
         self.running.remove(victim)
         self.queue.push_front(victim)
 
@@ -317,19 +396,20 @@ class Scheduler:
     ) -> bool:
         """Back ``request``'s next positions with blocks, preempting if needed.
 
-        Victims are drawn from lowest admission priority upward, skipping
-        the request itself and any request already holding slots in the
-        step under construction (their positions are committed).  Returns
-        False when no victim remains and the pool still cannot supply a
-        block — the caller simply skips this request for the step.
+        Victims are chosen by the scheduling policy, skipping the
+        request itself and any request already holding slots in the step
+        under construction (their positions are committed).  Returns
+        False when no eligible victim remains and the pool still cannot
+        supply a block — the caller simply skips this request for the
+        step.
         """
         exclude = set(granted_ids)
         exclude.add(request.request_id)
         while not request.cache.ensure_capacity(n_positions):
-            victim = self._pick_victim(exclude)
+            victim = self._pick_victim(exclude, request)
             if victim is None:
                 return False
-            self._preempt(victim)
+            self._preempt(victim, request)
         return True
 
     # ------------------------------------------------------------------
@@ -338,14 +418,16 @@ class Scheduler:
 
         Decoding requests contribute one position each, then prefilling
         requests contribute chunks of prompt positions until the step's
-        token budget is exhausted.  Slots of the same request are
-        consecutive and in position order, which the functional executor
-        requires.
+        token budget is exhausted.  Under chunked prefill the prefill
+        phase is additionally capped by the shared per-step budget of
+        ``prefill_chunk_tokens`` positions.  Slots of the same request
+        are consecutive and in position order, which the functional
+        executor requires.
 
-        When more requests are in flight than the token budget covers,
-        the scan starts one past where the previous step's scan started
-        (round-robin), so no request is starved of decode slots by
-        earlier-admitted ones.
+        The scan order is the policy's: FIFO and fairness round-robin
+        over the running set (so no request is starved of decode slots
+        when the token budget is oversubscribed); priority scans urgent
+        tiers first and round-robins within each tier.
 
         In paged mode each request's positions are backed by physical
         blocks before its slots are emitted; a request that cannot be
@@ -357,8 +439,7 @@ class Scheduler:
             return slots
         paged = self.pool is not None
         n = len(self.running)
-        self._rotation %= n
-        order = [self.running[(self._rotation + i) % n] for i in range(n)]
+        order = self.policy.step_order(list(self.running), self._rotation)
         # Rotate whenever the token budget may not cover every running
         # request: more requests than budget, or speculative turns that
         # occupy K+1 slots each (crowding later requests out of the
@@ -413,15 +494,30 @@ class Scheduler:
                     ))
                 granted_ids.add(request.request_id)
                 budget -= 1 + len(draft)
+        # Prefill phase.  Legacy regime: each request takes up to
+        # ``prefill_chunk`` positions, bounded only by the step budget.
+        # Chunked regime: every prefilling request draws from one shared
+        # per-step budget, so prompt processing never inflates a step
+        # beyond ``decode slots + prefill_chunk_tokens`` positions.  The
+        # throttle exists to bound the inter-token stall of in-flight
+        # decodes, so it only engages when the step carries decode slots
+        # — a pure-prefill step (cold start, post-drain) may use the full
+        # budget; throttling it would only delay first tokens.
+        throttle = self.config.chunked_prefill and bool(slots)
+        chunk_budget = (min(budget, self.config.step_prefill_budget)
+                        if throttle else budget)
         for request in order:
-            if budget <= 0:
+            if budget <= 0 or chunk_budget <= 0:
                 break
             if request not in self.running:
                 continue
             if not request.in_prefill:
                 continue
-            chunk = min(self.config.prefill_chunk,
-                        request.prefill_remaining, budget)
+            per_request = (request.prefill_remaining
+                           if self.config.chunked_prefill
+                           else self.config.prefill_chunk)
+            chunk = min(per_request, request.prefill_remaining,
+                        budget, chunk_budget)
             if chunk <= 0:
                 continue
             if paged and not self._grant_blocks(
@@ -444,6 +540,7 @@ class Scheduler:
                 ))
             granted_ids.add(request.request_id)
             budget -= chunk
+            chunk_budget -= chunk
         return slots
 
     # ------------------------------------------------------------------

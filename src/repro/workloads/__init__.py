@@ -2,7 +2,7 @@
 
 from .arrivals import poisson_arrival_times
 from .prompts import (PromptSuite, Workload, default_suite, latency_suite,
-                      repetitive_suite, shared_prefix_suite)
+                      mixed_chat_suite, repetitive_suite, shared_prefix_suite)
 from .sweep import ParameterSweep, SweepResult, run_sweep
 from .tinystories import CorpusStats, StoryGenerator, corpus_stats, generate_corpus
 
@@ -12,6 +12,7 @@ __all__ = [
     "Workload",
     "default_suite",
     "latency_suite",
+    "mixed_chat_suite",
     "repetitive_suite",
     "shared_prefix_suite",
     "ParameterSweep",

@@ -16,7 +16,7 @@ from typing import List, Sequence
 from .tinystories import StoryGenerator
 
 __all__ = ["Workload", "PromptSuite", "default_suite", "latency_suite",
-           "repetitive_suite", "shared_prefix_suite"]
+           "mixed_chat_suite", "repetitive_suite", "shared_prefix_suite"]
 
 
 @dataclass(frozen=True)
@@ -26,12 +26,17 @@ class Workload:
     name: str
     prompt: str
     max_new_tokens: int
+    #: SLO tier served under a priority/fairness scheduling policy
+    #: (smaller = more urgent; the default fifo policy ignores it).
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.max_new_tokens <= 0:
             raise ValueError("max_new_tokens must be positive")
         if not self.prompt:
             raise ValueError("prompt must not be empty")
+        if self.priority < 0:
+            raise ValueError("priority must be >= 0 (0 is most urgent)")
 
 
 @dataclass(frozen=True)
@@ -153,6 +158,55 @@ def repetitive_suite(
         ))
     suite_name = "repetitive-adversarial" if adversarial else "repetitive"
     return PromptSuite(name=suite_name, workloads=tuple(workloads))
+
+
+def mixed_chat_suite(
+    n_chats: int = 6,
+    n_documents: int = 2,
+    chat_words: int = 4,
+    document_words: int = 48,
+    chat_new_tokens: int = 24,
+    document_new_tokens: int = 16,
+    seed: int = 23,
+) -> PromptSuite:
+    """Interactive short chats mixed with long-prompt batch documents.
+
+    This is the workload chunked prefill + priority scheduling exists
+    for: ``n_chats`` short interactive requests (priority 0, tiny prompt,
+    decode-heavy) share the engine with ``n_documents`` long-prompt batch
+    jobs (priority 1, prefill-heavy).  Under an unchunked FIFO schedule a
+    document's monolithic prefill step stalls every in-flight chat for
+    the whole prompt — the inter-token-latency tail the serve-bench
+    ``--mixed`` comparison measures; chunked prefill bounds that stall at
+    the per-step prefill budget and the priority policy keeps chats ahead
+    of documents at admission time.
+    """
+    if n_chats <= 0 or n_documents < 0:
+        raise ValueError("need n_chats > 0 and n_documents >= 0")
+    if chat_words <= 0 or document_words <= 0:
+        raise ValueError("chat_words and document_words must be positive")
+    gen = StoryGenerator(seed=seed)
+    workloads: List[Workload] = [
+        Workload(
+            name=f"chat-{i}",
+            prompt=gen.prompt(max_words=chat_words),
+            max_new_tokens=chat_new_tokens,
+            priority=0,
+        )
+        for i in range(n_chats)
+    ]
+    # Interleave documents at evenly spaced submission slots so their
+    # prefills land while chats are mid-decode rather than clustering at
+    # either end of the order.
+    for i in range(n_documents):
+        slot = (i + 1) * n_chats // (n_documents + 1) + i
+        workloads.insert(slot, Workload(
+            name=f"doc-{i}",
+            prompt=" ".join(gen.story().split()[:document_words]),
+            max_new_tokens=document_new_tokens,
+            priority=1,
+        ))
+    return PromptSuite(name="mixed-chat", workloads=tuple(workloads))
 
 
 def latency_suite(

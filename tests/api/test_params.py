@@ -23,6 +23,10 @@ class TestValidation:
         {"stop": ("ok", "")},
         {"stop": (b"bytes",)},
         {"stop": 5},                       # not iterable: typed error too
+        {"priority": -1},
+        {"priority": 1.5},
+        {"priority": "high"},
+        {"priority": True},                # bools are not SLO tiers
     ])
     def test_bad_values_rejected(self, kwargs):
         with pytest.raises(InvalidSamplingError):
@@ -38,6 +42,10 @@ class TestValidation:
         assert params.is_greedy
         assert params.stops_at_eos
         assert params.stop == ()
+        assert params.priority == 0
+
+    def test_priority_tiers_accepted(self):
+        assert SamplingParams(priority=3).priority == 3
 
     def test_frozen(self):
         params = SamplingParams()

@@ -1,14 +1,17 @@
-"""The PR's acceptance pin: every frontend surface produces identical
-token streams.
+"""The PR's acceptance pin: every frontend surface and every serving
+configuration produces identical token streams.
 
-The same prompts are driven through
+Two axes are pinned:
 
-(a) the deprecated ``submit(**kwargs)`` shim,
-(b) ``SamplingParams`` + the streaming ``RequestHandle``, and
-(c) the OpenAI-style completions layer,
-
-for greedy and seeded top-p sampling, and all three must emit exactly the
-same tokens as one another and as sequential ``SpeedLLM.generate``.
+* **Surfaces** — the same prompts are driven through (a) the deprecated
+  ``submit(**kwargs)`` shim, (b) ``SamplingParams`` + the streaming
+  ``RequestHandle``, and (c) the OpenAI-style completions layer, for
+  greedy and seeded top-p sampling, and all three must emit exactly the
+  same tokens as one another and as sequential ``SpeedLLM.generate``.
+* **Configurations** — the shared ``engine_matrix_config`` fixture from
+  ``tests/conftest.py`` sweeps reservation vs. paged KV vs. TP=2, each
+  with chunked prefill on and off; scheduling and memory layout must
+  never change a generated token.
 """
 
 from __future__ import annotations
@@ -84,18 +87,25 @@ def test_all_three_surfaces_emit_identical_streams(llm, sampling):
     assert completions == sequential
 
 
-def test_identity_holds_under_paged_kv(llm):
-    max_tokens = 8
-    config = SchedulerConfig(paged=True, block_tokens=8)
-    sequential = [
-        llm.generate(p, max_new_tokens=max_tokens).generated_tokens
-        for p in PROMPTS
-    ]
-    engine = ServingEngine(llm, config)
-    service = CompletionService(engine)
-    pending = [service.submit(CompletionRequest(prompt=p,
-                                                max_tokens=max_tokens))
-               for p in PROMPTS]
-    engine.run()
-    streams = [list(p.response().choices[0].token_ids) for p in pending]
-    assert streams == sequential
+@pytest.mark.parametrize("sampling", CONFIGS)
+def test_identity_across_engine_matrix(llm, engine_matrix_config,
+                                       serve_streams, sequential_streams,
+                                       sampling):
+    """Every serving config in the matrix reproduces sequential tokens,
+    for greedy and seeded stochastic sampling alike."""
+    sequential = sequential_streams(llm, PROMPTS, seed_base=11, **sampling)
+    served = serve_streams(llm, engine_matrix_config, PROMPTS,
+                           seed_base=11, **sampling)
+    assert served == sequential
+
+
+def test_matrix_identity_with_mixed_priorities(llm, engine_matrix_config,
+                                               serve_streams,
+                                               sequential_streams):
+    """Priorities steer scheduling order, never token content: streams
+    stay sequential-identical when requests carry mixed SLO tiers."""
+    priorities = [i % 2 for i in range(len(PROMPTS))]
+    sequential = sequential_streams(llm, PROMPTS)
+    served = serve_streams(llm, engine_matrix_config, PROMPTS,
+                           priorities=priorities)
+    assert served == sequential

@@ -17,6 +17,25 @@ from repro.llama import (
 )
 from repro.workloads import generate_corpus
 
+#: The cross-config serving matrix every token-identity test runs over:
+#: reservation vs. paged KV vs. tensor-parallel execution, each with and
+#: without chunked prefill.  Entries are EngineConfig overrides — the
+#: ``engine_matrix_config`` fixture composes them with the shared test
+#: defaults, and identity tests assert that *none* of these dimensions
+#: changes a single generated token.
+ENGINE_MATRIX = [
+    pytest.param({}, id="local"),
+    pytest.param({"chunked_prefill": True, "prefill_chunk_tokens": 4,
+                  "policy": "priority"}, id="local-chunked"),
+    pytest.param({"paged": True, "block_size": 8}, id="paged"),
+    pytest.param({"paged": True, "block_size": 8, "chunked_prefill": True,
+                  "prefill_chunk_tokens": 4, "policy": "priority"},
+                 id="paged-chunked"),
+    pytest.param({"tensor_parallel": 2}, id="tp2"),
+    pytest.param({"tensor_parallel": 2, "chunked_prefill": True,
+                  "prefill_chunk_tokens": 4}, id="tp2-chunked"),
+]
+
 
 @pytest.fixture(scope="session")
 def micro_config():
@@ -64,3 +83,58 @@ def tiny_tokenizer(story_corpus):
 @pytest.fixture(scope="session")
 def byte_tokenizer():
     return Tokenizer.byte_level()
+
+
+@pytest.fixture(params=ENGINE_MATRIX)
+def engine_matrix_config(request):
+    """One point of the serving-config matrix, as an EngineConfig."""
+    from repro.api import EngineConfig
+    return EngineConfig(model="test-small", max_batch_tokens=16,
+                        **request.param)
+
+
+@pytest.fixture(scope="session")
+def serve_streams():
+    """Serve prompts through one engine config; return token streams.
+
+    The helper the cross-config identity tests share: prompts go in
+    through the completions layer (the outermost frontend surface) and
+    the per-request token streams come back in submission order, so a
+    test can compare them against sequential generation or against
+    another config's streams with a plain ``==``.
+    """
+    from repro.api import CompletionRequest, CompletionService
+
+    def _serve(llm, config, prompts, max_tokens=8, seed_base=None,
+               priorities=None, **sampling):
+        engine = config.build_engine(llm=llm)
+        service = CompletionService(engine)
+        pending = [
+            service.submit(CompletionRequest(
+                prompt=prompt,
+                max_tokens=max_tokens,
+                seed=0 if seed_base is None else seed_base + i,
+                priority=0 if priorities is None else priorities[i],
+                **sampling,
+            ))
+            for i, prompt in enumerate(prompts)
+        ]
+        engine.run()
+        return [list(p.response().choices[0].token_ids) for p in pending]
+
+    return _serve
+
+
+@pytest.fixture(scope="session")
+def sequential_streams():
+    """Reference token streams from one-shot ``SpeedLLM.generate``."""
+
+    def _generate(llm, prompts, max_tokens=8, seed_base=None, **sampling):
+        return [
+            llm.generate(prompt, max_new_tokens=max_tokens,
+                         seed=0 if seed_base is None else seed_base + i,
+                         **sampling).generated_tokens
+            for i, prompt in enumerate(prompts)
+        ]
+
+    return _generate

@@ -42,8 +42,9 @@ class TestLatencySummary:
         assert summary.mean == pytest.approx(2.5)
         assert summary.p50 == pytest.approx(2.5)
         assert summary.max == 4.0
-        assert summary.p50 <= summary.p95 <= summary.max
-        assert set(summary.as_dict()) == {"n", "mean", "p50", "p95", "max"}
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.max
+        assert set(summary.as_dict()) == {"n", "mean", "p50", "p95", "p99",
+                                          "max"}
 
     def test_empty_population_rejected(self):
         with pytest.raises(ValueError):

@@ -49,32 +49,26 @@ def paged_config(**overrides):
 
 
 class TestTokenIdentity:
-    def test_non_shared_workload_matches_sequential(self, llm):
-        sequential = {
-            prompt: llm.generate(prompt, max_new_tokens=8).generated_tokens
-            for prompt in PROMPTS
-        }
-        engine = ServingEngine(llm, paged_config())
-        for prompt in PROMPTS:
-            engine.submit(prompt, max_new_tokens=8)
-        report = engine.run(max_steps=2000)
-        assert report.n_requests == len(PROMPTS)
-        for result in report.requests:
-            assert result.generated_tokens == sequential[result.prompt]
+    """Cross-config identity, driven by the shared matrix fixture from
+    ``tests/conftest.py`` (reservation / paged / TP=2, each with chunked
+    prefill on and off) instead of a hand-rolled paged-only check."""
 
-    def test_stochastic_sampling_matches_with_same_seed(self, llm):
-        sequential = {
-            prompt: llm.generate(prompt, max_new_tokens=6, temperature=0.8,
-                                 top_p=0.9, seed=21 + i).generated_tokens
-            for i, prompt in enumerate(PROMPTS[:3])
-        }
-        engine = ServingEngine(llm, paged_config(block_tokens=4))
-        for i, prompt in enumerate(PROMPTS[:3]):
-            engine.submit(prompt, max_new_tokens=6, temperature=0.8,
-                          top_p=0.9, seed=21 + i)
-        report = engine.run(max_steps=2000)
-        for result in report.requests:
-            assert result.generated_tokens == sequential[result.prompt]
+    def test_greedy_matches_sequential(self, llm, engine_matrix_config,
+                                       serve_streams, sequential_streams):
+        sequential = sequential_streams(llm, PROMPTS)
+        served = serve_streams(llm, engine_matrix_config, PROMPTS)
+        assert served == sequential
+
+    def test_stochastic_sampling_matches_with_same_seed(
+        self, llm, engine_matrix_config, serve_streams, sequential_streams
+    ):
+        sequential = sequential_streams(llm, PROMPTS[:3], max_tokens=6,
+                                        seed_base=21, temperature=0.8,
+                                        top_p=0.9)
+        served = serve_streams(llm, engine_matrix_config, PROMPTS[:3],
+                               max_tokens=6, seed_base=21, temperature=0.8,
+                               top_p=0.9)
+        assert served == sequential
 
 
 class TestPrefixSharing:
