@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["EngineConfig"]
 
 #: Arrival policies understood by :meth:`EngineConfig.arrival_times`.
-ARRIVAL_POLICIES = ("immediate", "poisson")
+ARRIVAL_POLICIES = ("immediate", "poisson", "bursty")
 
 
 @dataclass(frozen=True)
@@ -77,8 +77,15 @@ class EngineConfig:
     interconnect_latency_us: float = 1.0
 
     # Arrival process ---------------------------------------------------
+    #: "immediate" (everything at t=0), "poisson" (homogeneous process at
+    #: ``arrival_rate``) or "bursty" (Markov-modulated Poisson: calm
+    #: phases at ``arrival_rate`` alternating with bursts at
+    #: ``burst_rate``).
     arrival_policy: str = "immediate"
     arrival_rate: Optional[float] = None
+    #: Burst-phase arrival rate of the bursty policy; ``None`` takes the
+    #: generator default (8x the calm rate).
+    burst_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.tensor_parallel < 1:
@@ -94,10 +101,18 @@ class EngineConfig:
             raise FrontendError(
                 f"arrival_policy must be one of {ARRIVAL_POLICIES}, got "
                 f"{self.arrival_policy!r}")
-        if self.arrival_policy == "poisson" and (
+        if self.arrival_policy in ("poisson", "bursty") and (
                 self.arrival_rate is None or self.arrival_rate <= 0):
             raise FrontendError(
-                "a poisson arrival policy needs a positive arrival_rate")
+                f"a {self.arrival_policy} arrival policy needs a positive "
+                "arrival_rate")
+        if self.burst_rate is not None:
+            if self.arrival_policy != "bursty":
+                raise FrontendError(
+                    "burst_rate requires arrival_policy='bursty'")
+            if self.burst_rate <= self.arrival_rate:
+                raise FrontendError(
+                    "burst_rate must exceed the calm arrival_rate")
         # Scheduler knobs are validated by SchedulerConfig itself; build
         # it eagerly so a bad EngineConfig fails at construction, not at
         # build_engine() time.
@@ -160,10 +175,19 @@ class EngineConfig:
 
         ``None`` means "all requests arrive at t=0" (the immediate
         policy); a poisson policy draws a reproducible schedule at
-        ``arrival_rate`` requests per simulated second.
+        ``arrival_rate`` requests per simulated second, and a bursty
+        policy draws a Markov-modulated schedule whose calm phases run
+        at ``arrival_rate`` and whose bursts run at ``burst_rate``.
         """
         if self.arrival_policy == "immediate":
             return None
+        if self.arrival_policy == "bursty":
+            from ..workloads.arrivals import bursty_arrival_times
+            return bursty_arrival_times(
+                n_requests, self.arrival_rate,
+                burst_rate_per_s=self.burst_rate,
+                seed=self.seed if seed is None else seed,
+            )
         from ..workloads.arrivals import poisson_arrival_times
         return poisson_arrival_times(
             n_requests, self.arrival_rate,

@@ -13,7 +13,12 @@ Six subcommands cover the everyday workflows:
   against the sequential one-shot baseline; with ``--speculative
   {ngram,draft}`` the same suite is also served speculation-off for an
   honest speculative speedup, and ``--check`` asserts token identity
-  between the two;
+  between the two; with ``--replicas N`` (or ``--disaggregate`` /
+  ``--autoscale``) the suite is served through the
+  :class:`~repro.cluster.ClusterEngine` — N routed engine replicas
+  (``--route {rr,least-loaded,affinity}``), optionally split into
+  prefill/decode pools or autoscaled against queue depth — and
+  ``--check`` asserts every routed request matches a single engine;
 * ``serve-api`` — the frontend-API demo: run OpenAI-style completions
   (streamed chunk-by-chunk by default) through the engine, optionally
   asserting that the reassembled stream matches the non-streamed result;
@@ -34,7 +39,9 @@ import sys
 from typing import Optional, Sequence
 
 from .accel.variants import PAPER_VARIANTS
-from .api import CompletionRequest, CompletionService, EngineConfig, SpecConfig
+from .api import (CompletionRequest, CompletionService, EngineConfig,
+                  SamplingParams, SpecConfig)
+from .cluster import ROUTES, ClusterConfig
 from .core.report import format_table, render_bar_chart, write_json
 from .core.runner import ExperimentConfig, ExperimentRunner
 from .core.speedllm import SpeedLLM
@@ -126,6 +133,10 @@ def _spec_config(args: argparse.Namespace) -> Optional[SpecConfig]:
 def _engine_config(args: argparse.Namespace) -> EngineConfig:
     """Map parsed CLI flags onto one declarative engine configuration."""
     arrival_rate = getattr(args, "arrival_rate", None)
+    arrival_policy = "immediate"
+    if arrival_rate is not None:
+        arrival_policy = ("bursty" if getattr(args, "bursty", False)
+                          else "poisson")
     return EngineConfig(
         speculative=_spec_config(args),
         model=args.model,
@@ -144,8 +155,23 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         tensor_parallel=args.tensor_parallel,
         interconnect_gbps=args.interconnect_gbps,
         interconnect_latency_us=args.interconnect_latency_us,
-        arrival_policy="poisson" if arrival_rate is not None else "immediate",
+        arrival_policy=arrival_policy,
         arrival_rate=arrival_rate,
+        burst_rate=getattr(args, "burst_rate", None),
+    )
+
+
+def _cluster_config(args: argparse.Namespace,
+                    engine: EngineConfig) -> ClusterConfig:
+    """Map the cluster CLI flags onto one declarative cluster config."""
+    return ClusterConfig(
+        engine=engine,
+        n_replicas=args.replicas,
+        route=args.route,
+        disaggregate=args.disaggregate,
+        n_prefill_replicas=args.prefill_replicas,
+        autoscale=args.autoscale,
+        max_replicas=args.max_replicas,
     )
 
 
@@ -228,6 +254,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Poisson request arrival rate in requests per "
                             "simulated second (default: all requests "
                             "arrive at t=0)")
+    serve.add_argument("--bursty", action="store_true",
+                       help="with --arrival-rate: Markov-modulated arrivals "
+                            "alternating calm and burst phases instead of "
+                            "a flat Poisson process")
+    serve.add_argument("--burst-rate", type=float, default=None,
+                       help="burst-phase arrival rate with --bursty "
+                            "(default: 8x the calm --arrival-rate)")
+    serve.add_argument("--prefix-groups", type=int, default=1,
+                       help="with --shared-prefix: number of distinct "
+                            "preamble groups (tenants) the prompts are "
+                            "split across")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="serve through a cluster of N engine replicas "
+                            "behind a router (1 = the single engine)")
+    serve.add_argument("--route", choices=ROUTES, default="rr",
+                       help="cluster routing policy (with --replicas > 1): "
+                            "'rr' round-robin, 'least-loaded' by token "
+                            "backlog and KV pressure, 'affinity' sticky "
+                            "prefix-hash placement")
+    serve.add_argument("--disaggregate", action="store_true",
+                       help="split the cluster into a prefill pool and a "
+                            "decode pool with modeled KV handoff between "
+                            "them")
+    serve.add_argument("--prefill-replicas", type=int, default=1,
+                       help="replicas dedicated to prefill with "
+                            "--disaggregate")
+    serve.add_argument("--autoscale", action="store_true",
+                       help="spawn/retire replicas against queue-depth "
+                            "watermarks during the run")
+    serve.add_argument("--max-replicas", type=int, default=None,
+                       help="autoscaling ceiling (default: twice the "
+                            "starting pool)")
     serve.add_argument("--json", default=None,
                        help="write per-request rows and aggregates to this "
                             "path ('-' for stdout)")
@@ -402,28 +460,35 @@ def _baseline_config(config: EngineConfig) -> EngineConfig:
                        prefill_chunk_tokens=None, policy="fifo")
 
 
+def _serve_bench_suite(args: argparse.Namespace):
+    """The workload suite the serve-bench flags select."""
+    if args.shared_prefix:
+        return shared_prefix_suite(n_prompts=args.requests,
+                                   max_new_tokens=args.tokens,
+                                   seed=args.seed,
+                                   n_groups=getattr(args, "prefix_groups", 1))
+    if args.repetitive:
+        return repetitive_suite(n_prompts=args.requests,
+                                max_new_tokens=args.tokens,
+                                seed=args.seed,
+                                adversarial=args.adversarial)
+    if args.mixed:
+        return mixed_chat_suite(n_chats=args.requests,
+                                n_documents=max(1, args.requests // 3),
+                                chat_new_tokens=args.tokens,
+                                seed=args.seed)
+    return default_suite(n_prompts=args.requests,
+                         max_new_tokens=args.tokens, seed=args.seed)
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.bench_out:
         return _cmd_bench_matrix(args)
+    if args.replicas != 1 or args.disaggregate or args.autoscale:
+        return _cmd_cluster_bench(args)
     config = _engine_config(args)
     llm = config.build_llm()
-    if args.shared_prefix:
-        suite = shared_prefix_suite(n_prompts=args.requests,
-                                    max_new_tokens=args.tokens,
-                                    seed=args.seed)
-    elif args.repetitive:
-        suite = repetitive_suite(n_prompts=args.requests,
-                                 max_new_tokens=args.tokens,
-                                 seed=args.seed,
-                                 adversarial=args.adversarial)
-    elif args.mixed:
-        suite = mixed_chat_suite(n_chats=args.requests,
-                                 n_documents=max(1, args.requests // 3),
-                                 chat_new_tokens=args.tokens,
-                                 seed=args.seed)
-    else:
-        suite = default_suite(n_prompts=args.requests,
-                              max_new_tokens=args.tokens, seed=args.seed)
+    suite = _serve_bench_suite(args)
 
     workloads = list(suite)
     arrivals = None
@@ -576,6 +641,103 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 1 if check_failures else 0
 
 
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    """Serve the suite through a replica cluster; report pooled metrics.
+
+    ``--check`` re-serves the identical suite on a *single* engine built
+    from the same :class:`~repro.api.EngineConfig` and fails unless every
+    request's token stream is byte-identical — routing, disaggregated KV
+    handoff and autoscaling decide where and when a request runs, never
+    what it generates.
+    """
+    engine_config = _engine_config(args)
+    cluster_config = _cluster_config(args, engine_config)
+    llm = engine_config.build_llm()
+    workloads = list(_serve_bench_suite(args))
+    arrivals = engine_config.arrival_times(len(workloads)) or None
+    params = SamplingParams(ignore_eos=args.ignore_eos)
+
+    cluster = cluster_config.build_cluster(llm=llm)
+    report = cluster.serve(workloads, params, arrivals=arrivals)
+    streams = cluster.streams()
+
+    check_failures = 0
+    if args.check:
+        single = engine_config.build_engine(llm=llm)
+        import dataclasses as _dc
+        handles = [
+            single.submit(
+                workload.prompt,
+                _dc.replace(params, max_tokens=workload.max_new_tokens,
+                            priority=getattr(workload, "priority", 0)),
+                arrival_time=arrivals[i] if arrivals else None,
+            )
+            for i, workload in enumerate(workloads)
+        ]
+        single.run()
+        for workload, cluster_tokens, handle in zip(workloads, streams,
+                                                    handles):
+            if list(cluster_tokens) != list(handle.request.generated_tokens):
+                check_failures += 1
+                print(f"MISMATCH on {workload.prompt[:40]!r}...: cluster "
+                      "and single-engine token streams differ",
+                      file=sys.stderr)
+
+    payload = report.as_dict()
+    payload["token_identity_check"] = (
+        ("pass" if check_failures == 0 else "fail") if args.check else None)
+    if args.json == "-":
+        import json as _json
+        print(_json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return 1 if check_failures else 0
+
+    print(format_table([s.as_dict() for s in report.replicas],
+                       columns=["replica", "pool", "n_requests", "n_steps",
+                                "generated_tokens", "ttft_p50_ms",
+                                "itl_p50_ms", "prefix_hit_rate"]))
+    print()
+    print(f"replicas               {report.n_replicas} "
+          f"(route={report.route}"
+          f"{', disaggregated' if report.disaggregated else ''}"
+          f"{', autoscaled' if report.autoscaled else ''})")
+    print(f"requests served        {report.pooled.n_requests} "
+          f"({report.pooled.total_generated_tokens} tokens)")
+    print(f"routing decisions      {report.routing.get('decisions')}")
+    if "affinity_hits" in report.routing:
+        print(f"affinity hits/spills   {report.routing['affinity_hits']} / "
+              f"{report.routing['affinity_spills']}")
+    if report.pooled.paged:
+        print(f"pooled prefix-hit rate {report.prefix_hit_rate:.1%}")
+    ttft = report.pooled.ttft_summary()
+    itl = report.pooled.itl_summary()
+    print(f"pooled ttft p50/p95/p99  {ttft.p50 * 1e3:.3f} / "
+          f"{ttft.p95 * 1e3:.3f} / {ttft.p99 * 1e3:.3f} ms")
+    print(f"pooled itl p50/p95/p99   {itl.p50 * 1e3:.3f} / "
+          f"{itl.p95 * 1e3:.3f} / {itl.p99 * 1e3:.3f} ms")
+    if report.disaggregated:
+        print(f"kv handoffs            {report.kv_transfers} "
+              f"({report.kv_transfer_bytes} bytes, "
+              f"{report.kv_transfer_seconds * 1e3:.3f} ms on the wire, "
+              f"{report.kv_transfer_saved_positions} positions served "
+              "from decode-side prefix cache)")
+    if report.autoscaled:
+        for event in report.autoscale_events:
+            print(f"  autoscale {event['action']:<7s} replica "
+                  f"{event['replica']} at t={event['time'] * 1e3:.3f} ms "
+                  f"(queued={event['queued']})")
+    if args.check:
+        verdict = ("PASS" if check_failures == 0
+                   else f"{check_failures} MISMATCHES")
+        print(f"token identity check   {verdict}")
+    print(f"cluster makespan       {report.makespan_seconds * 1e3:.3f} ms")
+    print(f"pooled throughput      "
+          f"{report.throughput_tokens_per_second:.1f} tokens/s")
+    if args.json:
+        write_json(args.json, payload)
+        print(f"results written to {args.json}")
+    return 1 if check_failures else 0
+
+
 #: The serving-config matrix ``serve-bench --bench-out`` sweeps on the
 #: mixed chat/document workload.  Each entry overrides the CLI-derived
 #: base config; the first is the plain baseline everything else is read
@@ -595,6 +757,54 @@ _BENCH_MATRIX = (
 
 #: Version tag of the benchmark report schema ``--bench-out`` writes.
 BENCH_SCHEMA = "BENCH_v1"
+
+
+def _cluster_bench_matrix(base: EngineConfig):
+    """The cluster rows the benchmark report carries beside the matrix.
+
+    Two fixed scenarios, sized so their headline claims are meaningful:
+
+    * **scaling** — the mixed chat/document workload on one replica vs
+      four least-loaded replicas (data-parallel scale-out; four replicas
+      must clearly beat one);
+    * **affinity** — a multi-tenant shared-prefix workload (8 preamble
+      groups) on four replicas under round-robin vs sticky prefix
+      affinity; a small per-replica admission window sequences each
+      group's members so co-location turns into measured prefix hits.
+
+    Sizes are fixed rather than CLI-derived so a committed BENCH_v1.json
+    regenerates bit-for-bit regardless of the smoke-test's ``--requests``.
+    """
+    import dataclasses as _dc
+    scaling_engine = _dc.replace(
+        base, paged=True, max_batch_tokens=16, max_running=16,
+        chunked_prefill=False, prefill_chunk_tokens=None, policy="fifo",
+        speculative=None, arrival_policy="immediate", arrival_rate=None,
+        burst_rate=None)
+    affinity_engine = _dc.replace(scaling_engine, max_running=2)
+    scaling_suite = list(mixed_chat_suite(n_chats=48, n_documents=16,
+                                          seed=23))
+    affinity_suite = list(shared_prefix_suite(
+        n_prompts=32, n_groups=8, system_words=96, tail_words=3,
+        max_new_tokens=16, seed=13))
+    params = SamplingParams(ignore_eos=True)
+    return (
+        ("cluster-1-least-loaded",
+         ClusterConfig(engine=scaling_engine, n_replicas=1,
+                       route="least-loaded"),
+         scaling_suite, params),
+        ("cluster-4-least-loaded",
+         ClusterConfig(engine=scaling_engine, n_replicas=4,
+                       route="least-loaded"),
+         scaling_suite, params),
+        ("cluster-4-rr-prefix",
+         ClusterConfig(engine=affinity_engine, n_replicas=4, route="rr"),
+         affinity_suite, params),
+        ("cluster-4-affinity-prefix",
+         ClusterConfig(engine=affinity_engine, n_replicas=4,
+                       route="affinity"),
+         affinity_suite, params),
+    )
 
 
 def _cmd_bench_matrix(args: argparse.Namespace) -> int:
@@ -638,6 +848,18 @@ def _cmd_bench_matrix(args: argparse.Namespace) -> int:
               f"  itl p95 {entry['itl_p95_ms']:.3f} ms"
               f"  kv util {report.mean_kv_utilization:.1%}"
               f"  accept {report.acceptance_rate:.1%}")
+    for name, cluster_config, suite_rows, cluster_params in \
+            _cluster_bench_matrix(base):
+        cluster = cluster_config.build_cluster(llm=llm)
+        creport = cluster.serve(suite_rows, cluster_params)
+        entry = creport.as_dict()
+        configs[name] = entry
+        hits = entry["cluster"]["routing"].get("affinity_hits")
+        print(f"{name:24s} "
+              f"{creport.throughput_tokens_per_second:8.1f} tok/s"
+              f"  replicas {creport.n_replicas}"
+              f"  prefix hits {creport.prefix_hit_rate:.1%}"
+              + (f"  affinity hits {hits}" if hits is not None else ""))
     payload = {
         "schema": BENCH_SCHEMA,
         "model": llm.model_config.name,

@@ -1,0 +1,39 @@
+"""Cluster serving: a router over N engine replicas.
+
+The single-engine serving stack scales *up* (bigger batches, tensor
+parallelism); this package scales it *out*: :class:`ClusterConfig`
+describes a fleet of identical engine replicas, :class:`ClusterEngine`
+co-simulates them on one shared timeline, and a :class:`Router` with a
+pluggable policy seam (round-robin, least-loaded, prefix affinity)
+decides where every request runs.  Disaggregated prefill/decode and
+queue-watermark autoscaling build on the same pieces.  Token streams
+stay byte-identical to a single engine under every mode.
+"""
+
+from .config import ClusterConfig
+from .disagg import (HandoffPacket, build_continuation, harvest_handoff,
+                     needs_handoff)
+from .engine import ClusterEngine, Replica
+from .report import ClusterReport, ReplicaSummary
+from .routing import (ROUTES, LeastLoadedPolicy, PrefixAffinityPolicy,
+                      RoundRobinPolicy, Router, RoutingPolicy,
+                      build_routing_policy)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterEngine",
+    "ClusterReport",
+    "HandoffPacket",
+    "LeastLoadedPolicy",
+    "PrefixAffinityPolicy",
+    "ROUTES",
+    "Replica",
+    "ReplicaSummary",
+    "RoundRobinPolicy",
+    "Router",
+    "RoutingPolicy",
+    "build_continuation",
+    "build_routing_policy",
+    "harvest_handoff",
+    "needs_handoff",
+]

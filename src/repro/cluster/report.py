@@ -1,0 +1,126 @@
+"""Cluster-wide reporting: pooled metrics plus per-replica breakdowns.
+
+A cluster run produces one :class:`~repro.serve.metrics.ServeReport` per
+replica; :class:`ClusterReport` pools them via
+:meth:`ServeReport.merged` — every latency percentile computed over the
+*concatenated* request samples, never by averaging per-replica
+percentiles — and keeps the per-replica reports alongside, because
+imbalance is exactly what the pooled view hides.  On top of the pooled
+engine metrics it carries the cluster-only accounting: routing-decision
+counters (and affinity hit/spill counts), KV-transfer totals of the
+disaggregated handoff path, and the autoscaling event log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..serve.metrics import ServeReport
+
+__all__ = ["ClusterReport", "ReplicaSummary"]
+
+
+@dataclass
+class ReplicaSummary:
+    """One replica's lifecycle and its engine report."""
+
+    index: int
+    pool: str  # "unified" | "prefill" | "decode"
+    spawned_at: float
+    retired_at: Optional[float]
+    report: ServeReport
+
+    def as_dict(self) -> Dict[str, object]:
+        ttft = self.report.ttft_summary()
+        itl = self.report.itl_summary()
+        return {
+            "replica": self.index,
+            "pool": self.pool,
+            "spawned_at": self.spawned_at,
+            "retired_at": self.retired_at,
+            "n_requests": self.report.n_requests,
+            "n_steps": self.report.n_steps,
+            "generated_tokens": self.report.total_generated_tokens,
+            "makespan_seconds": self.report.makespan_seconds,
+            "throughput_tokens_per_second":
+                self.report.throughput_tokens_per_second,
+            "ttft_p50_ms": ttft.p50 * 1e3,
+            "ttft_p95_ms": ttft.p95 * 1e3,
+            "ttft_p99_ms": ttft.p99 * 1e3,
+            "itl_p50_ms": itl.p50 * 1e3,
+            "itl_p95_ms": itl.p95 * 1e3,
+            "itl_p99_ms": itl.p99 * 1e3,
+            "prefix_hit_rate": self.report.prefix_hit_rate,
+            "n_preemptions": self.report.n_preemptions,
+        }
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate outcome of one cluster serving run."""
+
+    #: Pooled engine metrics (percentiles over concatenated samples).
+    pooled: ServeReport
+    #: Every replica that ever existed, including retired ones.
+    replicas: List[ReplicaSummary]
+    route: str
+    disaggregated: bool = False
+    autoscaled: bool = False
+    #: Routing-decision counters from the admission router.
+    routing: Dict[str, object] = field(default_factory=dict)
+    # Disaggregated KV-handoff accounting.
+    kv_transfers: int = 0
+    kv_transfer_bytes: int = 0
+    kv_transfer_seconds: float = 0.0
+    #: Handoff positions served from the decode replica's own prefix
+    #: cache instead of the wire.
+    kv_transfer_saved_positions: int = 0
+    #: Autoscaling event log: dicts with time/action/replica/queued.
+    autoscale_events: List[Dict[str, object]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_replicas(self) -> int:
+        """Replicas that ever served (spawned ones included)."""
+        return len(self.replicas)
+
+    @property
+    def peak_replicas(self) -> int:
+        """Largest number of not-yet-retired replicas at any report time."""
+        return len([r for r in self.replicas if r.retired_at is None])
+
+    @property
+    def throughput_tokens_per_second(self) -> float:
+        return self.pooled.throughput_tokens_per_second
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        return self.pooled.prefix_hit_rate
+
+    @property
+    def makespan_seconds(self) -> float:
+        return self.pooled.makespan_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        """Pooled engine report extended with the cluster section.
+
+        Same schema as a single engine's ``ServeReport.as_dict()`` plus a
+        ``"cluster"`` key, so the BENCH matrix holds single-engine and
+        cluster rows side by side.
+        """
+        payload = self.pooled.as_dict()
+        payload["cluster"] = {
+            "n_replicas": self.n_replicas,
+            "route": self.route,
+            "disaggregated": self.disaggregated,
+            "autoscaled": self.autoscaled,
+            "routing": dict(self.routing),
+            "kv_transfers": self.kv_transfers,
+            "kv_transfer_bytes": self.kv_transfer_bytes,
+            "kv_transfer_seconds": self.kv_transfer_seconds,
+            "kv_transfer_saved_positions": self.kv_transfer_saved_positions,
+            "autoscale_events": list(self.autoscale_events),
+            "replicas": [summary.as_dict() for summary in self.replicas],
+        }
+        return payload

@@ -68,7 +68,8 @@ from __future__ import annotations
 import asyncio
 import itertools
 import warnings
-from typing import TYPE_CHECKING, AsyncIterator, Dict, Iterable, List, Optional
+from typing import (TYPE_CHECKING, AsyncIterator, Callable, Dict, Iterable,
+                    List, Optional)
 
 import numpy as np
 
@@ -133,6 +134,12 @@ class ServingEngine:
             self.scheduler.attach_drafter(self.drafter)
         self.clock = 0.0
         self._ids = itertools.count()
+        #: Completion observer, called with each retiring request *before*
+        #: its KV memory is released — the only moment a finished
+        #: request's cache contents can still be read.  The cluster
+        #: layer's disaggregated mode harvests prompt KV for handoff
+        #: here; None (the default) costs nothing.
+        self.on_finish: Optional[Callable[[Request], None]] = None
         self._completed: List[Request] = []
         self._counters = RunCounters()
         self._busy_cycles = 0.0
@@ -222,6 +229,58 @@ class ServingEngine:
         )
         self.scheduler.submit(request)
         return RequestHandle(self, request)
+
+    # ------------------------------------------------------------------
+    # Disaggregated handoff (cluster serving)
+    # ------------------------------------------------------------------
+    def adopt_handoff(
+        self,
+        request: Request,
+        keys: np.ndarray,
+        values: np.ndarray,
+        n_positions: int,
+    ) -> Optional[int]:
+        """Adopt a mid-flight request whose context KV came from elsewhere.
+
+        The decode side of disaggregated prefill: ``request`` carries a
+        pending first token and ``keys`` / ``values`` hold its prompt's
+        KV entries (``[n_layers, n_positions, kv_dim]``, as computed by
+        the prefill replica).  The scheduler allocates a cache, any
+        leading positions already in this engine's prefix cache are
+        adopted in place, and the rest are copied in — after which the
+        request decodes here exactly as if it had prefilled locally.
+
+        Returns the locally prefix-hit position count (the caller prices
+        the KV transfer on the remainder), or ``None`` when the engine
+        cannot take the request right now.
+        """
+        hit = self.scheduler.adopt_midflight(request, n_positions)
+        if hit is None:
+            return None
+        for pos in range(hit, n_positions):
+            for layer in range(self.model_config.n_layers):
+                request.cache.append(
+                    layer, keys[layer, pos], values[layer, pos], pos)
+        # Register the adopted prompt blocks for prefix sharing, so later
+        # requests (and later turns of the same session) hit them.
+        self.scheduler.note_progress(request)
+        return hit
+
+    def discard_completed(self, request: Request) -> None:
+        """Drop a finished request from this engine's completion log.
+
+        Used by the cluster layer for prefill-stage stub requests that
+        were handed off: the decode replica reports the request
+        end-to-end, so the stub must not show up as a second (one-token)
+        entry in the pooled metrics.  Step/energy counters are untouched
+        — the prefill work happened here and stays accounted here.
+        """
+        try:
+            self._completed.remove(request)
+        except ValueError:
+            raise ValueError(
+                f"request {request.request_id!r} is not in the completion "
+                "log") from None
 
     # ------------------------------------------------------------------
     # Stepping
@@ -380,6 +439,8 @@ class ServingEngine:
             reason = "length"
         if reason is not None:
             request.finish_reason = reason
+            if self.on_finish is not None:
+                self.on_finish(request)
             self.scheduler.finish(request, self.clock)
             self._completed.append(request)
             if self.drafter is not None:

@@ -9,8 +9,9 @@ generation.  Aggregates use the distribution helpers from
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..core.metrics import LatencySummary
 from ..fpga.power import EnergyBreakdown
@@ -124,6 +125,77 @@ class ServeReport:
     spec_committed_tokens: int = 0
     spec_draft_tokens: int = 0
     spec_accepted_tokens: int = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def merged(cls, reports: Sequence["ServeReport"]) -> "ServeReport":
+        """Pool several engines' reports into one cluster-wide report.
+
+        Requests are *concatenated*, so every percentile (TTFT, ITL,
+        latency, the per-tier breakdowns) is computed over the pooled
+        sample population — never by averaging per-replica percentiles,
+        which is statistically meaningless.  Counts, slots, counters and
+        energy are summed; the makespan is the maximum replica clock
+        (replicas run concurrently on one simulated timeline, so the
+        cluster finishes when the last one does); KV utilisation is
+        step-weighted.  ``peak_running`` sums the per-replica peaks — an
+        upper bound on cluster-wide concurrency, since the peaks need
+        not coincide.  Empty input yields an all-zero report.
+        """
+        reports = list(reports)
+        if not reports:
+            return cls(requests=[], n_steps=0, total_slots=0,
+                       makespan_seconds=0.0, counters=RunCounters(),
+                       energy=EnergyBreakdown())
+        requests = [r for report in reports for r in report.requests]
+        counters = RunCounters()
+        for report in reports:
+            counters = counters + report.counters
+        energy = EnergyBreakdown(**{
+            f.name: sum(getattr(report.energy, f.name)
+                        for report in reports)
+            for f in dataclasses.fields(EnergyBreakdown)
+        })
+        n_steps = sum(report.n_steps for report in reports)
+        kv_weighted = sum(report.mean_kv_utilization * report.n_steps
+                          for report in reports)
+        policies = {report.policy for report in reports}
+        spec_methods = [report.spec_method for report in reports
+                        if report.spec_method is not None]
+        return cls(
+            requests=requests,
+            n_steps=n_steps,
+            total_slots=sum(report.total_slots for report in reports),
+            makespan_seconds=max(report.makespan_seconds
+                                 for report in reports),
+            counters=counters,
+            energy=energy,
+            policy=policies.pop() if len(policies) == 1 else "mixed",
+            chunked_prefill=any(r.chunked_prefill for r in reports),
+            paged=any(r.paged for r in reports),
+            peak_running=sum(report.peak_running for report in reports),
+            n_preemptions=sum(report.n_preemptions for report in reports),
+            prefix_hit_tokens=sum(report.prefix_hit_tokens
+                                  for report in reports),
+            total_prefill_tokens=sum(report.total_prefill_tokens
+                                     for report in reports),
+            mean_kv_utilization=kv_weighted / n_steps if n_steps else 0.0,
+            n_shards=max(report.n_shards for report in reports),
+            compute_seconds=sum(report.compute_seconds for report in reports),
+            interconnect_seconds=sum(report.interconnect_seconds
+                                     for report in reports),
+            # Per-shard utilisation is a per-replica detail; the pooled
+            # view keeps it empty and leaves it to the replica reports.
+            shard_utilization=[],
+            speculative=any(r.speculative for r in reports),
+            spec_method=spec_methods[0] if spec_methods else None,
+            spec_decode_steps=sum(r.spec_decode_steps for r in reports),
+            spec_committed_tokens=sum(r.spec_committed_tokens
+                                      for r in reports),
+            spec_draft_tokens=sum(r.spec_draft_tokens for r in reports),
+            spec_accepted_tokens=sum(r.spec_accepted_tokens
+                                     for r in reports),
+        )
 
     # ------------------------------------------------------------------
     @property

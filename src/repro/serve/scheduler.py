@@ -237,6 +237,22 @@ class Scheduler:
             return 0.0
         return self.kv_budget.reserved_bytes / self.kv_budget.capacity_bytes
 
+    @property
+    def outstanding_tokens(self) -> int:
+        """Token positions of work not yet executed (queued + running).
+
+        Queued requests count their full prompt plus decode budget;
+        running ones count only what remains.  This is the backlog a
+        cluster router's least-loaded policy balances on.
+        """
+        total = 0
+        for request in self.queue:
+            total += request.n_prefill + request.max_new_tokens
+        for request in self.running:
+            total += max(0, request.n_prefill - request.next_pos)
+            total += max(0, request.max_new_tokens - request.n_generated)
+        return total
+
     def submit(self, request: Request) -> None:
         """Enqueue a request for admission."""
         in_flight = {r.request_id for r in self.queue}
@@ -354,6 +370,66 @@ class Scheduler:
             self.running.append(request)
             admitted.append(request)
         return admitted
+
+    # ------------------------------------------------------------------
+    def adopt_midflight(
+        self, request: Request, n_positions: int
+    ) -> Optional[int]:
+        """Admit a request already past prefill, allocating KV for it.
+
+        The disaggregated-cluster handoff path: ``request`` finished its
+        prompt (and first token) on another engine, and this scheduler
+        must provide a cache holding ``n_positions`` context positions —
+        the caller copies the transferred KV entries in afterwards.  The
+        request joins ``running`` directly in DECODE state; its carried
+        timestamps (arrival/admission/first token) are left untouched so
+        latency metrics span the whole journey, not the hop.
+
+        Returns the number of leading positions already covered by this
+        scheduler's prefix cache (always 0 in reservation mode) — those
+        need no transfer — or ``None`` when capacity is unavailable
+        right now and the caller should retry after some work drains.
+        """
+        if not 0 < n_positions <= self.model_config.max_seq_len:
+            raise ValueError("n_positions must be in (0, max_seq_len]")
+        if len(self.running) >= self.config.max_running:
+            return None
+        if self.pool is not None:
+            pool = self.pool
+            stream = request.prompt_tokens[:n_positions]
+            matched = pool.match_prefix(stream)
+            new_blocks = pool.blocks_for(n_positions) - len(matched)
+            headroom = pool.watermark_blocks if self.running else 0
+            cached_matched = sum(
+                1 for block in matched if pool.allocator.refcount(block) == 0
+            )
+            if not pool.allocator.can_allocate(
+                new_blocks + cached_matched + headroom
+            ):
+                return None
+            cache = pool.new_cache(max_seq_len=self.model_config.max_seq_len)
+            cache.adopt_prefix(matched)
+            hit = cache.length
+            if not cache.ensure_capacity(n_positions):
+                cache.release()
+                return None
+            request.cache = cache
+            request.prefix_hit_tokens += hit
+            self.prefix_hit_tokens += hit
+            self.total_prefill_tokens += n_positions
+        else:
+            footprint = self._kv_footprint(request)
+            if not self.kv_budget.reserve(footprint):
+                return None
+            positions = request.total_positions(self.model_config.max_seq_len)
+            request.cache = KVCache(self.model_config, max_seq_len=positions)
+            request.kv_reserved_bytes = footprint
+            hit = 0
+        request.arrival_seq = self._seq
+        self._seq += 1
+        request.state = RequestState.DECODE
+        self.running.append(request)
+        return hit
 
     # ------------------------------------------------------------------
     # Paged-mode block granting and preemption

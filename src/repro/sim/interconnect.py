@@ -76,6 +76,19 @@ class InterconnectModel:
         return steps * (per_step_bytes / self.bytes_per_second
                         + self.latency_s)
 
+    def point_to_point_seconds(self, nbytes: int) -> float:
+        """Time of one direct transfer between two endpoints.
+
+        A single hop over one link — no ring algorithm, just wire time
+        plus the per-step launch latency.  This is the cost the cluster
+        layer charges for handing a finished prompt's KV cache from a
+        prefill-pool replica to a decode-pool replica.
+        """
+        self._check(nbytes, 1)
+        if nbytes == 0:
+            return 0.0
+        return nbytes / self.bytes_per_second + self.latency_s
+
     @staticmethod
     def _check(nbytes: int, n_devices: int) -> None:
         if nbytes < 0:

@@ -1,18 +1,21 @@
 """Workload generation: TinyStories corpus, prompt suites, arrivals, sweeps."""
 
-from .arrivals import poisson_arrival_times
+from .arrivals import bursty_arrival_times, poisson_arrival_times
 from .prompts import (PromptSuite, Workload, default_suite, latency_suite,
-                      mixed_chat_suite, repetitive_suite, shared_prefix_suite)
+                      mixed_chat_suite, multi_turn_chat_suite,
+                      repetitive_suite, shared_prefix_suite)
 from .sweep import ParameterSweep, SweepResult, run_sweep
 from .tinystories import CorpusStats, StoryGenerator, corpus_stats, generate_corpus
 
 __all__ = [
+    "bursty_arrival_times",
     "poisson_arrival_times",
     "PromptSuite",
     "Workload",
     "default_suite",
     "latency_suite",
     "mixed_chat_suite",
+    "multi_turn_chat_suite",
     "repetitive_suite",
     "shared_prefix_suite",
     "ParameterSweep",

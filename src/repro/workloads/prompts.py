@@ -16,7 +16,8 @@ from typing import List, Sequence
 from .tinystories import StoryGenerator
 
 __all__ = ["Workload", "PromptSuite", "default_suite", "latency_suite",
-           "mixed_chat_suite", "repetitive_suite", "shared_prefix_suite"]
+           "mixed_chat_suite", "multi_turn_chat_suite", "repetitive_suite",
+           "shared_prefix_suite"]
 
 
 @dataclass(frozen=True)
@@ -29,6 +30,11 @@ class Workload:
     #: SLO tier served under a priority/fairness scheduling policy
     #: (smaller = more urgent; the default fifo policy ignores it).
     priority: int = 0
+    #: Conversation/session tag: workloads sharing a session extend the
+    #: same context and profit from landing on the same replica's prefix
+    #: cache.  Empty for independent one-shot requests; only the cluster
+    #: affinity router and the suite builders interpret it.
+    session: str = ""
 
     def __post_init__(self) -> None:
         if self.max_new_tokens <= 0:
@@ -86,8 +92,9 @@ def shared_prefix_suite(
     tail_words: int = 5,
     max_new_tokens: int = 32,
     seed: int = 13,
+    n_groups: int = 1,
 ) -> PromptSuite:
-    """Suite where every prompt starts with one shared system preamble.
+    """Suite where prompts share per-group system preambles.
 
     This is the multi-tenant chat shape — a long fixed system prompt
     followed by a short per-user message — and the workload where paged
@@ -95,22 +102,81 @@ def shared_prefix_suite(
     maps the preamble's KV blocks to the same physical memory and skips
     prefilling them.  ``system_words`` controls how long the shared
     prefix is relative to the ``tail_words`` of unique suffix.
+
+    ``n_groups`` splits the suite into that many *distinct* preambles
+    (tenants), with group members submitted consecutively.  A single
+    engine still prefix-hits within each group; a cluster only does if
+    its router co-locates a group's members on one replica — the shape
+    the prefix-affinity routing policy is measured on.  The default of
+    one group reproduces the historical single-preamble suite exactly.
     """
     if n_prompts <= 0:
         raise ValueError("n_prompts must be positive")
     if system_words <= 0 or tail_words <= 0:
         raise ValueError("system_words and tail_words must be positive")
+    if not 1 <= n_groups <= n_prompts:
+        raise ValueError("n_groups must be in [1, n_prompts]")
     gen = StoryGenerator(seed=seed)
-    system = " ".join(gen.story().split()[:system_words])
-    workloads = tuple(
-        Workload(
-            name=f"shared-{i}",
-            prompt=f"{system} {gen.prompt(max_words=tail_words)}",
-            max_new_tokens=max_new_tokens,
-        )
-        for i in range(n_prompts)
-    )
-    return PromptSuite(name="shared-prefix", workloads=workloads)
+    systems = [" ".join(gen.story().split()[:system_words])
+               for _ in range(n_groups)]
+    workloads: List[Workload] = []
+    for group, system in enumerate(systems):
+        members = n_prompts // n_groups + (1 if group < n_prompts % n_groups
+                                           else 0)
+        for member in range(members):
+            index = len(workloads)
+            workloads.append(Workload(
+                name=(f"shared-{index}" if n_groups == 1
+                      else f"shared-{group}-{member}"),
+                prompt=f"{system} {gen.prompt(max_words=tail_words)}",
+                max_new_tokens=max_new_tokens,
+                session=f"tenant-{group}" if n_groups > 1 else "",
+            ))
+    return PromptSuite(name="shared-prefix", workloads=tuple(workloads))
+
+
+def multi_turn_chat_suite(
+    n_sessions: int = 4,
+    n_turns: int = 3,
+    first_turn_words: int = 12,
+    turn_words: int = 6,
+    max_new_tokens: int = 16,
+    seed: int = 29,
+) -> PromptSuite:
+    """Session-tagged conversations where each turn extends the last.
+
+    Every session is an independent chat; turn ``t``'s prompt is turn
+    ``t-1``'s prompt plus a fresh user utterance, so consecutive turns
+    of one session share an ever-growing prefix — exactly the reuse a
+    per-replica radix cache captures when the router keeps a session on
+    one replica.  (This is the *user-side* context: an open-loop suite
+    cannot splice model responses into later prompts, so the shared
+    prefix is the accumulated user turns.)
+
+    Turns are interleaved round-robin across sessions (turn 0 of every
+    session, then turn 1, ...), so a session's turns arrive in order
+    while the engine always has several sessions in flight.
+    """
+    if n_sessions <= 0 or n_turns <= 0:
+        raise ValueError("n_sessions and n_turns must be positive")
+    if first_turn_words <= 0 or turn_words <= 0:
+        raise ValueError("first_turn_words and turn_words must be positive")
+    gen = StoryGenerator(seed=seed)
+    contexts: List[str] = [gen.prompt(max_words=first_turn_words)
+                           for _ in range(n_sessions)]
+    workloads: List[Workload] = []
+    for turn in range(n_turns):
+        for session in range(n_sessions):
+            if turn > 0:
+                contexts[session] = (
+                    f"{contexts[session]} {gen.prompt(max_words=turn_words)}")
+            workloads.append(Workload(
+                name=f"chat-s{session}-t{turn}",
+                prompt=contexts[session],
+                max_new_tokens=max_new_tokens,
+                session=f"session-{session}",
+            ))
+    return PromptSuite(name="multi-turn-chat", workloads=tuple(workloads))
 
 
 def repetitive_suite(

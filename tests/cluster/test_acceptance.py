@@ -1,0 +1,55 @@
+"""Cluster-level performance claims, pinned on the benchmark shapes.
+
+Timing is fully simulated, so these thresholds are deterministic and
+machine-independent — the same shapes the ``bench-matrix`` cluster rows
+report in ``BENCH_v1.json``.
+"""
+
+from __future__ import annotations
+
+from repro.api import EngineConfig, SamplingParams
+from repro.cluster import ClusterConfig
+from repro.workloads import mixed_chat_suite, shared_prefix_suite
+
+PARAMS = SamplingParams(ignore_eos=True)
+
+
+def _serve(llm, engine, suite, **cluster_kwargs):
+    config = ClusterConfig(engine=engine, **cluster_kwargs)
+    return config.build_cluster(llm=llm).serve(suite, PARAMS)
+
+
+def test_four_replicas_scale_throughput_3x(llm):
+    # Data-parallel scaling on the mixed chat/document workload: four
+    # replicas must deliver at least 3x the single-replica cluster's
+    # pooled tokens/sec (perfect scaling would be 4x; routing imbalance
+    # and the serial tail cost the rest).
+    engine = EngineConfig(model="test-small", paged=True,
+                          max_batch_tokens=16, max_running=16)
+    suite = list(mixed_chat_suite(n_chats=48, n_documents=16, seed=23))
+    single = _serve(llm, engine, suite, n_replicas=1, route="least-loaded")
+    quad = _serve(llm, engine, suite, n_replicas=4, route="least-loaded")
+    assert quad.pooled.n_requests == single.pooled.n_requests == len(suite)
+    speedup = (quad.throughput_tokens_per_second
+               / single.throughput_tokens_per_second)
+    assert speedup >= 3.0
+
+
+def test_affinity_beats_round_robin_on_shared_prefixes(llm):
+    # Eight tenants, four repeats each: sticky routing keeps a tenant's
+    # requests on the replica that already holds its preamble KV, so the
+    # affinity route must report strictly more prefix hits and at least
+    # 10% more pooled throughput than round-robin, which scatters each
+    # tenant across all four replicas.
+    engine = EngineConfig(model="test-small", paged=True,
+                          max_batch_tokens=16, max_running=2)
+    suite = list(shared_prefix_suite(n_prompts=32, n_groups=8,
+                                     system_words=96, tail_words=3,
+                                     max_new_tokens=16, seed=13))
+    rr = _serve(llm, engine, suite, n_replicas=4, route="rr")
+    affinity = _serve(llm, engine, suite, n_replicas=4, route="affinity")
+    assert affinity.prefix_hit_rate > rr.prefix_hit_rate
+    assert affinity.routing["affinity_hits"] > 0
+    speedup = (affinity.throughput_tokens_per_second
+               / rr.throughput_tokens_per_second)
+    assert speedup >= 1.10

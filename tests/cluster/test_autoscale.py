@@ -1,0 +1,97 @@
+"""Autoscaling behaviour: watermarks, drain-before-retire, no lost work."""
+
+from __future__ import annotations
+
+from repro.api import EngineConfig, SamplingParams
+from repro.cluster import ClusterConfig
+from repro.workloads import shared_prefix_suite
+
+PARAMS = SamplingParams(ignore_eos=True)
+
+
+def _suite(n_prompts=12):
+    return list(shared_prefix_suite(n_prompts=n_prompts, n_groups=4,
+                                    system_words=16, tail_words=3,
+                                    max_new_tokens=8, seed=9))
+
+
+def _run(llm, **cluster_kwargs):
+    engine = EngineConfig(model="test-small", max_batch_tokens=16,
+                          paged=True, block_size=8, max_running=2)
+    config = ClusterConfig(engine=engine, autoscale=True, **cluster_kwargs)
+    cluster = config.build_cluster(llm=llm)
+    report = cluster.serve(_suite(), PARAMS)
+    return config, cluster, report
+
+
+class TestScalingEvents:
+    def test_backlog_triggers_spawn_and_nothing_is_lost(self, llm):
+        config, cluster, report = _run(llm, n_replicas=1,
+                                       scale_up_queue_depth=3,
+                                       scale_down_queue_depth=0,
+                                       max_replicas=4)
+        actions = [e["action"] for e in report.autoscale_events]
+        assert "spawn" in actions
+        assert report.n_replicas > 1
+        suite = _suite()
+        results = cluster.results()
+        assert len(results) == len(suite)
+        assert report.pooled.n_requests == len(suite)
+        assert report.autoscaled
+
+    def test_live_count_respects_both_watermark_bounds(self, llm):
+        config, _, report = _run(llm, n_replicas=1, min_replicas=1,
+                                 scale_up_queue_depth=3,
+                                 scale_down_queue_depth=0, max_replicas=3)
+        # Replay the event log: the live (routable) replica count must
+        # stay within [min_replicas, resolved_max_replicas] throughout.
+        live = 1
+        for event in report.autoscale_events:
+            if event["action"] == "spawn":
+                live += 1
+                assert live <= config.resolved_max_replicas
+            elif event["action"] == "drain":
+                live -= 1
+                assert live >= config.min_replicas
+
+    def test_retire_always_follows_a_drain(self, llm):
+        _, _, report = _run(llm, n_replicas=1, scale_up_queue_depth=3,
+                            scale_down_queue_depth=0, max_replicas=4)
+        drained = set()
+        for event in report.autoscale_events:
+            if event["action"] == "drain":
+                drained.add(event["replica"])
+            elif event["action"] == "retire":
+                # A replica is only retired after draining — and after
+                # its last request finished, so no work was dropped.
+                assert event["replica"] in drained
+
+    def test_retired_replicas_are_marked_and_empty(self, llm):
+        _, cluster, report = _run(llm, n_replicas=1, scale_up_queue_depth=3,
+                                  scale_down_queue_depth=0, max_replicas=4)
+        retired = [e["replica"] for e in report.autoscale_events
+                   if e["action"] == "retire"]
+        for index in retired:
+            replica = cluster.replicas[index]
+            assert replica.retired
+            assert replica.retired_at is not None
+            assert not replica.has_work
+            assert report.replicas[index].retired_at == replica.retired_at
+
+
+class TestDisaggregatedScaling:
+    def test_only_the_decode_pool_scales(self, llm):
+        engine = EngineConfig(model="test-small", max_batch_tokens=16,
+                              paged=True, block_size=8, max_running=2)
+        config = ClusterConfig(engine=engine, n_replicas=2,
+                               disaggregate=True, n_prefill_replicas=1,
+                               autoscale=True, scale_up_queue_depth=2,
+                               scale_down_queue_depth=0, max_replicas=4)
+        cluster = config.build_cluster(llm=llm)
+        report = cluster.serve(_suite(), PARAMS)
+        spawned = [s for s in report.replicas if s.index >= 2]
+        assert spawned, "expected the handoff backlog to trigger a spawn"
+        assert all(s.pool == "decode" for s in spawned)
+        prefill = [s for s in report.replicas if s.pool == "prefill"]
+        assert len(prefill) == 1
+        assert len(cluster.results()) == len(_suite())

@@ -1,10 +1,11 @@
-"""Tests for the Poisson arrival generator (repro.workloads.arrivals)."""
+"""Tests for the arrival generators (repro.workloads.arrivals)."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.workloads.arrivals import poisson_arrival_times
+from repro.workloads.arrivals import (bursty_arrival_times,
+                                      poisson_arrival_times)
 
 
 class TestPoissonArrivalTimes:
@@ -37,3 +38,55 @@ class TestPoissonArrivalTimes:
             poisson_arrival_times(-1, rate_per_s=1.0)
         with pytest.raises(ValueError):
             poisson_arrival_times(3, rate_per_s=0.0)
+
+
+class TestBurstyArrivalTimes:
+    def test_length_and_monotonicity(self):
+        times = bursty_arrival_times(80, calm_rate_per_s=10.0, seed=3)
+        assert len(times) == 80
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert times[0] > 0.0
+
+    def test_reproducible_by_seed(self):
+        a = bursty_arrival_times(40, calm_rate_per_s=5.0, seed=42)
+        b = bursty_arrival_times(40, calm_rate_per_s=5.0, seed=42)
+        c = bursty_arrival_times(40, calm_rate_per_s=5.0, seed=43)
+        assert a == b
+        assert a != c
+
+    def test_mean_rate_between_calm_and_burst(self):
+        calm, burst = 4.0, 40.0
+        times = bursty_arrival_times(5000, calm_rate_per_s=calm,
+                                     burst_rate_per_s=burst, seed=0)
+        mean_rate = len(times) / times[-1]
+        assert calm < mean_rate < burst
+
+    def test_burstier_than_poisson(self):
+        # The MMPP's inter-arrival gaps mix two exponential scales, so
+        # their coefficient of variation must exceed the CV of 1 a plain
+        # Poisson process has.
+        import numpy as np
+        times = bursty_arrival_times(5000, calm_rate_per_s=4.0,
+                                     burst_rate_per_s=64.0, seed=1)
+        gaps = np.diff([0.0] + times)
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.1
+
+    def test_start_offsets_every_arrival(self):
+        base = bursty_arrival_times(12, calm_rate_per_s=2.0, seed=7)
+        shifted = bursty_arrival_times(12, calm_rate_per_s=2.0, seed=7,
+                                       start=3.0)
+        assert shifted == pytest.approx([t + 3.0 for t in base])
+
+    def test_empty_and_invalid_inputs(self):
+        assert bursty_arrival_times(0, calm_rate_per_s=1.0) == []
+        with pytest.raises(ValueError):
+            bursty_arrival_times(-1, calm_rate_per_s=1.0)
+        with pytest.raises(ValueError):
+            bursty_arrival_times(3, calm_rate_per_s=0.0)
+        with pytest.raises(ValueError):
+            # The burst rate must exceed the calm rate.
+            bursty_arrival_times(3, calm_rate_per_s=5.0,
+                                 burst_rate_per_s=5.0)
+        with pytest.raises(ValueError):
+            bursty_arrival_times(3, calm_rate_per_s=1.0, mean_calm_s=0.0)

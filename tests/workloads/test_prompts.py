@@ -102,3 +102,71 @@ class TestRepetitiveSuite:
             repetitive_suite(repeats=0)
         with pytest.raises(ValueError):
             repetitive_suite(phrase_words=-1)
+
+
+class TestSharedPrefixGroups:
+    def test_single_group_matches_historical_suite(self):
+        legacy = shared_prefix_suite(n_prompts=4, system_words=12,
+                                     tail_words=3, max_new_tokens=8, seed=5)
+        grouped = shared_prefix_suite(n_prompts=4, system_words=12,
+                                      tail_words=3, max_new_tokens=8, seed=5,
+                                      n_groups=1)
+        assert [w.prompt for w in legacy] == [w.prompt for w in grouped]
+        assert [w.name for w in legacy] == [w.name for w in grouped]
+        assert all(w.session == "" for w in grouped)
+
+    def test_groups_share_preamble_within_not_across(self):
+        suite = shared_prefix_suite(n_prompts=6, n_groups=3,
+                                    system_words=10, tail_words=2, seed=3)
+        by_session = {}
+        for w in suite:
+            by_session.setdefault(w.session, []).append(
+                " ".join(w.prompt.split()[:10]))
+        assert set(by_session) == {"tenant-0", "tenant-1", "tenant-2"}
+        # One preamble per group...
+        assert all(len(set(v)) == 1 for v in by_session.values())
+        # ...and three distinct preambles across groups.
+        assert len({v[0] for v in by_session.values()}) == 3
+
+    def test_remainder_spread_and_names(self):
+        suite = shared_prefix_suite(n_prompts=5, n_groups=2, seed=3)
+        names = [w.name for w in suite]
+        assert names == ["shared-0-0", "shared-0-1", "shared-0-2",
+                         "shared-1-0", "shared-1-1"]
+
+    def test_group_validation(self):
+        with pytest.raises(ValueError):
+            shared_prefix_suite(n_prompts=4, n_groups=0)
+        with pytest.raises(ValueError):
+            shared_prefix_suite(n_prompts=4, n_groups=5)
+
+
+class TestMultiTurnChatSuite:
+    def test_turns_extend_prior_context(self):
+        from repro.workloads.prompts import multi_turn_chat_suite
+        suite = list(multi_turn_chat_suite(n_sessions=3, n_turns=4, seed=9))
+        by_session = {}
+        for w in suite:
+            by_session.setdefault(w.session, []).append(w.prompt)
+        assert set(by_session) == {"session-0", "session-1", "session-2"}
+        for prompts in by_session.values():
+            assert len(prompts) == 4
+            for earlier, later in zip(prompts, prompts[1:]):
+                assert later.startswith(earlier)
+                assert len(later) > len(earlier)
+
+    def test_turns_interleave_round_robin(self):
+        from repro.workloads.prompts import multi_turn_chat_suite
+        suite = list(multi_turn_chat_suite(n_sessions=2, n_turns=2, seed=9))
+        assert [w.name for w in suite] == [
+            "chat-s0-t0", "chat-s1-t0", "chat-s0-t1", "chat-s1-t1"]
+
+    def test_deterministic_and_validated(self):
+        from repro.workloads.prompts import multi_turn_chat_suite
+        a = multi_turn_chat_suite(seed=2)
+        b = multi_turn_chat_suite(seed=2)
+        assert [w.prompt for w in a] == [w.prompt for w in b]
+        with pytest.raises(ValueError):
+            multi_turn_chat_suite(n_sessions=0)
+        with pytest.raises(ValueError):
+            multi_turn_chat_suite(n_turns=0)
