@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..compile.tiling import DEFAULT_PLAN, TilingPlan, clamped_fold
 from ..graph.graph import Graph
 from ..graph.ops import ComputeUnit, Operator, OpKind, TensorSpec
 from .config import AcceleratorConfig
@@ -41,10 +42,18 @@ _ACT_BYTES = 4
 
 
 class ProgramCompiler:
-    """Compiles decode-step graphs for a given accelerator configuration."""
+    """Compiles decode-step graphs for a given accelerator configuration.
 
-    def __init__(self, config: AcceleratorConfig) -> None:
+    ``plan`` selects the tiling (:class:`~repro.compile.tiling.
+    TilingPlan`): how many row blocks fold into one weight tile and how
+    many packets each attention window read is split into.  The default
+    plan reproduces the historical fixed tiling bit for bit.
+    """
+
+    def __init__(self, config: AcceleratorConfig,
+                 plan: Optional[TilingPlan] = None) -> None:
         self.config = config
+        self.plan = plan or DEFAULT_PLAN
         self.mpe = MPETimingModel(config.mpe)
         self.sfu = SFUTimingModel(config.sfu)
 
@@ -57,6 +66,8 @@ class ProgramCompiler:
             program.add(self._compile_op(graph, op))
         program.metadata["graph"] = graph.name
         program.metadata["n_graph_ops"] = len(graph)
+        if not self.plan.is_default:
+            program.metadata["tiling_plan"] = self.plan.label
         return program
 
     # ------------------------------------------------------------------
@@ -208,7 +219,13 @@ class ProgramCompiler:
         if out_features <= 0 or in_features <= 0:
             raise ValueError(f"matmul {op.name!r} lacks shape attributes")
         wb = self.config.weight_dtype_bytes
-        tiles = self.mpe.split_matvec(out_features, in_features)
+        # The plan's fold is clamped per operator so a folded tile's
+        # weight slice still fits one on-chip staging segment; operators
+        # whose unfolded tile already exceeds it keep the fixed tiling.
+        fold = clamped_fold(self.plan, in_features, self.config.mpe.rows,
+                            wb, self.config.buffers.segment_bytes)
+        tiles = self.mpe.split_matvec(out_features, in_features,
+                                      tile_rows=self.config.mpe.rows * fold)
         n_tiles = len(tiles)
         packets: List[TilePacket] = []
         for i, tile in enumerate(tiles):
@@ -239,28 +256,66 @@ class ProgramCompiler:
         return packets
 
     def _attention_packets(self, op: Operator, load_act: int, store_act: int) -> List[TilePacket]:
-        """Score / context products: per-head mat-vecs over the cached window."""
+        """Score / context products: per-head mat-vecs over the cached window.
+
+        The plan's ``attention_chunks`` splits the operator's KV-window
+        *read* into that many packets (flops = 2 * heads * head_dim *
+        attn_len, i.e. macs = flops / 2; the cache-window read comes from
+        the graph residency of the cache-view input, so it grows with the
+        context length).  All chunks but the last are pure prefetches — a
+        one-cycle pass-through on the compute side — and the final chunk
+        carries the whole accumulation: the MPE still runs one systolic
+        pass over the full window (one fill/drain), but its window read
+        arrives as several independently striped HBM bursts that land on
+        disjoint least-busy channel groups and stay outstanding together
+        under the pipelined loader.  The exposed load time of a
+        long-context window shrinks toward ``latency + burst/chunks``
+        without paying an extra pipeline fill per chunk.  The chunk count
+        is plan-constant — never window-derived — so per-operator packet
+        counts line up across a batch, which
+        :func:`~repro.accel.batching.merge_batch_programs` requires.
+        With one chunk this reduces to the historical single packet.
+        """
         attn_len = int(op.attributes.get("attn_len", 1))
         layer = op.attributes.get("layer", "?")
-        # One packet per operator: its compute time covers all heads
-        # (flops = 2 * heads * head_dim * attn_len, i.e. macs = flops / 2),
-        # and the cache-window read comes from the graph residency of the
-        # cache-view input, so it grows with the context length.
         macs = op.flops // 2
+        n_chunks = self.plan.attention_chunks
+        depth = self.config.mpe.pipeline_depth
         compute = max(
-            self.config.mpe.pipeline_depth,
-            macs // self.config.mpe.macs_per_cycle + self.config.mpe.pipeline_depth,
+            depth,
+            macs // self.config.mpe.macs_per_cycle + depth,
         )
-        return [TilePacket(
-            op_name=op.name,
-            unit=ComputeUnit.MPE,
-            load_bytes=load_act,
-            compute_cycles=compute,
-            store_bytes=store_act,
-            macs=macs,
-            onchip_bytes=attn_len * _ACT_BYTES,
-            label=f"{op.name}@L{layer}",
-        )]
+        if n_chunks == 1:
+            return [TilePacket(
+                op_name=op.name,
+                unit=ComputeUnit.MPE,
+                load_bytes=load_act,
+                compute_cycles=compute,
+                store_bytes=store_act,
+                macs=macs,
+                onchip_bytes=attn_len * _ACT_BYTES,
+                label=f"{op.name}@L{layer}",
+            )]
+        packets: List[TilePacket] = []
+        load_slice = load_act // n_chunks
+        for i in range(n_chunks):
+            # first chunk takes the rounding remainder (and the whole
+            # on-chip score/probability vector); the last chunk performs
+            # the accumulation and stores the operator result
+            chunk_load = (load_act - load_slice * (n_chunks - 1)
+                          if i == 0 else load_slice)
+            last = i == n_chunks - 1
+            packets.append(TilePacket(
+                op_name=op.name,
+                unit=ComputeUnit.MPE,
+                load_bytes=chunk_load,
+                compute_cycles=compute if last else 1,
+                store_bytes=store_act if last else 0,
+                macs=macs if last else 0,
+                onchip_bytes=attn_len * _ACT_BYTES if i == 0 else 0,
+                label=f"{op.name}@L{layer}#c{i}",
+            ))
+        return packets
 
     def _sfu_packet(self, op: Operator, load_act: int, store_act: int) -> TilePacket:
         unit = ComputeUnit.SFU if op.kind is not OpKind.EMBED else ComputeUnit.DMA

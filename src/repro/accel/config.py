@@ -142,12 +142,23 @@ class AcceleratorConfig:
     weight_bits: int = 8
     hbm_stripe: int = 16             # pseudo-channels one DMA burst is spread over
     trace_enabled: bool = False
+    # compilation pipeline (see repro.compile)
+    #: Search candidate tile plans per step shape and keep the lowest-cycle
+    #: program (False = the fixed tiling, bit-identical to the historical
+    #: compiler output).
+    autotune_tiling: bool = False
+    #: Context-length bucket granularity of the compile cache: contexts
+    #: round *up* to the bucket boundary so steady-state decode steps
+    #: compile once per bucket.  1 = exact shapes (historical behaviour).
+    ctx_bucket: int = 1
 
     def __post_init__(self) -> None:
         if self.weight_bits not in (4, 8, 16, 32):
             raise ValueError(f"unsupported weight_bits {self.weight_bits}")
         if self.hbm_stripe <= 0:
             raise ValueError("hbm_stripe must be positive")
+        if self.ctx_bucket < 1:
+            raise ValueError("ctx_bucket must be >= 1")
 
     # ------------------------------------------------------------------
     @property
@@ -181,6 +192,8 @@ class AcceleratorConfig:
             "operator_fusion": self.operator_fusion,
             "weight_bits": self.weight_bits,
             "hbm_stripe": self.hbm_stripe,
+            "autotune_tiling": self.autotune_tiling,
+            "ctx_bucket": self.ctx_bucket,
         }
 
     # ------------------------------------------------------------------

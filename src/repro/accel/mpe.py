@@ -46,11 +46,24 @@ class MPETimingModel:
         self.config = config
 
     # ------------------------------------------------------------------
-    def split_matvec(self, out_features: int, in_features: int) -> List[TileShape]:
-        """Tile a (out x in) mat-vec into row blocks matching the array."""
+    def split_matvec(
+        self,
+        out_features: int,
+        in_features: int,
+        tile_rows: int | None = None,
+    ) -> List[TileShape]:
+        """Tile a (out x in) mat-vec into row blocks of ``tile_rows``.
+
+        ``tile_rows`` defaults to the array height (the fixed tiling);
+        larger values — multiples of ``rows`` chosen by a tiling plan —
+        fold several row blocks into one tile, amortizing the systolic
+        fill/drain latency at the cost of a bigger on-chip weight slice.
+        """
         if out_features <= 0 or in_features <= 0:
             raise ValueError("matrix dimensions must be positive")
-        rows = self.config.rows
+        rows = tile_rows if tile_rows is not None else self.config.rows
+        if rows <= 0:
+            raise ValueError("tile_rows must be positive")
         tiles: List[TileShape] = []
         for start in range(0, out_features, rows):
             tiles.append(TileShape(
@@ -60,9 +73,17 @@ class MPETimingModel:
         return tiles
 
     def tile_cycles(self, tile: TileShape) -> int:
-        """Cycles for one tile: reduction passes plus fill latency."""
+        """Cycles for one tile: reduction passes plus fill latency.
+
+        A tile taller than the array is processed as ``ceil(out_rows /
+        rows)`` folds of reduction passes back to back without draining
+        the systolic pipeline between folds, so the fill/drain latency is
+        paid once per tile.  For ``out_rows <= rows`` (the fixed tiling)
+        this reduces to the historical ``passes + depth``.
+        """
         passes = math.ceil(tile.in_features / self.config.cols)
-        return passes + self.config.pipeline_depth
+        folds = math.ceil(tile.out_rows / self.config.rows)
+        return folds * passes + self.config.pipeline_depth
 
     def matvec_cycles(self, out_features: int, in_features: int) -> int:
         """Total compute cycles of a full mat-vec (tiles back to back)."""

@@ -1,16 +1,19 @@
-"""Decode-step timing model: graph → program → cycle simulation, cached.
+"""Decode-step timing model: a facade over the step compiler.
 
-:class:`StepTimingModel` owns the compilation and timing pipeline for one
-(possibly sharded) view of the model: it builds decode-step graphs,
-optionally fuses them, compiles them to tile programs, simulates them on
-the pipeline executor, and merges per-sequence programs into batched
-weight-stationary steps.  Every stage is cached — graphs and programs by
-``(context_len, include_logits)``, batched step results in a bounded LRU
-keyed by the batch composition.
+:class:`StepTimingModel` is the timing API execution backends talk to for
+one (possibly sharded) view of the model.  All compilation — graph
+construction, shard validation, operator fusion, tiling, batch
+scheduling — lives in :class:`~repro.compile.pipeline.StepCompiler`,
+which structures those stages as named phases with per-phase accounting,
+fronts them with the shape-bucketed compile cache, and (when
+``config.autotune_tiling`` is set) picks the lowest-cycle tiling plan
+per step shape.  This class keeps the historical call surface
+(``graph_for`` / ``program_for`` / ``simulate_step`` /
+``batch_program_for`` / ``simulate_batched_step``) and delegates every
+path through that single pipeline; the ad-hoc per-method caches it used
+to carry are gone.
 
-The model was carved out of :class:`~repro.accel.accelerator.
-SpeedLLMAccelerator` so execution backends can instantiate *additional*
-timing views of the same checkpoint: the sharded backend builds one with a
+The sharded backend builds one of these with a
 :class:`~repro.graph.sharding.ShardSpec`, whose graphs carry the
 per-shard slice of every matmul, attention head and KV write, and gets
 cycle-accurate per-shard step times out of the very same compiler and
@@ -19,20 +22,16 @@ pipeline simulator the single-device path uses.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Dict, Optional, Sequence
 
+from ..compile.pipeline import CompiledStep, StepCompiler
 from ..fpga.u280 import FpgaPlatform
-from ..graph.builder import GraphBuilder
-from ..graph.fusion import fuse_graph
 from ..graph.graph import Graph
 from ..graph.sharding import ShardSpec
 from ..llama.config import LlamaConfig
-from .batching import block_padded_context, merge_batch_programs
-from .compiler import ProgramCompiler
 from .config import AcceleratorConfig
 from .instructions import Program
-from .pipeline import PipelineExecutor, StepResult
+from .pipeline import StepResult
 
 __all__ = ["StepTimingModel"]
 
@@ -46,28 +45,16 @@ class StepTimingModel:
         config: AcceleratorConfig,
         platform: FpgaPlatform,
         shard: Optional[ShardSpec] = None,
-        batch_cache_size: int = 256,
+        batch_cache_size: Optional[int] = 1024,
     ) -> None:
         self.model_config = model_config
         self.config = config
         self.platform = platform
         self.shard = shard
-        self._builder = GraphBuilder(
-            model_config,
-            weight_dtype_bytes=config.weight_dtype_bytes,
-            shard=shard,
+        self.compiler = StepCompiler(
+            model_config, config, platform,
+            shard=shard, cache_capacity=batch_cache_size,
         )
-        self._compiler = ProgramCompiler(config)
-        self._executor = PipelineExecutor(config, platform)
-        self._graph_cache: Dict[tuple, Graph] = {}
-        self._program_cache: Dict[tuple, Program] = {}
-        self._step_cache: Dict[tuple, StepResult] = {}
-        # Batch compositions rarely repeat (every decode step advances the
-        # context lengths), so this cache is bounded LRU to keep a
-        # long-lived serving engine from accumulating one StepResult per
-        # step it ever ran.
-        self._batch_step_cache: "OrderedDict[tuple, StepResult]" = OrderedDict()
-        self._batch_step_cache_size = batch_cache_size
 
     # ------------------------------------------------------------------
     # Compilation
@@ -79,36 +66,28 @@ class StepTimingModel:
         final norm and classifier; batched serving uses it for prompt
         positions whose logits are never sampled.
         """
-        key = (context_len, include_logits)
-        if key not in self._graph_cache:
-            graph = self._builder.build_decode_step(
-                context_len, include_logits=include_logits
-            )
-            if self.config.operator_fusion:
-                graph = fuse_graph(graph).graph
-            self._graph_cache[key] = graph
-        return self._graph_cache[key]
+        return self.compiler.graph_for(context_len, include_logits)
 
     def program_for(self, context_len: int, include_logits: bool = True) -> Program:
-        """Compiled tile program at ``context_len``, cached."""
-        key = (context_len, include_logits)
-        if key not in self._program_cache:
-            self._program_cache[key] = self._compiler.compile(
-                self.graph_for(context_len, include_logits)
-            )
-        return self._program_cache[key]
+        """Compiled tile program at ``context_len``, cached.
 
-    # ------------------------------------------------------------------
-    # Timing simulation
-    # ------------------------------------------------------------------
-    def simulate_step(self, context_len: int, include_logits: bool = True) -> StepResult:
-        """Cycle-accurate simulation of one decode step, cached by context."""
-        key = (context_len, include_logits)
-        if key not in self._step_cache:
-            self._step_cache[key] = self._executor.run(
-                self.program_for(context_len, include_logits)
-            )
-        return self._step_cache[key]
+        Single-slot programs come straight out of the tile phase under
+        the fixed tiling — the shape an autotuned *step* would compile
+        can differ, so this is the per-sequence view, not a step.
+        """
+        return self.compiler.lower(context_len, include_logits)
+
+    def compile_step(
+        self,
+        context_lens: Sequence[int],
+        need_logits: Optional[Sequence[bool]] = None,
+        kv_block_tokens: Optional[int] = None,
+        run_ids: Optional[Sequence[int]] = None,
+    ) -> CompiledStep:
+        """The cached compiled step for one batch composition."""
+        return self.compiler.compile_step(
+            context_lens, need_logits, kv_block_tokens, run_ids
+        )
 
     def batch_program_for(
         self,
@@ -133,15 +112,9 @@ class StepTimingModel:
         their attention packets charge only incremental HBM bytes — the
         cycle-accurate cost of scoring K draft tokens in one pass.
         """
-        if need_logits is None:
-            need_logits = [True] * len(context_lens)
-        if len(need_logits) != len(context_lens):
-            raise ValueError("need_logits must match context_lens in length")
-        context_lens = self.padded_contexts(context_lens, kv_block_tokens)
-        programs = [self.program_for(ctx, logits)
-                    for ctx, logits in zip(context_lens, need_logits)]
-        return merge_batch_programs(programs, self.config.mpe,
-                                    run_ids=run_ids)
+        return self.compile_step(
+            context_lens, need_logits, kv_block_tokens, run_ids
+        ).program
 
     def padded_contexts(
         self,
@@ -149,13 +122,14 @@ class StepTimingModel:
         kv_block_tokens: Optional[int],
     ) -> Sequence[int]:
         """Round attention windows up to whole KV blocks (paged mode)."""
-        if kv_block_tokens is None:
-            return context_lens
-        return [
-            block_padded_context(ctx, kv_block_tokens,
-                                 self.model_config.max_seq_len)
-            for ctx in context_lens
-        ]
+        return self.compiler.padded_contexts(context_lens, kv_block_tokens)
+
+    # ------------------------------------------------------------------
+    # Timing simulation
+    # ------------------------------------------------------------------
+    def simulate_step(self, context_len: int, include_logits: bool = True) -> StepResult:
+        """Cycle-accurate simulation of one decode step, cached by context."""
+        return self.compiler.simulate_step([context_len], [include_logits])
 
     def simulate_batched_step(
         self,
@@ -170,23 +144,13 @@ class StepTimingModel:
         the same context/logits composition prices differently when some
         slots form speculative verify runs.
         """
-        if need_logits is None:
-            need_logits = [True] * len(context_lens)
-        context_lens = self.padded_contexts(context_lens, kv_block_tokens)
-        key = (tuple(context_lens), tuple(need_logits),
-               tuple(run_ids) if run_ids is not None else None)
-        cache = self._batch_step_cache
-        if key in cache:
-            cache.move_to_end(key)
-            return cache[key]
-        if len(context_lens) == 1:
-            result = self.simulate_step(context_lens[0], need_logits[0])
-        else:
-            result = self._executor.run(
-                self.batch_program_for(context_lens, need_logits,
-                                       run_ids=run_ids)
-            )
-        cache[key] = result
-        while len(cache) > self._batch_step_cache_size:
-            cache.popitem(last=False)
-        return result
+        return self.compiler.simulate_step(
+            context_lens, need_logits, kv_block_tokens, run_ids
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def compile_stats(self) -> Dict[str, object]:
+        """Phase timings, compile-cache counters, autotune counters."""
+        return self.compiler.stats()

@@ -71,6 +71,15 @@ class EngineConfig:
     #: decodes one token per request per step.
     speculative: Optional[SpecConfig] = None
 
+    # Compilation pipeline ----------------------------------------------
+    #: Autotune the tiling plan per step shape (the compile cache stores
+    #: the lowest-cycle candidate program); False keeps the fixed tiling.
+    autotune: bool = False
+    #: Context-bucket granularity of the compile cache; 1 compiles every
+    #: exact shape (historical behaviour), larger values round attention
+    #: windows up so steady-state steps reuse one program per bucket.
+    ctx_bucket: int = 1
+
     # Execution backend -------------------------------------------------
     tensor_parallel: int = 1
     interconnect_gbps: float = 25.0
@@ -88,6 +97,9 @@ class EngineConfig:
     burst_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if self.ctx_bucket < 1:
+            raise FrontendError(
+                f"ctx_bucket must be >= 1, got {self.ctx_bucket}")
         if self.tensor_parallel < 1:
             raise FrontendError(
                 f"tensor_parallel must be >= 1, got {self.tensor_parallel}")
@@ -139,9 +151,17 @@ class EngineConfig:
     def build_llm(self) -> "SpeedLLM":
         """Build the model + accelerator stack this config describes."""
         from ..core.speedllm import SpeedLLM
+        accel_config = None
+        if self.autotune or self.ctx_bucket != 1:
+            from ..accel.variants import variant_config
+            accel_config = variant_config(self.variant).replace(
+                autotune_tiling=self.autotune,
+                ctx_bucket=self.ctx_bucket,
+            )
         return SpeedLLM(
             model=self.model, variant=self.variant, seed=self.seed,
             position_stride=self.position_stride, max_vocab=self.max_vocab,
+            accel_config=accel_config,
         )
 
     def build_engine(self, llm: Optional["SpeedLLM"] = None) -> "ServingEngine":

@@ -102,6 +102,15 @@ class ExecutionBackend(abc.ABC):
     ) -> EnergyBreakdown:
         """Total energy across every device of the backend."""
 
+    def compile_stats(self) -> Dict[str, object]:
+        """Compilation-pipeline counters of the backend's timing view.
+
+        Phase timings, compile-cache hit/miss/evict counters and autotune
+        counters (see :meth:`repro.compile.pipeline.StepCompiler.stats`).
+        Backends without a step compiler report nothing.
+        """
+        return {}
+
     def describe(self) -> Dict[str, object]:
         """Flat description for reports and JSON payloads."""
         return {"backend": type(self).__name__, "n_shards": self.n_shards}

@@ -66,6 +66,9 @@ class LocalBackend(ExecutionBackend):
             counters, busy_cycles, elapsed_seconds
         )
 
+    def compile_stats(self) -> dict:
+        return self.accelerator.timing.compile_stats()
+
     def describe(self) -> dict:
         return {
             "backend": "local",

@@ -164,6 +164,9 @@ class ShardedBackend(ExecutionBackend):
             offchip_j=per_board.offchip_j * tp,
         )
 
+    def compile_stats(self) -> dict:
+        return self.shard_timing.compile_stats()
+
     def describe(self) -> dict:
         return {
             "backend": "sharded",

@@ -19,6 +19,13 @@ Six subcommands cover the everyday workflows:
   (``--route {rr,least-loaded,affinity}``), optionally split into
   prefill/decode pools or autoscaled against queue depth — and
   ``--check`` asserts every routed request matches a single engine;
+* ``compile-bench`` — compare fixed vs autotuned tiling on the
+  long-context suite (single-stream, same context bucketing on both
+  sides, token identity asserted), then re-serve warm to measure the
+  wall-clock stepping speedup and steady-state hit rate the
+  shape-bucketed compile cache buys; ``--min-speedup`` and
+  ``--min-hit-rate`` turn the two headline numbers into exit-code
+  assertions CI can gate on;
 * ``serve-api`` — the frontend-API demo: run OpenAI-style completions
   (streamed chunk-by-chunk by default) through the engine, optionally
   asserting that the reassembled stream matches the non-streamed result;
@@ -50,8 +57,9 @@ from .graph.builder import build_decode_graph
 from .graph.export import to_dot, to_json
 from .graph.fusion import fuse_graph
 from .llama.config import available_presets, preset
-from .workloads.prompts import (default_suite, mixed_chat_suite,
-                                repetitive_suite, shared_prefix_suite)
+from .workloads.prompts import (default_suite, long_context_suite,
+                                mixed_chat_suite, repetitive_suite,
+                                shared_prefix_suite)
 
 __all__ = ["main", "build_parser"]
 
@@ -106,6 +114,15 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ngram-max", type=int, default=3,
                         help="longest suffix n-gram the ngram drafter "
                              "matches (with --speculative ngram)")
+    parser.add_argument("--autotune", action="store_true",
+                        help="autotune the tiling plan per compiled step "
+                             "shape (the compile cache keeps the "
+                             "lowest-cycle candidate program)")
+    parser.add_argument("--ctx-bucket", type=int, default=1,
+                        help="context-bucket granularity of the compile "
+                             "cache; >1 rounds attention windows up so "
+                             "steady-state steps reuse one cached program "
+                             "per bucket (1 = compile every exact shape)")
     parser.add_argument("--tensor-parallel", type=int, default=1,
                         help="shard execution over N simulated accelerators "
                              "(tensor-parallel attention heads / FFN "
@@ -152,6 +169,8 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         prefill_chunk_tokens=args.prefill_chunk_tokens,
         policy=args.policy,
         fairness_aging_s=args.fairness_aging,
+        autotune=getattr(args, "autotune", False),
+        ctx_bucket=getattr(args, "ctx_bucket", 1),
         tensor_parallel=args.tensor_parallel,
         interconnect_gbps=args.interconnect_gbps,
         interconnect_latency_us=args.interconnect_latency_us,
@@ -286,9 +305,45 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-replicas", type=int, default=None,
                        help="autoscaling ceiling (default: twice the "
                             "starting pool)")
+    serve.add_argument("--compile-stats", action="store_true",
+                       help="print the compilation-pipeline breakdown after "
+                            "serving: per-phase compile seconds, compile "
+                            "cache hit rate and the autotuner's search "
+                            "size/win ratio")
     serve.add_argument("--json", default=None,
                        help="write per-request rows and aggregates to this "
                             "path ('-' for stdout)")
+
+    # compile-bench -----------------------------------------------------
+    cbench = sub.add_parser(
+        "compile-bench",
+        help="fixed vs autotuned tiling on the long-context suite, plus a "
+             "warm re-serve measuring wall-clock compile-cache reuse",
+    )
+    cbench.add_argument("--model", default="stories15M",
+                        choices=available_presets())
+    cbench.add_argument("--variant", default="full",
+                        choices=sorted(PAPER_VARIANTS))
+    cbench.add_argument("--requests", type=int, default=4,
+                        help="long-context requests to serve")
+    cbench.add_argument("--prompt-words", type=int, default=48,
+                        help="words per long-context prompt")
+    cbench.add_argument("--tokens", type=int, default=96,
+                        help="decode budget per request")
+    cbench.add_argument("--seed", type=int, default=37)
+    cbench.add_argument("--ctx-bucket", type=int, default=32,
+                        help="compile-cache context-bucket granularity "
+                             "(both sides of the comparison use it, so the "
+                             "only difference is the tiling plan)")
+    cbench.add_argument("--min-speedup", type=float, default=1.10,
+                        help="fail unless autotuned simulated tokens/sec "
+                             "reaches this multiple of the fixed tiling")
+    cbench.add_argument("--min-hit-rate", type=float, default=0.90,
+                        help="fail unless the steady-state (warm re-serve) "
+                             "compile-cache hit rate reaches this")
+    cbench.add_argument("--json", default=None,
+                        help="write the comparison report to this path "
+                             "('-' for stdout)")
 
     # serve-api ---------------------------------------------------------
     api = sub.add_parser(
@@ -632,6 +687,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         verdict = ("PASS" if check_failures == 0
                    else f"{check_failures} MISMATCHES")
         print(f"token identity check   {verdict}")
+    if args.compile_stats:
+        _print_compile_stats(engine.backend.compile_stats())
     print(f"sequential throughput  {seq_throughput:.1f} tokens/s")
     print(f"batched throughput     {report.throughput_tokens_per_second:.1f} tokens/s")
     print(f"continuous-batching speedup: {speedup:.2f}x")
@@ -639,6 +696,28 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         write_json(args.json, payload)
         print(f"results written to {args.json}")
     return 1 if check_failures else 0
+
+
+def _print_compile_stats(stats) -> None:
+    """Human-readable compilation-pipeline breakdown (--compile-stats)."""
+    phase_seconds = stats.get("phase_seconds", {})
+    total = stats.get("compile_seconds", 0.0)
+    phases = "  ".join(f"{name} {seconds * 1e3:.1f}ms"
+                       for name, seconds in phase_seconds.items())
+    print(f"compile phases         {phases} (total {total * 1e3:.1f}ms)")
+    cache = stats.get("cache", {})
+    print(f"compile cache          {cache.get('hits', 0)} hits / "
+          f"{cache.get('misses', 0)} misses "
+          f"({cache.get('hit_rate', 0.0):.1%} hit rate, "
+          f"{cache.get('evictions', 0)} evictions, "
+          f"{cache.get('entries', 0)} resident)")
+    autotune = stats.get("autotune")
+    if autotune:
+        print(f"tile autotuner         {autotune.get('searches', 0)} searches "
+              f"over {autotune.get('search_space', 0)} plans "
+              f"({autotune.get('candidates_scored', 0)} candidates scored), "
+              f"win ratio {autotune.get('win_ratio', 0.0):.1%}, "
+              f"{autotune.get('cycles_saved', 0)} cycles saved")
 
 
 def _cmd_cluster_bench(args: argparse.Namespace) -> int:
@@ -815,6 +894,17 @@ def _cmd_bench_matrix(args: argparse.Namespace) -> int:
     seed reproduces it bit-for-bit, and CI can regenerate and upload it.
     """
     import dataclasses as _dc
+
+    def deterministic(entry):
+        """Drop host wall-clock keys so the report regenerates bit-for-bit.
+
+        Compile-cache counters and hit rates are pure functions of the
+        served shapes and stay; seconds spent compiling are machine noise.
+        """
+        entry.pop("compile_seconds", None)
+        entry.pop("compile_phase_seconds", None)
+        return entry
+
     # The base config is the plain baseline; feature flags the user set
     # (--chunked-prefill, --policy, --speculative) are irrelevant here —
     # the matrix itself decides which features each entry turns on.
@@ -842,7 +932,7 @@ def _cmd_bench_matrix(args: argparse.Namespace) -> int:
         config = _dc.replace(base, **overrides)
         _, report, _ = _serve_suite(config, llm, workloads, args.ignore_eos,
                                     arrivals=arrivals)
-        entry = report.as_dict()
+        entry = deterministic(report.as_dict())
         configs[name] = entry
         print(f"{name:24s} {report.throughput_tokens_per_second:8.1f} tok/s"
               f"  itl p95 {entry['itl_p95_ms']:.3f} ms"
@@ -852,7 +942,7 @@ def _cmd_bench_matrix(args: argparse.Namespace) -> int:
             _cluster_bench_matrix(base):
         cluster = cluster_config.build_cluster(llm=llm)
         creport = cluster.serve(suite_rows, cluster_params)
-        entry = creport.as_dict()
+        entry = deterministic(creport.as_dict())
         configs[name] = entry
         hits = entry["cluster"]["routing"].get("affinity_hits")
         print(f"{name:24s} "
@@ -860,6 +950,28 @@ def _cmd_bench_matrix(args: argparse.Namespace) -> int:
               f"  replicas {creport.n_replicas}"
               f"  prefix hits {creport.prefix_hit_rate:.1%}"
               + (f"  affinity hits {hits}" if hits is not None else ""))
+    # Compilation rows: fixed vs autotuned tiling on the long-context
+    # suite, served single-stream.  Sizes derive from the model's context
+    # window (not the CLI's --requests/--tokens) so the committed report
+    # regenerates identically regardless of the smoke-test's flags.
+    cap = llm.model_config.max_seq_len
+    lc_tokens = min(96, max(8, cap // 2))
+    lc_words = min(48, max(4, cap - lc_tokens - 16))
+    compile_payload, _ = _run_compile_bench(
+        model=args.model, variant=args.variant, requests=4,
+        prompt_words=lc_words, tokens=lc_tokens, seed=37, ctx_bucket=32)
+    compile_payload.pop("wall", None)
+    compile_payload.get("autotune", {}).pop("seconds", None)
+    for side in ("fixed", "autotuned"):
+        configs[f"long-context-{side}"] = deterministic(
+            compile_payload.pop(side))
+        tps = configs[f"long-context-{side}"][
+            "throughput_tokens_per_second"]
+        print(f"{'long-context-' + side:24s} {tps:8.1f} tok/s"
+              + ("" if side == "fixed" else
+                 f"  autotuned speedup {compile_payload['speedup']:.2f}x"
+                 f"  steady-state hit rate "
+                 f"{compile_payload['steady_state_hit_rate']:.1%}"))
     payload = {
         "schema": BENCH_SCHEMA,
         "model": llm.model_config.name,
@@ -868,10 +980,157 @@ def _cmd_bench_matrix(args: argparse.Namespace) -> int:
         "seed": args.seed,
         "max_batch_tokens": base.max_batch_tokens,
         "configs": configs,
+        "compile": compile_payload,
     }
     write_json(args.bench_out, payload)
     print(f"benchmark report ({BENCH_SCHEMA}) written to {args.bench_out}")
     return 0
+
+
+def _run_compile_bench(model: str, variant: str, requests: int,
+                       prompt_words: int, tokens: int, seed: int,
+                       ctx_bucket: int):
+    """Fixed vs autotuned tiling on the long-context suite, plus warm reuse.
+
+    Serves the suite single-stream (``max_running=1``) so the comparison
+    isolates per-step program quality from batching effects — folding
+    amortises the MPE fill/drain latency exactly where batch merging
+    cannot.  Both sides use the same context bucketing, so the *only*
+    difference between them is the tiling plan; greedy token streams must
+    be identical.  The autotuned engine is then re-served warm (same
+    model/accelerator stack, hence a hot compile cache) to measure the
+    wall-clock stepping speedup cache reuse buys and the steady-state hit
+    rate.  Returns ``(payload, n_mismatches)``.
+    """
+    import dataclasses as _dc
+    import time as _time
+    suite = long_context_suite(n_prompts=requests, prompt_words=prompt_words,
+                               max_new_tokens=tokens, seed=seed)
+    base = EngineConfig(model=model, variant=variant, seed=seed,
+                        max_running=1, ctx_bucket=ctx_bucket)
+
+    def serve(config: EngineConfig, llm):
+        engine = config.build_engine(llm=llm)
+        service = CompletionService(engine)
+        before = engine.backend.compile_stats().get("cache", {})
+        pending = [
+            service.submit(CompletionRequest(prompt=w.prompt,
+                                             max_tokens=w.max_new_tokens,
+                                             ignore_eos=True))
+            for w in suite
+        ]
+        start = _time.perf_counter()
+        report = engine.run()
+        wall = _time.perf_counter() - start
+        stats = engine.backend.compile_stats()
+        cache = stats.get("cache", {})
+        hits = cache.get("hits", 0) - before.get("hits", 0)
+        misses = cache.get("misses", 0) - before.get("misses", 0)
+        hit_rate = hits / (hits + misses) if hits + misses else 0.0
+        streams = [list(p.response().choices[0].token_ids) for p in pending]
+        return report, stats, wall, hit_rate, streams
+
+    fixed_config = base
+    auto_config = _dc.replace(base, autotune=True)
+    fixed_report, fixed_stats, fixed_wall, fixed_hits, fixed_streams = serve(
+        fixed_config, fixed_config.build_llm())
+    auto_llm = auto_config.build_llm()
+    auto_report, auto_stats, cold_wall, cold_hits, auto_streams = serve(
+        auto_config, auto_llm)
+    # Warm re-serve: a fresh engine over the same stack starts with every
+    # steady-state program already cached.
+    warm_report, _, warm_wall, warm_hits, warm_streams = serve(
+        auto_config, auto_llm)
+
+    mismatches = sum(
+        1 for fixed, cold, warm in zip(fixed_streams, auto_streams,
+                                       warm_streams)
+        if fixed != cold or fixed != warm
+    )
+    fixed_tps = fixed_report.throughput_tokens_per_second
+    auto_tps = auto_report.throughput_tokens_per_second
+    payload = {
+        "schema": "COMPILE_BENCH_v1",
+        "model": model,
+        "variant": variant,
+        "suite": suite.name,
+        "n_requests": len(suite),
+        "prompt_words": prompt_words,
+        "max_new_tokens": tokens,
+        "seed": seed,
+        "ctx_bucket": ctx_bucket,
+        "fixed": fixed_report.as_dict(),
+        "autotuned": auto_report.as_dict(),
+        "autotune": auto_stats.get("autotune", {}),
+        "speedup": auto_tps / fixed_tps if fixed_tps > 0 else 0.0,
+        "cold_hit_rate": cold_hits,
+        "steady_state_hit_rate": warm_hits,
+        "token_identity": "pass" if mismatches == 0 else "fail",
+        "wall": {
+            "fixed_seconds": fixed_wall,
+            "cold_seconds": cold_wall,
+            "warm_seconds": warm_wall,
+            "warm_vs_cold_speedup": (cold_wall / warm_wall
+                                     if warm_wall > 0 else 0.0),
+        },
+    }
+    return payload, mismatches
+
+
+def _cmd_compile_bench(args: argparse.Namespace) -> int:
+    payload, mismatches = _run_compile_bench(
+        model=args.model, variant=args.variant, requests=args.requests,
+        prompt_words=args.prompt_words, tokens=args.tokens, seed=args.seed,
+        ctx_bucket=args.ctx_bucket)
+    failures = []
+    if mismatches:
+        failures.append(f"{mismatches} request token streams drifted "
+                        "between fixed and autotuned tiling")
+    if payload["speedup"] < args.min_speedup:
+        failures.append(f"autotuned speedup {payload['speedup']:.4f}x below "
+                        f"the required {args.min_speedup:.2f}x")
+    if payload["steady_state_hit_rate"] < args.min_hit_rate:
+        failures.append(
+            f"steady-state hit rate {payload['steady_state_hit_rate']:.1%} "
+            f"below the required {args.min_hit_rate:.0%}")
+    payload["verdict"] = "pass" if not failures else "fail"
+
+    if args.json == "-":
+        import json as _json
+        print(_json.dumps(payload, indent=2, sort_keys=True, default=str))
+    else:
+        fixed, auto = payload["fixed"], payload["autotuned"]
+        wall = payload["wall"]
+        print(f"suite                  {payload['suite']} "
+              f"({payload['n_requests']} requests x "
+              f"{payload['max_new_tokens']} tokens, single-stream, "
+              f"ctx bucket {payload['ctx_bucket']})")
+        print(f"fixed tiling           "
+              f"{fixed['throughput_tokens_per_second']:.1f} tokens/s "
+              f"({fixed['n_steps']} steps)")
+        print(f"autotuned tiling       "
+              f"{auto['throughput_tokens_per_second']:.1f} tokens/s "
+              f"({auto['n_steps']} steps)")
+        print(f"autotuned speedup      {payload['speedup']:.4f}x "
+              f"(required >= {args.min_speedup:.2f}x)")
+        autotune = payload["autotune"]
+        print(f"autotune searches      {autotune.get('searches', 0)} over "
+              f"{autotune.get('search_space', 0)} plans, win ratio "
+              f"{autotune.get('win_ratio', 0.0):.1%}")
+        print(f"cache hit rate         cold {payload['cold_hit_rate']:.1%}, "
+              f"steady-state {payload['steady_state_hit_rate']:.1%} "
+              f"(required >= {args.min_hit_rate:.0%})")
+        print(f"stepping wall clock    cold {wall['cold_seconds']:.2f}s, "
+              f"warm {wall['warm_seconds']:.2f}s "
+              f"({wall['warm_vs_cold_speedup']:.2f}x from cache reuse)")
+        print(f"token identity         "
+              f"{'PASS' if mismatches == 0 else 'FAIL'}")
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if args.json:
+            write_json(args.json, payload)
+            print(f"results written to {args.json}")
+    return 1 if failures else 0
 
 
 #: Demo prompts of the serve-api walkthrough (used when --prompt absent).
@@ -1018,6 +1277,7 @@ _HANDLERS = {
     "generate": _cmd_generate,
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,
+    "compile-bench": _cmd_compile_bench,
     "serve-api": _cmd_serve_api,
     "validate": _cmd_validate,
     "export-graph": _cmd_export_graph,

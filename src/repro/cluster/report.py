@@ -53,6 +53,7 @@ class ReplicaSummary:
             "itl_p99_ms": itl.p99 * 1e3,
             "prefix_hit_rate": self.report.prefix_hit_rate,
             "n_preemptions": self.report.n_preemptions,
+            "compile_cache_hit_rate": self.report.compile_cache_hit_rate,
         }
 
 

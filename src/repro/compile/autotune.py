@@ -1,0 +1,113 @@
+"""Tile autotuner: pick the lowest-cycle tiling plan per step shape.
+
+For each shape the compile cache misses on, the autotuner lowers the
+step under every candidate :class:`~repro.compile.tiling.TilingPlan`
+(bounded powers-of-two space, already pruned by buffer capacity) and
+scores each candidate with the **cycle-accurate pipeline executor** —
+the same simulator that prices real steps, so the search optimizes
+exactly the metric serving reports.  The winner's program is what the
+cache stores; the search cost is paid once per bucket and amortized over
+every steady-state step that hits it.
+
+The tuner keeps aggregate counters — searches run, candidates scored,
+wins (searches whose best plan beat the fixed tiling) — that surface in
+``serve-bench --compile-stats`` and the BENCH report as the autotune win
+ratio.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .tiling import TilingPlan
+
+__all__ = ["AutotuneOutcome", "TileAutotuner"]
+
+
+@dataclass
+class AutotuneOutcome:
+    """Result of one autotune search."""
+
+    plan: TilingPlan
+    payload: Any                 # whatever evaluate() produced for the winner
+    cycles: int
+    baseline_cycles: Optional[int]
+    n_candidates: int
+
+    @property
+    def won(self) -> bool:
+        """Whether the winner beats the fixed tiling."""
+        return (self.baseline_cycles is not None
+                and self.cycles < self.baseline_cycles)
+
+    @property
+    def speedup(self) -> float:
+        if self.baseline_cycles is None or self.cycles <= 0:
+            return 1.0
+        return self.baseline_cycles / self.cycles
+
+
+class TileAutotuner:
+    """Exhaustive search over a small pre-pruned plan space."""
+
+    def __init__(self, plans: Sequence[TilingPlan]) -> None:
+        if not plans:
+            raise ValueError("autotuner needs at least one candidate plan")
+        self.plans: List[TilingPlan] = list(plans)
+        self.searches = 0
+        self.candidates_scored = 0
+        self.wins = 0
+        self.cycles_saved = 0
+        self.seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def tune(
+        self,
+        evaluate: Callable[[TilingPlan], Tuple[Any, int]],
+    ) -> AutotuneOutcome:
+        """Score every candidate; return the lowest-cycle one.
+
+        ``evaluate(plan)`` lowers the step under ``plan`` and returns
+        ``(payload, cycles)``; ties break toward the earlier (simpler)
+        candidate, so the fixed tiling wins unless something strictly
+        beats it.
+        """
+        self.searches += 1
+        start = time.perf_counter()
+        best: Optional[Tuple[TilingPlan, Any, int]] = None
+        baseline_cycles: Optional[int] = None
+        for plan in self.plans:
+            payload, cycles = evaluate(plan)
+            self.candidates_scored += 1
+            if plan.is_default:
+                baseline_cycles = cycles
+            if best is None or cycles < best[2]:
+                best = (plan, payload, cycles)
+        self.seconds += time.perf_counter() - start
+        assert best is not None
+        outcome = AutotuneOutcome(
+            plan=best[0], payload=best[1], cycles=best[2],
+            baseline_cycles=baseline_cycles, n_candidates=len(self.plans),
+        )
+        if outcome.won:
+            self.wins += 1
+            self.cycles_saved += outcome.baseline_cycles - outcome.cycles
+        return outcome
+
+    # ------------------------------------------------------------------
+    @property
+    def win_ratio(self) -> float:
+        return self.wins / self.searches if self.searches else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "search_space": len(self.plans),
+            "searches": self.searches,
+            "candidates_scored": self.candidates_scored,
+            "wins": self.wins,
+            "win_ratio": self.win_ratio,
+            "cycles_saved": self.cycles_saved,
+            "seconds": self.seconds,
+        }

@@ -1,0 +1,162 @@
+"""Named, composable compilation phases with timing and memoization.
+
+A :class:`Phase` wraps one stage of the compilation pipeline — graph
+construction, shard validation, operator fusion, tiling, scheduling —
+behind a uniform callable that records how often it ran, how much wall
+clock it spent, and (optionally) memoizes its results so repeated shapes
+compile exactly once.  A :class:`PhasePipeline` is the ordered collection
+the :class:`~repro.compile.pipeline.StepCompiler` drives; it exists so
+per-phase accounting has one home and ``compile-bench``/``serve-bench
+--compile-stats`` can print where compilation time actually goes.
+
+Phases may be *disabled* by configuration (operator fusion off, an
+unsharded model): a disabled phase passes its first argument through
+unchanged and counts the skip, so the pipeline shape is identical across
+configurations and only the work differs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+__all__ = ["Phase", "PhasePipeline", "PhaseStats"]
+
+
+@dataclass
+class PhaseStats:
+    """Run/timing counters of one phase."""
+
+    name: str
+    runs: int = 0
+    memo_hits: int = 0
+    skips: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "runs": self.runs,
+            "memo_hits": self.memo_hits,
+            "skips": self.skips,
+            "seconds": self.seconds,
+        }
+
+
+class Phase:
+    """One named compilation stage.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier used in stats and reports.
+    fn:
+        The transformation.  Called with whatever arguments the pipeline
+        passes; the return value is the phase's product.
+    enabled:
+        A disabled phase does not call ``fn``: it returns its first
+        argument unchanged (identity pass-through) and counts a skip.
+    memoize:
+        Cache results keyed by ``key(*args)`` (default: the argument
+        tuple itself, which must then be hashable).  Memoized phases are
+        how repeated shapes compile once — the memo is unbounded because
+        the shape population is bounded by the context window.
+    key:
+        Optional key function mapping the call arguments to a hashable
+        memo key (used when arguments themselves are unhashable, e.g.
+        graphs keyed by their unique name).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        *,
+        enabled: bool = True,
+        memoize: bool = False,
+        key: Optional[Callable[..., Hashable]] = None,
+    ) -> None:
+        if not name:
+            raise ValueError("phase name must not be empty")
+        self.name = name
+        self.fn = fn
+        self.enabled = enabled
+        self.memoize = memoize
+        self.key = key
+        self.stats = PhaseStats(name=name)
+        self._memo: Dict[Hashable, Any] = {}
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args: Any) -> Any:
+        if not self.enabled:
+            self.stats.skips += 1
+            return args[0] if args else None
+        memo_key: Optional[Hashable] = None
+        if self.memoize:
+            memo_key = self.key(*args) if self.key is not None else args
+            if memo_key in self._memo:
+                self.stats.memo_hits += 1
+                return self._memo[memo_key]
+        start = time.perf_counter()
+        result = self.fn(*args)
+        self.stats.seconds += time.perf_counter() - start
+        self.stats.runs += 1
+        if self.memoize:
+            self._memo[memo_key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    @property
+    def memo_size(self) -> int:
+        return len(self._memo)
+
+    def clear_memo(self) -> None:
+        self._memo.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.enabled else "off"
+        return f"Phase({self.name!r}, {state}, memo={self.memo_size})"
+
+
+class PhasePipeline:
+    """Ordered collection of phases with aggregate accounting."""
+
+    def __init__(self, phases: List[Phase]) -> None:
+        if not phases:
+            raise ValueError("a pipeline needs at least one phase")
+        names = [phase.name for phase in phases]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate phase names: {names}")
+        self.phases = list(phases)
+        self._by_name = {phase.name: phase for phase in phases}
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> Phase:
+        return self._by_name[name]
+
+    def __iter__(self):
+        return iter(self.phases)
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    @property
+    def names(self) -> List[str]:
+        return [phase.name for phase in self.phases]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> List[Dict[str, object]]:
+        """Per-phase counters in pipeline order."""
+        return [phase.stats.as_dict() for phase in self.phases]
+
+    def seconds_by_phase(self) -> Dict[str, float]:
+        return {phase.name: phase.stats.seconds for phase in self.phases}
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(phase.stats.seconds for phase in self.phases)
+
+    def clear_memos(self) -> None:
+        for phase in self.phases:
+            phase.clear_memo()

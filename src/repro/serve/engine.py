@@ -579,6 +579,9 @@ class ServingEngine:
             self._counters, self._busy_cycles, self.clock
         )
         n_steps = self._n_steps
+        compile_stats = self.backend.compile_stats()
+        cache_stats = compile_stats.get("cache", {})
+        autotune_stats = compile_stats.get("autotune", {})
         return ServeReport(
             requests=[self.result_for(r) for r in self._completed],
             policy=scheduler.config.policy,
@@ -600,6 +603,16 @@ class ServingEngine:
             interconnect_seconds=self._interconnect_seconds,
             shard_utilization=[s / n_steps if n_steps else 0.0
                                for s in self._shard_utilization_sums],
+            compile_cache_hits=cache_stats.get("hits", 0),
+            compile_cache_misses=cache_stats.get("misses", 0),
+            compile_cache_evictions=cache_stats.get("evictions", 0),
+            compile_seconds=compile_stats.get("compile_seconds", 0.0),
+            compile_phase_seconds=dict(
+                compile_stats.get("phase_seconds", {})
+            ),
+            autotune_searches=autotune_stats.get("searches", 0),
+            autotune_candidates=autotune_stats.get("candidates_scored", 0),
+            autotune_wins=autotune_stats.get("wins", 0),
             speculative=self.spec_config is not None,
             spec_method=(self.spec_config.method
                          if self.spec_config is not None else None),

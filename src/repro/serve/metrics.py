@@ -21,6 +21,17 @@ from .request import Request
 __all__ = ["RequestMetrics", "ServeReport"]
 
 
+def _merge_phase_seconds(
+    mappings: Sequence[Dict[str, float]],
+) -> Dict[str, float]:
+    """Key-wise sum of per-phase compile seconds across reports."""
+    merged: Dict[str, float] = {}
+    for mapping in mappings:
+        for name, seconds in mapping.items():
+            merged[name] = merged.get(name, 0.0) + seconds
+    return merged
+
+
 @dataclass(frozen=True)
 class RequestMetrics:
     """Outcome of one served request."""
@@ -116,6 +127,18 @@ class ServeReport:
     interconnect_seconds: float = 0.0
     #: Mean MPE utilisation of each shard over the run's steps.
     shard_utilization: List[float] = field(default_factory=list)
+    # Compilation-pipeline accounting (all zero when the backend has no
+    # step compiler; see ExecutionBackend.compile_stats).
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
+    compile_cache_evictions: int = 0
+    #: Wall-clock spent inside compilation phases (real seconds, not
+    #: simulated ones — this is host-side compile cost).
+    compile_seconds: float = 0.0
+    compile_phase_seconds: Dict[str, float] = field(default_factory=dict)
+    autotune_searches: int = 0
+    autotune_candidates: int = 0
+    autotune_wins: int = 0
     # Speculative-decoding accounting (all zero / False when spec is off).
     speculative: bool = False
     spec_method: Optional[str] = None
@@ -187,6 +210,18 @@ class ServeReport:
             # Per-shard utilisation is a per-replica detail; the pooled
             # view keeps it empty and leaves it to the replica reports.
             shard_utilization=[],
+            compile_cache_hits=sum(r.compile_cache_hits for r in reports),
+            compile_cache_misses=sum(r.compile_cache_misses
+                                     for r in reports),
+            compile_cache_evictions=sum(r.compile_cache_evictions
+                                        for r in reports),
+            compile_seconds=sum(r.compile_seconds for r in reports),
+            compile_phase_seconds=_merge_phase_seconds(
+                [r.compile_phase_seconds for r in reports]
+            ),
+            autotune_searches=sum(r.autotune_searches for r in reports),
+            autotune_candidates=sum(r.autotune_candidates for r in reports),
+            autotune_wins=sum(r.autotune_wins for r in reports),
             speculative=any(r.speculative for r in reports),
             spec_method=spec_methods[0] if spec_methods else None,
             spec_decode_steps=sum(r.spec_decode_steps for r in reports),
@@ -241,6 +276,21 @@ class ServeReport:
         if self.n_steps <= 0:
             return 0.0
         return self.compute_seconds / self.n_steps
+
+    @property
+    def compile_cache_hit_rate(self) -> float:
+        """Fraction of compiled-step lookups served from the cache."""
+        total = self.compile_cache_hits + self.compile_cache_misses
+        if total <= 0:
+            return 0.0
+        return self.compile_cache_hits / total
+
+    @property
+    def autotune_win_ratio(self) -> float:
+        """Fraction of autotune searches whose winner beat fixed tiling."""
+        if self.autotune_searches <= 0:
+            return 0.0
+        return self.autotune_wins / self.autotune_searches
 
     @property
     def acceptance_rate(self) -> float:
@@ -377,6 +427,16 @@ class ServeReport:
             "mean_step_compute_ms": self.mean_step_compute_seconds * 1e3,
             "interconnect_fraction": self.interconnect_fraction,
             "shard_utilization": list(self.shard_utilization),
+            "compile_cache_hits": self.compile_cache_hits,
+            "compile_cache_misses": self.compile_cache_misses,
+            "compile_cache_evictions": self.compile_cache_evictions,
+            "compile_cache_hit_rate": self.compile_cache_hit_rate,
+            "compile_seconds": self.compile_seconds,
+            "compile_phase_seconds": dict(self.compile_phase_seconds),
+            "autotune_searches": self.autotune_searches,
+            "autotune_candidates": self.autotune_candidates,
+            "autotune_wins": self.autotune_wins,
+            "autotune_win_ratio": self.autotune_win_ratio,
             "speculative": self.speculative,
             "spec_method": self.spec_method,
             "spec_draft_tokens": self.spec_draft_tokens,

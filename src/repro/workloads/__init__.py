@@ -2,8 +2,9 @@
 
 from .arrivals import bursty_arrival_times, poisson_arrival_times
 from .prompts import (PromptSuite, Workload, default_suite, latency_suite,
-                      mixed_chat_suite, multi_turn_chat_suite,
-                      repetitive_suite, shared_prefix_suite)
+                      long_context_suite, mixed_chat_suite,
+                      multi_turn_chat_suite, repetitive_suite,
+                      shared_prefix_suite)
 from .sweep import ParameterSweep, SweepResult, run_sweep
 from .tinystories import CorpusStats, StoryGenerator, corpus_stats, generate_corpus
 
@@ -14,6 +15,7 @@ __all__ = [
     "Workload",
     "default_suite",
     "latency_suite",
+    "long_context_suite",
     "mixed_chat_suite",
     "multi_turn_chat_suite",
     "repetitive_suite",

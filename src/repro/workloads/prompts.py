@@ -16,7 +16,8 @@ from typing import List, Sequence
 from .tinystories import StoryGenerator
 
 __all__ = ["Workload", "PromptSuite", "default_suite", "latency_suite",
-           "mixed_chat_suite", "multi_turn_chat_suite", "repetitive_suite",
+           "long_context_suite", "mixed_chat_suite",
+           "multi_turn_chat_suite", "repetitive_suite",
            "shared_prefix_suite"]
 
 
@@ -273,6 +274,38 @@ def mixed_chat_suite(
             priority=1,
         ))
     return PromptSuite(name="mixed-chat", workloads=tuple(workloads))
+
+
+def long_context_suite(
+    n_prompts: int = 4,
+    prompt_words: int = 48,
+    max_new_tokens: int = 96,
+    seed: int = 37,
+) -> PromptSuite:
+    """Long prompts decoded deep into the context window.
+
+    Every request prefills a long document and then decodes far past it,
+    so most simulated steps run attention over a large KV window — the
+    regime where HBM reads of the cached keys/values dominate step time.
+    This is the suite the tile autotuner is measured on: chunked
+    attention window reads stream from disjoint pseudo-channel groups
+    concurrently, which only pays off once the window is long enough for
+    the read to dwarf the fill/drain overhead of extra packets.
+    """
+    if n_prompts <= 0:
+        raise ValueError("n_prompts must be positive")
+    if prompt_words <= 0:
+        raise ValueError("prompt_words must be positive")
+    gen = StoryGenerator(seed=seed)
+    workloads = tuple(
+        Workload(
+            name=f"long-{i}",
+            prompt=" ".join(gen.story().split()[:prompt_words]),
+            max_new_tokens=max_new_tokens,
+        )
+        for i in range(n_prompts)
+    )
+    return PromptSuite(name="long-context", workloads=workloads)
 
 
 def latency_suite(

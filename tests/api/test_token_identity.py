@@ -12,13 +12,23 @@ Two axes are pinned:
   ``tests/conftest.py`` sweeps reservation vs. paged KV vs. TP=2, each
   with chunked prefill on and off; scheduling and memory layout must
   never change a generated token.
+* **Compilation** — autotuned tiling re-tiles the very same operator
+  graphs, so an autotuned stack must emit token streams identical to the
+  fixed tiling across the whole configuration matrix, including
+  speculative decoding's verify steps.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.api import CompletionRequest, CompletionService, SamplingParams
+from repro.api import (
+    CompletionRequest,
+    CompletionService,
+    EngineConfig,
+    SamplingParams,
+    SpecConfig,
+)
 from repro.serve import SchedulerConfig, ServingEngine
 
 PROMPTS = [
@@ -97,6 +107,50 @@ def test_identity_across_engine_matrix(llm, engine_matrix_config,
     served = serve_streams(llm, engine_matrix_config, PROMPTS,
                            seed_base=11, **sampling)
     assert served == sequential
+
+
+@pytest.fixture(scope="module")
+def autotuned_llm(small_checkpoint, tiny_tokenizer):
+    """The fixture llm's stack, rebuilt with tile autotuning and shape
+    bucketing enabled — same weights, same tokenizer, retimed tiling."""
+    from repro.accel.variants import variant_config
+    from repro.core.speedllm import SpeedLLM
+
+    return SpeedLLM(
+        model="test-small", checkpoint=small_checkpoint,
+        tokenizer=tiny_tokenizer,
+        accel_config=variant_config("full").replace(
+            autotune_tiling=True, ctx_bucket=8),
+    )
+
+
+@pytest.mark.parametrize("sampling", CONFIGS)
+def test_autotuned_tiling_identity_across_matrix(llm, autotuned_llm,
+                                                 engine_matrix_config,
+                                                 serve_streams,
+                                                 sequential_streams,
+                                                 sampling):
+    """Autotuned tiling changes cycle counts, never tokens: an autotuned
+    stack served through every matrix config reproduces the fixed-tiling
+    sequential streams exactly."""
+    fixed = sequential_streams(llm, PROMPTS, seed_base=11, **sampling)
+    autotuned = serve_streams(autotuned_llm, engine_matrix_config, PROMPTS,
+                              seed_base=11, **sampling)
+    assert autotuned == fixed
+
+
+def test_autotuned_tiling_identity_with_spec_decode(llm, autotuned_llm,
+                                                    serve_streams,
+                                                    sequential_streams):
+    """Speculative verify steps compile multi-token run programs through
+    the same cache; autotuning them must not perturb accepted tokens."""
+    config = EngineConfig(
+        model="test-small", max_batch_tokens=16,
+        speculative=SpecConfig(method="ngram", num_draft_tokens=4),
+    )
+    fixed = sequential_streams(llm, PROMPTS, seed_base=11)
+    autotuned = serve_streams(autotuned_llm, config, PROMPTS, seed_base=11)
+    assert autotuned == fixed
 
 
 def test_matrix_identity_with_mixed_priorities(llm, engine_matrix_config,

@@ -1,0 +1,1 @@
+"""Tests of the compilation pipeline (repro.compile)."""

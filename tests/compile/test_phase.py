@@ -1,0 +1,110 @@
+"""Phase and PhasePipeline behaviour: timing, memoization, skips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile import Phase, PhasePipeline
+
+
+class TestPhase:
+    def test_calls_fn_and_counts_runs(self):
+        phase = Phase("double", lambda x: x * 2)
+        assert phase(3) == 6
+        assert phase(4) == 8
+        assert phase.stats.runs == 2
+        assert phase.stats.memo_hits == 0
+        assert phase.stats.seconds >= 0.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Phase("", lambda x: x)
+
+    def test_disabled_phase_passes_first_argument_through(self):
+        phase = Phase("fuse", lambda g: g.upper(), enabled=False)
+        assert phase("graph") == "graph"
+        assert phase.stats.skips == 1
+        assert phase.stats.runs == 0
+
+    def test_memoized_phase_runs_once_per_key(self):
+        calls = []
+
+        def build(ctx):
+            calls.append(ctx)
+            return f"graph-{ctx}"
+
+        phase = Phase("build", build, memoize=True)
+        first = phase(7)
+        again = phase(7)
+        other = phase(9)
+        assert first is again
+        assert other == "graph-9"
+        assert calls == [7, 9]
+        assert phase.stats.runs == 2
+        assert phase.stats.memo_hits == 1
+        assert phase.memo_size == 2
+
+    def test_custom_key_function(self):
+        class Unhashable:
+            def __init__(self, name):
+                self.name = name
+                self.items = []  # unhashable payload
+
+        phase = Phase("tile", lambda g: g.name, memoize=True,
+                      key=lambda g: g.name)
+        a, b = Unhashable("g1"), Unhashable("g1")
+        assert phase(a) == "g1"
+        assert phase(b) == "g1"
+        assert phase.stats.runs == 1
+        assert phase.stats.memo_hits == 1
+
+    def test_clear_memo(self):
+        phase = Phase("build", lambda x: object(), memoize=True)
+        first = phase(1)
+        phase.clear_memo()
+        assert phase.memo_size == 0
+        assert phase(1) is not first
+
+
+class TestPhasePipeline:
+    def _pipeline(self):
+        return PhasePipeline([
+            Phase("build", lambda x: x + 1),
+            Phase("tile", lambda x: x * 2),
+        ])
+
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            PhasePipeline([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            PhasePipeline([Phase("a", int), Phase("a", int)])
+
+    def test_lookup_and_order(self):
+        pipeline = self._pipeline()
+        assert pipeline.names == ["build", "tile"]
+        assert pipeline["tile"](3) == 6
+        assert len(pipeline) == 2
+
+    def test_stats_in_pipeline_order(self):
+        pipeline = self._pipeline()
+        pipeline["build"](1)
+        stats = pipeline.stats()
+        assert [row["name"] for row in stats] == ["build", "tile"]
+        assert stats[0]["runs"] == 1
+        assert stats[1]["runs"] == 0
+        seconds = pipeline.seconds_by_phase()
+        assert set(seconds) == {"build", "tile"}
+        assert pipeline.total_seconds == pytest.approx(sum(seconds.values()))
+
+    def test_clear_memos_clears_every_phase(self):
+        pipeline = PhasePipeline([
+            Phase("build", lambda x: object(), memoize=True),
+            Phase("tile", lambda x: object(), memoize=True),
+        ])
+        pipeline["build"](1)
+        pipeline["tile"](1)
+        pipeline.clear_memos()
+        assert pipeline["build"].memo_size == 0
+        assert pipeline["tile"].memo_size == 0

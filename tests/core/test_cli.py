@@ -168,6 +168,69 @@ class TestServeBenchCommand:
         assert "peak concurrency" in out
 
 
+class TestCompileBenchCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["compile-bench"])
+        assert args.model == "stories15M"
+        assert args.ctx_bucket == 32
+        assert args.min_speedup == 1.10
+        assert args.min_hit_rate == 0.90
+
+    def test_reports_speedup_and_hit_rates(self, capsys):
+        code = main([
+            "compile-bench", "--model", "test-small",
+            "--requests", "3", "--prompt-words", "12", "--tokens", "16",
+            "--ctx-bucket", "8",
+            "--min-speedup", "0.99", "--min-hit-rate", "0.50",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "autotuned speedup" in out
+        assert "cache hit rate" in out
+        assert "token identity         PASS" in out
+
+    def test_json_payload_carries_headline_numbers(self, capsys):
+        code = main([
+            "compile-bench", "--model", "test-small",
+            "--requests", "3", "--prompt-words", "12", "--tokens", "16",
+            "--ctx-bucket", "8",
+            "--min-speedup", "0.99", "--min-hit-rate", "0.50",
+            "--json", "-",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["schema"] == "COMPILE_BENCH_v1"
+        assert payload["verdict"] == "pass"
+        assert payload["token_identity"] == "pass"
+        assert payload["speedup"] >= 0.99
+        assert payload["steady_state_hit_rate"] >= 0.5
+        assert payload["autotune"]["searches"] > 0
+        assert payload["wall"]["warm_vs_cold_speedup"] > 1.0
+
+    def test_unmeetable_threshold_fails(self, capsys):
+        code = main([
+            "compile-bench", "--model", "test-small",
+            "--requests", "2", "--prompt-words", "12", "--tokens", "8",
+            "--ctx-bucket", "8", "--min-speedup", "100.0",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "below the required" in captured.err
+
+    def test_serve_bench_compile_stats_flag(self, capsys):
+        code = main([
+            "serve-bench", "--model", "test-small",
+            "--requests", "4", "--tokens", "8",
+            "--autotune", "--ctx-bucket", "8", "--compile-stats",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compile phases" in out
+        assert "compile cache" in out
+        assert "tile autotuner" in out
+
+
 class TestValidateCommand:
     def test_validation_passes_on_small_model(self, capsys):
         code = main([
