@@ -54,7 +54,7 @@ from .serve import (
     ServingEngine,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AcceleratorConfig",

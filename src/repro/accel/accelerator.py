@@ -138,8 +138,26 @@ class SpeedLLMAccelerator:
             self.model_config, self.config, self.platform
         )
         # Functional weights: quantise+dequantise so the functional result
-        # reflects the int8 datapath; keep float32 when quantisation is off.
-        if quantize_weights and self.config.weight_bits < 32:
+        # reflects the quantised datapath; keep float32 when quantisation
+        # is off.  A serving-level QuantConfig resolves the spec per
+        # tensor (weights / logits head / fp32 overrides); the legacy
+        # weight_bits path keeps its uniform gcd-derived group size.
+        if self.config.quant is not None and quantize_weights:
+            qcfg = self.config.quant
+            shared = self.model_config.shared_classifier
+            weights = {}
+            for name, tensor in checkpoint.weights.items():
+                spec = qcfg.spec_for(
+                    name,
+                    classifier=shared and name == "tok_embeddings.weight",
+                    ndim=tensor.ndim,
+                )
+                if spec is None:
+                    weights[name] = tensor
+                else:
+                    weights[name] = dequantize(quantize(tensor, spec))
+            self._functional_weights = weights
+        elif quantize_weights and self.config.weight_bits < 32:
             # Group size must divide every matrix's reduction axis (dim for
             # the projections, hidden for w2); cap at 64 for fidelity.
             group = math.gcd(

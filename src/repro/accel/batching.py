@@ -141,6 +141,9 @@ def _merged_weight_tile(packets: Sequence[TilePacket], mpe: MPEConfig) -> TilePa
         macs=sum(p.macs for p in packets),
         sfu_flops=sum(p.sfu_flops for p in packets),
         onchip_bytes=sum(p.onchip_bytes for p in packets),
+        # Scale application happens per activation vector; the weight-tile
+        # byte saving (saved_bytes) is paid once per batch like the tile.
+        dequant_flops=sum(p.dequant_flops for p in packets),
     )
 
 
@@ -187,6 +190,11 @@ def _merged_run_packet(
         compute = sum(p.compute_cycles for _, p in group)
         load = sum(p.load_bytes for _, p in group)
         onchip = sum(p.onchip_bytes for _, p in group)
+    # Every position still applies its own dequant scales; the KV-window
+    # byte saving is only realised once for the shared window (MPE), while
+    # per-position stores (SFU appends) keep their per-position savings.
+    saved = (lead.saved_bytes if lead.unit is ComputeUnit.MPE
+             else sum(p.saved_bytes for _, p in group))
     return dataclasses.replace(
         lead,
         load_bytes=load,
@@ -195,6 +203,8 @@ def _merged_run_packet(
         macs=sum(p.macs for _, p in group),
         sfu_flops=sum(p.sfu_flops for _, p in group),
         onchip_bytes=onchip,
+        dequant_flops=sum(p.dequant_flops for _, p in group),
+        saved_bytes=saved,
         label=f"{lead.label}#run{lead_index}x{len(group)}",
     )
 

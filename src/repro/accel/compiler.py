@@ -41,6 +41,10 @@ __all__ = ["ProgramCompiler"]
 _ACT_BYTES = 4
 
 
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
 class ProgramCompiler:
     """Compiles decode-step graphs for a given accelerator configuration.
 
@@ -165,6 +169,8 @@ class ProgramCompiler:
                     sfu_flops=first.sfu_flops,
                     onchip_bytes=first.onchip_bytes + onchip_forwarded,
                     weight_bytes=first.weight_bytes,
+                    dequant_flops=first.dequant_flops,
+                    saved_bytes=first.saved_bytes,
                     label=first.label,
                 )
             packets.extend(member_packets)
@@ -218,7 +224,13 @@ class ProgramCompiler:
         in_features = int(op.attributes.get("in_features", 0))
         if out_features <= 0 or in_features <= 0:
             raise ValueError(f"matmul {op.name!r} lacks shape attributes")
-        wb = self.config.weight_dtype_bytes
+        # Quant-annotated operators carry their own effective streamed
+        # bytes per element (scale overhead included); everything else
+        # uses the accelerator-wide weight width.
+        quantized = "wbytes_per_el" in op.attributes
+        wb = float(op.attributes.get("wbytes_per_el",
+                                     self.config.weight_dtype_bytes))
+        group = int(op.attributes.get("quant_group", 0))
         # The plan's fold is clamped per operator so a folded tile's
         # weight slice still fits one on-chip staging segment; operators
         # whose unfolded tile already exceeds it keep the fixed tiling.
@@ -230,6 +242,16 @@ class ProgramCompiler:
         packets: List[TilePacket] = []
         for i, tile in enumerate(tiles):
             weight_bytes = int(tile.out_rows * tile.in_features * wb)
+            saved_bytes = (
+                max(0, int(tile.out_rows * tile.in_features * (_ACT_BYTES - wb)))
+                if quantized else 0
+            )
+            if group > 0:
+                # One scale application per (row, group) reconstructs the
+                # tile's partial sums from the integer group accumulators.
+                dequant_flops = tile.out_rows * _ceil_div(tile.in_features, group)
+            else:
+                dequant_flops = 0
             # With the cyclic memory-reuse strategy the activation vector is
             # fetched once and stays resident across the operator's tiles;
             # without it every tile re-fetches its inputs because the
@@ -242,15 +264,32 @@ class ProgramCompiler:
             store_slice = store_act // n_tiles if n_tiles else 0
             if i == n_tiles - 1:
                 store_slice = store_act - store_slice * (n_tiles - 1)
+            # Scale application runs on a rescale stage pipelined into
+            # the MPE drain path, one multiplier per array row: while the
+            # array accumulates group g+1, the stage rescales group g's
+            # partials.  The tile is bound by the slower of the two, not
+            # their sum — for group sizes >= half the array columns the
+            # rescale always hides behind the reduction passes.
+            mac_cycles = self.mpe.tile_cycles(tile)
+            if dequant_flops:
+                compute_cycles = max(
+                    mac_cycles,
+                    _ceil_div(dequant_flops, self.config.mpe.rows),
+                )
+            else:
+                compute_cycles = mac_cycles
             packets.append(TilePacket(
                 op_name=op.name,
                 unit=ComputeUnit.MPE,
                 load_bytes=weight_bytes + act_load,
-                compute_cycles=self.mpe.tile_cycles(tile),
+                compute_cycles=compute_cycles,
                 store_bytes=store_slice,
                 macs=tile.macs,
+                sfu_flops=dequant_flops,
                 onchip_bytes=tile.out_rows * _ACT_BYTES,
                 weight_bytes=weight_bytes,
+                dequant_flops=dequant_flops,
+                saved_bytes=saved_bytes,
                 label=f"{op.name}#t{i}",
             ))
         return packets
@@ -281,10 +320,20 @@ class ProgramCompiler:
         macs = op.flops // 2
         n_chunks = self.plan.attention_chunks
         depth = self.config.mpe.pipeline_depth
+        # Quantised KV windows stream their per-group scales alongside the
+        # int8 payload and pay per-group scale applications on the SFU.
+        load_act += int(op.attributes.get("kv_scale_bytes", 0))
+        kv_saved = int(op.attributes.get("kv_saved_bytes", 0))
+        kv_dequant = int(op.attributes.get("kv_dequant_flops", 0))
         compute = max(
             depth,
             macs // self.config.mpe.macs_per_cycle + depth,
         )
+        if kv_dequant:
+            # Per-group scale application runs in the drain-path rescale
+            # stage as the window streams in; the op is bound by the
+            # slower of the two.
+            compute = max(compute, _ceil_div(kv_dequant, self.config.mpe.rows))
         if n_chunks == 1:
             return [TilePacket(
                 op_name=op.name,
@@ -293,7 +342,10 @@ class ProgramCompiler:
                 compute_cycles=compute,
                 store_bytes=store_act,
                 macs=macs,
+                sfu_flops=kv_dequant,
                 onchip_bytes=attn_len * _ACT_BYTES,
+                dequant_flops=kv_dequant,
+                saved_bytes=kv_saved,
                 label=f"{op.name}@L{layer}",
             )]
         packets: List[TilePacket] = []
@@ -312,7 +364,10 @@ class ProgramCompiler:
                 compute_cycles=compute if last else 1,
                 store_bytes=store_act if last else 0,
                 macs=macs if last else 0,
+                sfu_flops=kv_dequant if last else 0,
                 onchip_bytes=attn_len * _ACT_BYTES if i == 0 else 0,
+                dequant_flops=kv_dequant if last else 0,
+                saved_bytes=kv_saved if i == 0 else 0,
                 label=f"{op.name}@L{layer}#c{i}",
             ))
         return packets
@@ -322,14 +377,26 @@ class ProgramCompiler:
         if op.kind is OpKind.EMBED:
             # The embedding gather streams one table row from HBM.
             load_act += op.weight_bytes
+        # Quantisation annotations: the embed gather dequantises its row
+        # elementwise; a KV append quantises the new vectors and stores
+        # their per-group scales next to the int8 payload.
+        dequant_flops = (int(op.attributes.get("dequant_flops", 0))
+                         + int(op.attributes.get("kv_quant_flops", 0)))
+        saved_bytes = (int(op.attributes.get("saved_bytes", 0))
+                       + int(op.attributes.get("kv_saved_store_bytes", 0)))
+        store_act += int(op.attributes.get("kv_scale_store_bytes", 0))
         cycles = self.sfu.op_cycles(op)
+        if dequant_flops:
+            cycles += _ceil_div(dequant_flops, self.config.sfu.lanes)
         return TilePacket(
             op_name=op.name,
             unit=unit,
             load_bytes=load_act,
             compute_cycles=cycles,
             store_bytes=store_act,
-            sfu_flops=op.flops,
+            sfu_flops=op.flops + dequant_flops,
             onchip_bytes=0,
+            dequant_flops=dequant_flops,
+            saved_bytes=saved_bytes,
             label=op.name,
         )

@@ -20,9 +20,12 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..fpga.resources import ResourceVector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..quant.config import QuantConfig
 
 __all__ = ["MPEConfig", "SFUConfig", "BufferConfig", "AcceleratorConfig", "VARIANT_NAMES"]
 
@@ -140,6 +143,12 @@ class AcceleratorConfig:
     operator_fusion: bool = True
     # datapath
     weight_bits: int = 8
+    #: Serving-level quantisation (weights / KV / logits per tensor).
+    #: When set it supersedes ``weight_bits`` for 2-D weight tensors:
+    #: the graph builder annotates each operator with its effective
+    #: streamed bytes per element and the compile cache keys on
+    #: ``quant.signature()``.
+    quant: Optional["QuantConfig"] = None
     hbm_stripe: int = 16             # pseudo-channels one DMA burst is spread over
     trace_enabled: bool = False
     # compilation pipeline (see repro.compile)
@@ -191,6 +200,7 @@ class AcceleratorConfig:
             "memory_reuse": self.memory_reuse,
             "operator_fusion": self.operator_fusion,
             "weight_bits": self.weight_bits,
+            "quant": self.quant.label if self.quant is not None else None,
             "hbm_stripe": self.hbm_stripe,
             "autotune_tiling": self.autotune_tiling,
             "ctx_bucket": self.ctx_bucket,

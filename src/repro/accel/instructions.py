@@ -31,6 +31,12 @@ class TilePacket:
     by every sequence in a batched decode step, so the batch merger uses
     this split to charge the weight transfer once per batch while the
     activation traffic scales with the number of sequences.
+
+    ``dequant_flops`` counts the per-group scale applications the SFU
+    performs to reconstruct quantised operands at the accumulator, and
+    ``saved_bytes`` records how many HBM bytes the quantised encoding
+    removed from this packet relative to float32 storage (both are zero
+    on unquantised programs).
     """
 
     op_name: str
@@ -42,11 +48,14 @@ class TilePacket:
     sfu_flops: int = 0
     onchip_bytes: int = 0
     weight_bytes: int = 0
+    dequant_flops: int = 0
+    saved_bytes: int = 0
     label: str = ""
 
     def __post_init__(self) -> None:
         for name in ("load_bytes", "compute_cycles", "store_bytes",
-                     "macs", "sfu_flops", "onchip_bytes", "weight_bytes"):
+                     "macs", "sfu_flops", "onchip_bytes", "weight_bytes",
+                     "dequant_flops", "saved_bytes"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
         if self.weight_bytes > self.load_bytes:

@@ -116,6 +116,8 @@ class PipelineExecutor:
             counters.sfu_flops += packet.sfu_flops
             counters.onchip_read_bytes += packet.onchip_bytes
             counters.onchip_write_bytes += packet.onchip_bytes
+            counters.dequant_flops += packet.dequant_flops
+            counters.quant_saved_bytes += packet.saved_bytes
             if packet.unit is ComputeUnit.MPE:
                 counters.mpe_tiles += 1
             elif packet.unit is ComputeUnit.SFU:

@@ -26,6 +26,7 @@ from .errors import FrontendError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.speedllm import SpeedLLM
+    from ..quant import QuantConfig
     from ..serve.engine import AsyncServingEngine, ServingEngine
 
 __all__ = ["EngineConfig"]
@@ -71,6 +72,22 @@ class EngineConfig:
     #: decodes one token per request per step.
     speculative: Optional[SpecConfig] = None
 
+    # Quantisation -------------------------------------------------------
+    #: Weight quantisation: ``None`` (the legacy int8 datapath with no
+    #: byte accounting), a mode string (``"int8"`` / ``"int4"`` for the
+    #: quantised subsystem, ``"fp32"`` for a full-precision datapath —
+    #: the honest baseline quantised runs are compared against) or an
+    #: explicit :class:`repro.quant.QuantConfig`.
+    quant: Union[None, str, "QuantConfig"] = None
+    #: Also store the KV cache group-quantised at INT8 (mode strings
+    #: only; an explicit QuantConfig carries its own KV spec).
+    quant_kv: bool = False
+    #: Quantisation group size for mode strings.
+    quant_group: int = 64
+    #: Keep the classifier head (and a shared embedding table) at fp32
+    #: instead of the default INT8 head.
+    fp32_logits: bool = False
+
     # Compilation pipeline ----------------------------------------------
     #: Autotune the tiling plan per step shape (the compile cache stores
     #: the lowest-cycle candidate program); False keeps the fixed tiling.
@@ -81,6 +98,10 @@ class EngineConfig:
     ctx_bucket: int = 1
 
     # Execution backend -------------------------------------------------
+    #: Override the simulated U280's HBM pseudo-channel count (None keeps
+    #: the full 32).  Fewer channels make decode bytes-bound, the regime
+    #: where weight/KV quantisation pays off most.
+    hbm_channels: Optional[int] = None
     tensor_parallel: int = 1
     interconnect_gbps: float = 25.0
     interconnect_latency_us: float = 1.0
@@ -125,12 +146,41 @@ class EngineConfig:
             if self.burst_rate <= self.arrival_rate:
                 raise FrontendError(
                     "burst_rate must exceed the calm arrival_rate")
+        if self.hbm_channels is not None and self.hbm_channels < 1:
+            raise FrontendError(
+                f"hbm_channels must be >= 1, got {self.hbm_channels}")
+        if self.quant in (None, "fp32") and (
+                self.quant_kv or self.fp32_logits):
+            raise FrontendError(
+                "quant_kv / fp32_logits require a quant mode")
+        # Resolve eagerly so bad modes fail at construction.
+        try:
+            self.quant_config()
+        except (ValueError, TypeError) as exc:
+            raise FrontendError(str(exc)) from None
         # Scheduler knobs are validated by SchedulerConfig itself; build
         # it eagerly so a bad EngineConfig fails at construction, not at
         # build_engine() time.
         self.scheduler_config()
 
     # ------------------------------------------------------------------
+    def quant_config(self) -> Optional["QuantConfig"]:
+        """The resolved quantisation slice of this configuration.
+
+        ``"fp32"`` resolves to ``None`` like the default — it differs
+        only in :meth:`build_llm`, which widens the accelerator datapath
+        to full-precision weights instead of the legacy int8 streaming.
+        """
+        if self.quant == "fp32":
+            return None
+        from ..quant import resolve_quant
+        return resolve_quant(
+            self.quant,
+            group_size=self.quant_group,
+            quant_kv=self.quant_kv,
+            fp32_logits=self.fp32_logits,
+        )
+
     def scheduler_config(self) -> SchedulerConfig:
         """The scheduler slice of this configuration."""
         return SchedulerConfig(
@@ -152,16 +202,24 @@ class EngineConfig:
         """Build the model + accelerator stack this config describes."""
         from ..core.speedllm import SpeedLLM
         accel_config = None
-        if self.autotune or self.ctx_bucket != 1:
+        quant = self.quant_config()
+        fp32 = self.quant == "fp32"
+        if self.autotune or self.ctx_bucket != 1 or quant is not None or fp32:
             from ..accel.variants import variant_config
             accel_config = variant_config(self.variant).replace(
                 autotune_tiling=self.autotune,
                 ctx_bucket=self.ctx_bucket,
+                quant=quant,
+                **({"weight_bits": 32} if fp32 else {}),
             )
+        platform = None
+        if self.hbm_channels is not None:
+            from ..fpga.u280 import u280
+            platform = u280(n_hbm_channels=self.hbm_channels)
         return SpeedLLM(
             model=self.model, variant=self.variant, seed=self.seed,
             position_stride=self.position_stride, max_vocab=self.max_vocab,
-            accel_config=accel_config,
+            accel_config=accel_config, platform=platform,
         )
 
     def build_engine(self, llm: Optional["SpeedLLM"] = None) -> "ServingEngine":

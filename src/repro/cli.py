@@ -1,6 +1,6 @@
 """Command-line interface of the SpeedLLM reproduction.
 
-Six subcommands cover the everyday workflows:
+The subcommands cover the everyday workflows:
 
 * ``generate``  — run one text generation on the simulated accelerator
   and print the completion plus the latency/throughput/energy metrics;
@@ -19,6 +19,14 @@ Six subcommands cover the everyday workflows:
   (``--route {rr,least-loaded,affinity}``), optionally split into
   prefill/decode pools or autoscaled against queue depth — and
   ``--check`` asserts every routed request matches a single engine;
+  with ``--quant int8|int4`` the same suite is also served on a
+  full-precision twin for an accuracy-vs-speed report (tokens/s side
+  by side, HBM bytes saved, teacher-forced greedy agreement and logit
+  drift, perplexity), and ``--check`` gates on the agreement floor;
+* ``quantize`` — convert a checkpoint (a preset's synthetic weights or
+  a llama2.c ``.bin``) into a ``.slq`` quantised sidecar file holding
+  packed INT8/INT4 payloads plus per-group scales, and verify the
+  sidecar round-trips;
 * ``compile-bench`` — compare fixed vs autotuned tiling on the
   long-context suite (single-stream, same context bucketing on both
   sides, token identity asserted), then re-serve warm to measure the
@@ -114,6 +122,7 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ngram-max", type=int, default=3,
                         help="longest suffix n-gram the ngram drafter "
                              "matches (with --speculative ngram)")
+    _add_quant_options(parser)
     parser.add_argument("--autotune", action="store_true",
                         help="autotune the tiling plan per compiled step "
                              "shape (the compile cache keeps the "
@@ -123,6 +132,11 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                              "cache; >1 rounds attention windows up so "
                              "steady-state steps reuse one cached program "
                              "per bucket (1 = compile every exact shape)")
+    parser.add_argument("--hbm-channels", type=int, default=None,
+                        help="override the simulated U280's HBM "
+                             "pseudo-channel count (default 32; fewer "
+                             "channels make decode bytes-bound — the "
+                             "regime quantisation accelerates most)")
     parser.add_argument("--tensor-parallel", type=int, default=1,
                         help="shard execution over N simulated accelerators "
                              "(tensor-parallel attention heads / FFN "
@@ -133,6 +147,26 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--interconnect-latency-us", type=float, default=1.0,
                         help="per-ring-step interconnect latency in "
                              "microseconds (with --tensor-parallel > 1)")
+
+
+def _add_quant_options(parser: argparse.ArgumentParser) -> None:
+    """Quantisation flags shared by serving and compile benchmarks."""
+    parser.add_argument("--quant", choices=("int8", "int4", "fp32"),
+                        default=None,
+                        help="weight quantisation for the datapath: 'int8' "
+                             "or 'int4' group-quantised streaming with "
+                             "byte-accurate savings accounting, 'fp32' a "
+                             "full-precision datapath (the honest baseline "
+                             "quantised runs are compared against)")
+    parser.add_argument("--quant-kv", action="store_true",
+                        help="also store the KV cache group-quantised at "
+                             "INT8 (with --quant int8/int4)")
+    parser.add_argument("--quant-group", type=int, default=64,
+                        help="quantisation group size (scales stored per "
+                             "group of this many weights)")
+    parser.add_argument("--fp32-logits", action="store_true",
+                        help="keep the classifier head (and a shared "
+                             "embedding table) at fp32 (with --quant)")
 
 
 def _spec_config(args: argparse.Namespace) -> Optional[SpecConfig]:
@@ -169,6 +203,11 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         prefill_chunk_tokens=args.prefill_chunk_tokens,
         policy=args.policy,
         fairness_aging_s=args.fairness_aging,
+        quant=getattr(args, "quant", None),
+        quant_kv=getattr(args, "quant_kv", False),
+        quant_group=getattr(args, "quant_group", 64),
+        fp32_logits=getattr(args, "fp32_logits", False),
+        hbm_channels=getattr(args, "hbm_channels", None),
         autotune=getattr(args, "autotune", False),
         ctx_bucket=getattr(args, "ctx_bucket", 1),
         tensor_parallel=args.tensor_parallel,
@@ -264,7 +303,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "engine (no speculation, unchunked prefill, "
                             "fifo) and fail unless every token stream is "
                             "identical — scheduling and speculation must "
-                            "never change what a request generates")
+                            "never change what a request generates; with "
+                            "--quant, additionally gate on the "
+                            "teacher-forced agreement floor "
+                            "(--min-agreement) and on bytes actually "
+                            "saved")
+    serve.add_argument("--min-agreement", type=float, default=0.85,
+                       help="teacher-forced greedy-agreement floor the "
+                            "quantised datapath must reach vs the fp32 "
+                            "twin (with --quant and --check)")
     serve.add_argument("--bench-out", default=None, metavar="PATH",
                        help="run the fixed serving-config matrix on the "
                             "mixed workload and write a versioned "
@@ -314,6 +361,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write per-request rows and aggregates to this "
                             "path ('-' for stdout)")
 
+    # quantize ----------------------------------------------------------
+    quant = sub.add_parser(
+        "quantize",
+        help="convert a checkpoint to a quantised .slq sidecar file",
+    )
+    quant.add_argument("--model", default="stories15M",
+                       choices=available_presets())
+    quant.add_argument("--checkpoint", default=None,
+                       help="llama2.c .bin checkpoint to quantise "
+                            "(default: the preset's synthetic weights)")
+    quant.add_argument("--seed", type=int, default=0,
+                       help="seed of the synthetic weights (without "
+                            "--checkpoint)")
+    quant.add_argument("--mode", choices=("int8", "int4"), default="int8",
+                       help="weight quantisation mode")
+    quant.add_argument("--quant-group", type=int, default=64,
+                       help="quantisation group size")
+    quant.add_argument("--quant-kv", action="store_true",
+                       help="record an INT8 KV-cache spec in the sidecar")
+    quant.add_argument("--fp32-logits", action="store_true",
+                       help="keep the classifier head at fp32")
+    quant.add_argument("--out", default=None,
+                       help="output .slq path (default: "
+                            "<model>-<mode>.slq)")
+    quant.add_argument("--json", default=None,
+                       help="write the conversion summary to this path "
+                            "('-' for stdout)")
+
     # compile-bench -----------------------------------------------------
     cbench = sub.add_parser(
         "compile-bench",
@@ -331,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
     cbench.add_argument("--tokens", type=int, default=96,
                         help="decode budget per request")
     cbench.add_argument("--seed", type=int, default=37)
+    _add_quant_options(cbench)
     cbench.add_argument("--ctx-bucket", type=int, default=32,
                         help="compile-cache context-bucket granularity "
                              "(both sides of the comparison use it, so the "
@@ -503,6 +579,116 @@ def _staggered_mixed_arrivals(config: EngineConfig, llm, suite,
     return [w for w, _ in timed], [t for _, t in timed]
 
 
+def _quant_accuracy_speed(config: EngineConfig, llm, report, workloads,
+                          completions, args: argparse.Namespace, arrivals):
+    """Serve the identical suite on a full-precision twin; compare.
+
+    The twin shares every serving knob but runs the fp32 datapath
+    (``quant="fp32"``, its own weights — quantisation changes *values*,
+    unlike scheduling features, so token identity is not expected).  The
+    comparison reports speed (tokens/s side by side, HBM bytes streamed,
+    bytes saved) against accuracy (teacher-forced greedy agreement and
+    logit drift, perplexity on the fp32 twin's own greedy continuations,
+    free-decode prefix agreement).  Returns ``(comparison_dict,
+    failures)`` where failures gate ``--check``.
+    """
+    import dataclasses as _dc
+
+    from .llama.evaluate import divergence_report, perplexity
+    from .llama.model import LlamaModel
+
+    fp32_config = _dc.replace(config, quant="fp32", quant_kv=False,
+                              fp32_logits=False)
+    fp32_llm = fp32_config.build_llm()
+    _, fp32_report, fp32_completions = _serve_suite(
+        fp32_config, fp32_llm, workloads, args.ignore_eos, arrivals=arrivals)
+
+    # Teacher-forced comparison on the fp32 twin's greedy continuations:
+    # both models consume the same ground-truth token each position, so
+    # one early disagreement cannot cascade the way free decoding does.
+    quant_model = LlamaModel(llm.accelerator.functional_checkpoint())
+    fp32_model = LlamaModel(fp32_llm.accelerator.functional_checkpoint())
+    sequences = []
+    for workload, completion in list(zip(workloads, fp32_completions))[:4]:
+        tokens = (fp32_llm.tokenizer.encode(workload.prompt, bos=True,
+                                            eos=False)
+                  + list(completion.choices[0].token_ids))
+        if len(tokens) >= 2:
+            sequences.append(tokens[:48])
+    drift = divergence_report(quant_model, fp32_model, sequences)
+
+    # Free-decode prefix agreement: how far each served stream tracks
+    # the fp32 twin before the first divergence (cascades after that).
+    prefixes = []
+    for quant_c, fp32_c in zip(completions, fp32_completions):
+        quant_t = list(quant_c.choices[0].token_ids)
+        fp32_t = list(fp32_c.choices[0].token_ids)
+        n = min(len(quant_t), len(fp32_t))
+        if n == 0:
+            continue
+        match = 0
+        for a, b in zip(quant_t, fp32_t):
+            if a != b:
+                break
+            match += 1
+        prefixes.append(match / n)
+
+    fp32_tps = fp32_report.throughput_tokens_per_second
+    quant_tps = report.throughput_tokens_per_second
+    comparison = {
+        "quant": report.quant,
+        "fp32_throughput_tokens_per_second": fp32_tps,
+        "quant_throughput_tokens_per_second": quant_tps,
+        "quant_speedup": quant_tps / fp32_tps if fp32_tps > 0 else 0.0,
+        "fp32_hbm_bytes": fp32_report.counters.hbm_bytes,
+        "quant_hbm_bytes": report.counters.hbm_bytes,
+        "quant_bytes_saved": report.quant_bytes_saved,
+        "quant_saved_fraction": report.quant_saved_fraction,
+        "dequant_overhead_fraction": report.dequant_overhead_fraction,
+        "teacher_forced": drift.as_dict(),
+        "greedy_prefix_agreement": (sum(prefixes) / len(prefixes)
+                                    if prefixes else 0.0),
+        "perplexity_quant": perplexity(quant_model, sequences),
+        "perplexity_fp32": perplexity(fp32_model, sequences),
+    }
+    failures = []
+    if args.check:
+        if drift.token_agreement < args.min_agreement:
+            failures.append(
+                f"teacher-forced token agreement "
+                f"{drift.token_agreement:.3f} below the required "
+                f"{args.min_agreement:.2f}")
+        if report.quant_bytes_saved <= 0:
+            failures.append("quantised run reported no HBM bytes saved")
+    return comparison, failures
+
+
+def _print_quant_comparison(comparison: dict) -> None:
+    """Human-readable accuracy-vs-speed block for --quant runs."""
+    teacher = comparison["teacher_forced"]
+    print(f"quant mode             {comparison['quant']}")
+    print(f"fp32 throughput        "
+          f"{comparison['fp32_throughput_tokens_per_second']:.1f} tokens/s")
+    print(f"quant throughput       "
+          f"{comparison['quant_throughput_tokens_per_second']:.1f} tokens/s "
+          f"({comparison['quant_speedup']:.2f}x vs fp32)")
+    print(f"hbm bytes streamed     {comparison['quant_hbm_bytes']} vs "
+          f"{comparison['fp32_hbm_bytes']} fp32 "
+          f"({comparison['quant_bytes_saved']} saved, "
+          f"{comparison['quant_saved_fraction']:.1%} of the fp32-equivalent "
+          "stream)")
+    print(f"dequant overhead       "
+          f"{comparison['dequant_overhead_fraction']:.1%} of SFU flops")
+    print(f"teacher-forced         {teacher['token_agreement']:.1%} greedy "
+          f"agreement over {teacher['n_positions']} positions, max logit "
+          f"drift {teacher['max_logit_drift']:.3g}")
+    print(f"free-decode prefix     "
+          f"{comparison['greedy_prefix_agreement']:.1%} mean agreement "
+          "before first divergence")
+    print(f"perplexity             {comparison['perplexity_quant']:.3f} "
+          f"quant vs {comparison['perplexity_fp32']:.3f} fp32")
+
+
 def _baseline_config(config: EngineConfig) -> EngineConfig:
     """The plain twin a served run is checked/compared against.
 
@@ -589,9 +775,21 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                           "featured and baseline greedy token streams "
                           "differ", file=sys.stderr)
 
+    # With --quant on the main config, also serve the identical suite on
+    # the full-precision twin and report accuracy vs speed.
+    quant_comparison = None
+    if config.quant_config() is not None:
+        quant_comparison, quant_failures = _quant_accuracy_speed(
+            config, llm, report, workloads, completions, args, arrivals)
+        for failure in quant_failures:
+            check_failures += 1
+            print(f"QUANT CHECK FAIL: {failure}", file=sys.stderr)
+
     aggregate = report.as_dict()
     speedup = (report.throughput_tokens_per_second / seq_throughput
                if seq_throughput > 0 else 0.0)
+    if quant_comparison is not None:
+        aggregate["quant_comparison"] = quant_comparison
     aggregate["sequential_throughput_tokens_per_second"] = seq_throughput
     aggregate["speedup"] = speedup
     aggregate["backend"] = engine.backend.describe()
@@ -683,6 +881,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"baseline itl p95       "
               f"{aggregate['baseline_itl_p95_ms']:.3f} ms "
               f"({aggregate['itl_p95_reduction']:+.1%} reduction)")
+    if quant_comparison is not None:
+        _print_quant_comparison(quant_comparison)
     if args.check:
         verdict = ("PASS" if check_failures == 0
                    else f"{check_failures} MISMATCHES")
@@ -834,6 +1034,19 @@ _BENCH_MATRIX = (
                          "speculative": SpecConfig(method="ngram")}),
 )
 
+#: Quantisation rows of the benchmark report: datapath precision sweeps
+#: served on the same workload.  Unlike the serving matrix these cannot
+#: share the base llm — quantisation changes the weights themselves — so
+#: each row builds its own model/accelerator stack.  All three rows run
+#: on a fixed 2-channel HBM platform (bytes-bound, the regime weight
+#: streaming dominates and quantisation pays off) so the row-to-row
+#: comparison isolates datapath precision.
+_QUANT_BENCH_ROWS = (
+    ("quant-fp32", {"quant": "fp32", "hbm_channels": 2}),
+    ("quant-int8", {"quant": "int8", "quant_kv": True, "hbm_channels": 2}),
+    ("quant-int4", {"quant": "int4", "quant_kv": True, "hbm_channels": 2}),
+)
+
 #: Version tag of the benchmark report schema ``--bench-out`` writes.
 BENCH_SCHEMA = "BENCH_v1"
 
@@ -938,6 +1151,25 @@ def _cmd_bench_matrix(args: argparse.Namespace) -> int:
               f"  itl p95 {entry['itl_p95_ms']:.3f} ms"
               f"  kv util {report.mean_kv_utilization:.1%}"
               f"  accept {report.acceptance_rate:.1%}")
+    # Quantisation rows: precision sweep on its own stacks (quantised
+    # weights differ by value, so the shared llm cannot be reused).
+    fp32_tps = None
+    for name, overrides in _QUANT_BENCH_ROWS:
+        quant_config = _dc.replace(base, **overrides)
+        quant_llm = quant_config.build_llm()
+        _, quant_report, _ = _serve_suite(
+            quant_config, quant_llm, workloads, args.ignore_eos,
+            arrivals=arrivals)
+        entry = deterministic(quant_report.as_dict())
+        configs[name] = entry
+        tps = quant_report.throughput_tokens_per_second
+        if name == "quant-fp32":
+            fp32_tps = tps
+        speedup = (f"  vs fp32 {tps / fp32_tps:.2f}x"
+                   if fp32_tps and name != "quant-fp32" else "")
+        print(f"{name:24s} {tps:8.1f} tok/s"
+              f"  hbm bytes {quant_report.counters.hbm_bytes}"
+              f"  saved {quant_report.quant_bytes_saved}" + speedup)
     for name, cluster_config, suite_rows, cluster_params in \
             _cluster_bench_matrix(base):
         cluster = cluster_config.build_cluster(llm=llm)
@@ -989,7 +1221,8 @@ def _cmd_bench_matrix(args: argparse.Namespace) -> int:
 
 def _run_compile_bench(model: str, variant: str, requests: int,
                        prompt_words: int, tokens: int, seed: int,
-                       ctx_bucket: int):
+                       ctx_bucket: int, quant=None, quant_kv: bool = False,
+                       quant_group: int = 64):
     """Fixed vs autotuned tiling on the long-context suite, plus warm reuse.
 
     Serves the suite single-stream (``max_running=1``) so the comparison
@@ -1007,7 +1240,9 @@ def _run_compile_bench(model: str, variant: str, requests: int,
     suite = long_context_suite(n_prompts=requests, prompt_words=prompt_words,
                                max_new_tokens=tokens, seed=seed)
     base = EngineConfig(model=model, variant=variant, seed=seed,
-                        max_running=1, ctx_bucket=ctx_bucket)
+                        max_running=1, ctx_bucket=ctx_bucket,
+                        quant=quant, quant_kv=quant_kv,
+                        quant_group=quant_group)
 
     def serve(config: EngineConfig, llm):
         engine = config.build_engine(llm=llm)
@@ -1059,6 +1294,8 @@ def _run_compile_bench(model: str, variant: str, requests: int,
         "max_new_tokens": tokens,
         "seed": seed,
         "ctx_bucket": ctx_bucket,
+        "quant": (base.quant_config().label
+                  if base.quant_config() is not None else quant),
         "fixed": fixed_report.as_dict(),
         "autotuned": auto_report.as_dict(),
         "autotune": auto_stats.get("autotune", {}),
@@ -1081,7 +1318,8 @@ def _cmd_compile_bench(args: argparse.Namespace) -> int:
     payload, mismatches = _run_compile_bench(
         model=args.model, variant=args.variant, requests=args.requests,
         prompt_words=args.prompt_words, tokens=args.tokens, seed=args.seed,
-        ctx_bucket=args.ctx_bucket)
+        ctx_bucket=args.ctx_bucket, quant=args.quant,
+        quant_kv=args.quant_kv, quant_group=args.quant_group)
     failures = []
     if mismatches:
         failures.append(f"{mismatches} request token streams drifted "
@@ -1105,6 +1343,8 @@ def _cmd_compile_bench(args: argparse.Namespace) -> int:
               f"({payload['n_requests']} requests x "
               f"{payload['max_new_tokens']} tokens, single-stream, "
               f"ctx bucket {payload['ctx_bucket']})")
+        if payload.get("quant"):
+            print(f"quantisation           {payload['quant']}")
         print(f"fixed tiling           "
               f"{fixed['throughput_tokens_per_second']:.1f} tokens/s "
               f"({fixed['n_steps']} steps)")
@@ -1244,6 +1484,61 @@ def _cmd_serve_api(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_quantize(args: argparse.Namespace) -> int:
+    """Convert a checkpoint to a ``.slq`` quantised sidecar file.
+
+    The sidecar stores packed integer payloads plus per-group scales —
+    never materialised fp32 — and is verified by reloading it and
+    checking the byte accounting round-trips exactly.
+    """
+    from .llama.checkpoint import load_checkpoint, synthesize_weights
+    from .quant import (load_quantized, quantize_checkpoint, resolve_quant,
+                        save_quantized)
+
+    if args.checkpoint:
+        checkpoint = load_checkpoint(args.checkpoint)
+    else:
+        checkpoint = synthesize_weights(preset(args.model), seed=args.seed)
+    quant = resolve_quant(args.mode, group_size=args.quant_group,
+                          quant_kv=args.quant_kv,
+                          fp32_logits=args.fp32_logits)
+    quantized = quantize_checkpoint(checkpoint, quant)
+    out = args.out or f"{checkpoint.config.name}-{args.mode}.slq"
+    path = save_quantized(quantized, out)
+    reloaded = load_quantized(path)
+    roundtrip = (reloaded.nbytes == quantized.nbytes
+                 and reloaded.quant.signature() == quant.signature()
+                 and len(reloaded.tensors) == len(quantized.tensors))
+    summary = {
+        "schema": "QUANTIZE_v1",
+        "model": checkpoint.config.name,
+        "path": str(path),
+        "file_bytes": path.stat().st_size,
+        "roundtrip": "pass" if roundtrip else "fail",
+        **quantized.summary(),
+    }
+    if args.json == "-":
+        import json as _json
+        print(_json.dumps(summary, indent=2, sort_keys=True, default=str))
+        return 0 if roundtrip else 1
+    print(f"model                  {summary['model']} "
+          f"({summary['tensors']} tensors, "
+          f"{summary['quantized_tensors']} quantised)")
+    print(f"quantisation           {summary['quant']}")
+    print(f"fp32 bytes             {summary['fp32_bytes']}")
+    print(f"quantised bytes        {summary['quantized_bytes']} "
+          f"({summary['compression']:.3f}x compression, "
+          f"{summary['bytes_saved']} bytes saved)")
+    print(f"sidecar                {path} ({summary['file_bytes']} bytes "
+          "on disk)")
+    print(f"reload round-trip      "
+          f"{'PASS' if roundtrip else 'FAIL'}")
+    if args.json:
+        write_json(args.json, summary)
+        print(f"summary written to {args.json}")
+    return 0 if roundtrip else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     llm = SpeedLLM(model=args.model, variant=args.variant, seed=args.seed,
                    position_stride=8)
@@ -1277,6 +1572,7 @@ _HANDLERS = {
     "generate": _cmd_generate,
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,
+    "quantize": _cmd_quantize,
     "compile-bench": _cmd_compile_bench,
     "serve-api": _cmd_serve_api,
     "validate": _cmd_validate,

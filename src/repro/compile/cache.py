@@ -112,6 +112,7 @@ def compile_signature(
         config.autotune_tiling,
         config.ctx_bucket,
         shard_sig,
+        config.quant.signature() if config.quant is not None else None,
     )
 
 

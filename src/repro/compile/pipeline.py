@@ -99,6 +99,7 @@ class StepCompiler:
             model_config,
             weight_dtype_bytes=config.weight_dtype_bytes,
             shard=shard,
+            quant=config.quant,
         )
         self._executor = PipelineExecutor(config, platform)
         # One ProgramCompiler per tiling plan (plans are few and frozen).

@@ -15,16 +15,23 @@ the simulator's timing and traffic models consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..llama.config import LlamaConfig
 from .graph import Graph
 from .ops import Operator, OpKind, TensorSpec
 from .sharding import ShardSpec
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..quant.config import QuantConfig
+
 __all__ = ["GraphBuilder", "build_decode_graph"]
 
 _ACT_BYTES = 4  # activations stay float32 in the datapath
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
 
 
 @dataclass
@@ -47,11 +54,23 @@ class GraphBuilder:
         The all-reduce/all-gather collectives between shards are *not*
         operators of this graph — the execution backend charges them
         through its interconnect model.
+    quant:
+        Optional serving-level quantisation config.  When set it
+        supersedes ``weight_dtype_bytes`` per 2-D weight tensor: matmul
+        and embed operators are annotated with their effective streamed
+        bytes per element (``wbytes_per_el``, scale overhead included)
+        and group size (``quant_group``), and — when the config
+        quantises the KV cache — the cache tensors shrink to one byte
+        per element with the scale traffic and dequant work annotated on
+        the attention/append operators.  The program compiler turns
+        these annotations into smaller weight tiles, per-tile
+        ``saved_bytes`` and SFU-side ``dequant_flops``.
     """
 
     config: LlamaConfig
     weight_dtype_bytes: float = 1
     shard: Optional[ShardSpec] = None
+    quant: Optional["QuantConfig"] = None
 
     def __post_init__(self) -> None:
         if self.weight_dtype_bytes not in (0.5, 1, 2, 4):
@@ -59,6 +78,26 @@ class GraphBuilder:
                 "weight_dtype_bytes must be 0.5 (int4), 1, 2 or 4, got "
                 f"{self.weight_dtype_bytes}"
             )
+
+    # ------------------------------------------------------------------
+    # Quantisation annotation helpers
+    # ------------------------------------------------------------------
+    def _weight_quant(self, w_name: str, classifier: bool = False):
+        """Resolve ``(bytes_per_el, group, store_bytes, annotated)`` for a
+        2-D weight tensor.  Falls back to the builder-wide
+        ``weight_dtype_bytes`` when no quant config is active."""
+        if self.quant is None:
+            wb = self.weight_dtype_bytes
+            return wb, 0, max(1, int(wb)), False
+        spec = self.quant.spec_for(w_name, classifier=classifier)
+        if spec is None:
+            return 4.0, 0, 4, True
+        return spec.bytes_per_element, spec.group_size, 1, True
+
+    def _quant_attrs(self, wb: float, group: int, annotated: bool) -> dict:
+        if not annotated:
+            return {}
+        return {"wbytes_per_el": wb, "quant_group": group}
 
     # ------------------------------------------------------------------
     def build_decode_step(self, context_len: int, name: Optional[str] = None,
@@ -93,10 +132,8 @@ class GraphBuilder:
             name = f"{cfg.name}-decode-ctx{context_len}{suffix}"
         g = Graph(name=name)
         dim, kv_dim, hidden = cfg.dim, cfg.kv_dim, cfg.resolved_hidden_dim()
-        wb = self.weight_dtype_bytes
         # TensorSpec element sizes are whole bytes; sub-byte weights keep
         # their true footprint in the operators' weight_bytes annotations.
-        wb_store = max(1, int(wb))
 
         def tensor(tname: str, *shape: int, resident: str = "offchip",
                    weight: bool = False, dtype_bytes: int = _ACT_BYTES) -> str:
@@ -108,14 +145,25 @@ class GraphBuilder:
 
         # Graph inputs -------------------------------------------------
         token = tensor("token", 1, dtype_bytes=4)
+        # A shared embedding table doubles as the classifier matrix, so it
+        # follows the (sensitive) logits spec under quantisation.
+        emb_wb, emb_group, emb_store, emb_annot = self._weight_quant(
+            "tok_embeddings.weight", classifier=cfg.shared_classifier
+        )
         emb_table = tensor("tok_embeddings.weight", cfg.vocab_size, dim,
-                           weight=True, dtype_bytes=wb_store)
+                           weight=True, dtype_bytes=emb_store)
         x = tensor("x.0", dim)
+        embed_attrs: dict = {"rows": 1}
+        if emb_annot:
+            embed_attrs.update(self._quant_attrs(emb_wb, emb_group, True))
+            # The gathered row is dequantised elementwise on the SFU.
+            embed_attrs["dequant_flops"] = dim if emb_group else 0
+            embed_attrs["saved_bytes"] = max(0, int(dim * (4.0 - emb_wb)))
         g.add_operator(Operator(
             name="embed", kind=OpKind.EMBED,
             inputs=[token, emb_table], outputs=[x],
-            flops=0, weight_bytes=int(dim * wb),
-            attributes={"rows": 1},
+            flops=0, weight_bytes=int(dim * emb_wb),
+            attributes=embed_attrs,
         ))
 
         for layer in range(cfg.n_layers):
@@ -140,15 +188,19 @@ class GraphBuilder:
         # Vocab-parallel classifier: each shard computes its slice of the
         # logits; the backend charges the gather separately.
         vocab = cfg.vocab_size if self.shard is None else self.shard.vocab
+        cls_wb, cls_group, cls_store, cls_annot = self._weight_quant(
+            cls_name, classifier=True
+        )
         cls_w = tensor(cls_name, vocab, dim, weight=True,
-                       dtype_bytes=wb_store)
+                       dtype_bytes=cls_store)
         logits = tensor("logits", vocab)
         g.add_operator(Operator(
             name="classifier", kind=OpKind.MATMUL,
             inputs=[xn, cls_w], outputs=[logits],
             flops=2 * vocab * dim,
-            weight_bytes=int(vocab * dim * wb),
-            attributes={"out_features": vocab, "in_features": dim},
+            weight_bytes=int(vocab * dim * cls_wb),
+            attributes={"out_features": vocab, "in_features": dim,
+                        **self._quant_attrs(cls_wb, cls_group, cls_annot)},
         ))
         g.validate()
         return g
@@ -169,21 +221,21 @@ class GraphBuilder:
             q_dim, kv_dim = self.shard.q_width, self.shard.kv_width
             n_heads = self.shard.n_heads
             hidden = self.shard.hidden
-        wb = self.weight_dtype_bytes
-        wb_store = max(1, int(wb))
         p = f"L{layer}."
 
         def matmul(op_name: str, w_name: str, out_feat: int, in_feat: int,
                    inp: str, out: str) -> None:
+            mwb, mgroup, mstore, mannot = self._weight_quant(w_name)
             w = tensor(w_name, out_feat, in_feat, weight=True,
-                       dtype_bytes=wb_store)
+                       dtype_bytes=mstore)
             g.add_operator(Operator(
                 name=op_name, kind=OpKind.MATMUL,
                 inputs=[inp, w], outputs=[out],
                 flops=2 * out_feat * in_feat,
-                weight_bytes=int(out_feat * in_feat * wb),
+                weight_bytes=int(out_feat * in_feat * mwb),
                 attributes={"out_features": out_feat, "in_features": in_feat,
-                            "layer": layer},
+                            "layer": layer,
+                            **self._quant_attrs(mwb, mgroup, mannot)},
             ))
 
         # --- attention -------------------------------------------------
@@ -217,13 +269,37 @@ class GraphBuilder:
         ))
 
         # Cache append produces the updated cache views used by attention.
-        cache_k = tensor(p + "cache_k", attn_len, kv_dim)
-        cache_v = tensor(p + "cache_v", attn_len, kv_dim)
+        # Quantised KV stores one byte per element plus per-group float32
+        # scales; the scale traffic and (de)quantisation work are
+        # annotated for the program compiler.
+        kv_spec = self.quant.kv if self.quant is not None else None
+        kv_store = 1 if kv_spec is not None else _ACT_BYTES
+        kv_attrs: dict = {}
+        win_attrs: dict = {}
+        if kv_spec is not None:
+            kv_groups = _ceil_div(kv_dim, kv_spec.group_size)
+            append_scale = 2 * kv_groups * 4
+            kv_attrs = {
+                "kv_scale_store_bytes": append_scale,
+                "kv_saved_store_bytes": 2 * kv_dim * 4
+                - (2 * kv_dim + append_scale),
+                "kv_quant_flops": 2 * kv_dim,
+            }
+            window_scale = attn_len * kv_groups * 4
+            win_attrs = {
+                "kv_scale_bytes": window_scale,
+                "kv_saved_bytes": attn_len * kv_dim * 4
+                - (attn_len * kv_dim + window_scale),
+                "kv_dequant_flops": attn_len * kv_groups,
+            }
+        cache_k = tensor(p + "cache_k", attn_len, kv_dim, dtype_bytes=kv_store)
+        cache_v = tensor(p + "cache_v", attn_len, kv_dim, dtype_bytes=kv_store)
         g.add_operator(Operator(
             name=p + "kv_append", kind=OpKind.KV_APPEND,
             inputs=[k_rot, v], outputs=[cache_k, cache_v],
             flops=0,
-            attributes={"layer": layer, "attn_len": attn_len, "kv_dim": kv_dim},
+            attributes={"layer": layer, "attn_len": attn_len, "kv_dim": kv_dim,
+                        **kv_attrs},
         ))
 
         scores = tensor(p + "scores", n_heads, attn_len)
@@ -231,7 +307,7 @@ class GraphBuilder:
             name=p + "attn_score", kind=OpKind.ATTN_SCORE,
             inputs=[q_rot, cache_k], outputs=[scores],
             flops=2 * n_heads * head_dim * attn_len,
-            attributes={"layer": layer, "attn_len": attn_len},
+            attributes={"layer": layer, "attn_len": attn_len, **win_attrs},
         ))
         probs = tensor(p + "probs", n_heads, attn_len)
         g.add_operator(Operator(
@@ -245,7 +321,7 @@ class GraphBuilder:
             name=p + "attn_context", kind=OpKind.ATTN_CONTEXT,
             inputs=[probs, cache_v], outputs=[attn_out],
             flops=2 * n_heads * head_dim * attn_len,
-            attributes={"layer": layer, "attn_len": attn_len},
+            attributes={"layer": layer, "attn_len": attn_len, **win_attrs},
         ))
 
         proj = tensor(p + "attn_proj", dim)

@@ -50,6 +50,12 @@ class BlockAllocator:
         Token positions per block.
     dtype:
         Storage dtype of the cached keys/values.
+    quant:
+        Optional KV quantisation spec.  Shrinks ``bytes_per_block`` to
+        the group-quantised footprint (so the same budget holds more
+        blocks) and fake-quantises vectors on append.  Physical storage
+        stays float32 for the NumPy attention kernels — host RAM stands
+        in for the quantised HBM blocks.
     """
 
     def __init__(
@@ -58,14 +64,16 @@ class BlockAllocator:
         capacity_bytes: int,
         block_tokens: int = 16,
         dtype: np.dtype = np.float32,
+        quant=None,
     ) -> None:
         if block_tokens <= 0:
             raise ValueError("block_tokens must be positive")
         self.config = config
         self.block_tokens = int(block_tokens)
         self.dtype = np.dtype(dtype)
+        self.quant = quant
         self.bytes_per_block = KVCache.bytes_per_block(
-            config, self.block_tokens, self.dtype
+            config, self.block_tokens, self.dtype, quant
         )
         self.n_blocks = int(capacity_bytes) // self.bytes_per_block
         if self.n_blocks <= 0:

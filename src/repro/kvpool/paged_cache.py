@@ -24,6 +24,7 @@ import numpy as np
 
 from ..llama.config import LlamaConfig
 from ..llama.kv_cache import KVCache
+from ..llama.quantization import dequantize, quantize
 from .allocator import BlockAllocator, BlockAllocatorError
 
 __all__ = ["PagedKVCache"]
@@ -66,7 +67,10 @@ class PagedKVCache:
 
     def used_nbytes(self) -> int:
         """Bytes of cache actually occupied by cached tokens."""
-        return KVCache.bytes_per_position(self.config, self.dtype) * self._length
+        return (
+            KVCache.bytes_per_position(self.config, self.dtype, self.allocator.quant)
+            * self._length
+        )
 
     # ------------------------------------------------------------------
     # Block management
@@ -223,6 +227,11 @@ class PagedKVCache:
         offset = pos % self.block_tokens
         key = np.asarray(key, dtype=self.dtype).reshape(self.config.kv_dim)
         value = np.asarray(value, dtype=self.dtype).reshape(self.config.kv_dim)
+        if self.allocator.quant is not None:
+            # Fake-quant on write, mirroring the flat cache: reads see
+            # the int8 encoding's error regardless of paging.
+            key = dequantize(quantize(key, self.allocator.quant))
+            value = dequantize(quantize(value, self.allocator.quant))
         self.allocator.keys(block)[layer, offset] = key
         self.allocator.values(block)[layer, offset] = value
         if layer == self.config.n_layers - 1:

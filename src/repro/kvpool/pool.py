@@ -32,6 +32,7 @@ class KVPool:
         watermark_fraction: float = 0.05,
         dtype: np.dtype = np.float32,
         shards: int = 1,
+        quant=None,
     ) -> None:
         """``capacity_bytes`` is the KV budget of **one** accelerator.
 
@@ -50,7 +51,7 @@ class KVPool:
         self.config = config
         self.shards = shards
         self.allocator = BlockAllocator(
-            config, capacity_bytes * shards, block_tokens, dtype
+            config, capacity_bytes * shards, block_tokens, dtype, quant
         )
         self.index = PrefixIndex(self.allocator)
         self.block_tokens = self.allocator.block_tokens

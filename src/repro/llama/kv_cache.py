@@ -9,11 +9,12 @@ append operation for new tokens.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from .config import LlamaConfig
+from .quantization import QuantSpec, dequantize, quantize
 
 __all__ = ["KVCache"]
 
@@ -31,6 +32,14 @@ class KVCache:
     dtype:
         Storage dtype; float32 by default, float16 models HBM-resident
         half-precision caches.
+    quant:
+        Optional group-quantisation spec for the cached vectors.  Each
+        appended key/value vector is quantised and dequantised on write
+        (fake-quant), so every read reflects the error of the int8
+        HBM-resident encoding while the working arrays stay float32 for
+        the NumPy attention kernels.  The byte-accounting statics accept
+        the same spec so admission budgets and paged-block sizes shrink
+        to the quantised footprint.
     """
 
     def __init__(
@@ -38,6 +47,7 @@ class KVCache:
         config: LlamaConfig,
         max_seq_len: int | None = None,
         dtype: np.dtype = np.float32,
+        quant: Optional[QuantSpec] = None,
     ) -> None:
         self.config = config
         self.capacity = int(
@@ -46,6 +56,7 @@ class KVCache:
         if self.capacity <= 0:
             raise ValueError("cache capacity must be positive")
         self.dtype = np.dtype(dtype)
+        self.quant = quant
         shape = (config.n_layers, self.capacity, config.kv_dim)
         self._keys = np.zeros(shape, dtype=self.dtype)
         self._values = np.zeros(shape, dtype=self.dtype)
@@ -64,13 +75,24 @@ class KVCache:
 
     def used_nbytes(self) -> int:
         """Bytes of cache actually occupied by cached tokens."""
-        return self.bytes_per_position(self.config, self.dtype) * self._length
+        return (
+            self.bytes_per_position(self.config, self.dtype, self.quant)
+            * self._length
+        )
 
     @staticmethod
     def bytes_per_position(
-        config: LlamaConfig, dtype: np.dtype = np.float32
+        config: LlamaConfig,
+        dtype: np.dtype = np.float32,
+        quant: Optional[QuantSpec] = None,
     ) -> int:
-        """Cache bytes one token position occupies across all layers."""
+        """Cache bytes one token position occupies across all layers.
+
+        With a ``quant`` spec the position stores each key/value vector
+        as group-quantised integers plus per-group float32 scales.
+        """
+        if quant is not None:
+            return int(2 * config.n_layers * quant.storage_bytes(config.kv_dim))
         return int(2 * config.n_layers * config.kv_dim * np.dtype(dtype).itemsize)
 
     @staticmethod
@@ -78,6 +100,7 @@ class KVCache:
         config: LlamaConfig,
         block_tokens: int,
         dtype: np.dtype = np.float32,
+        quant: Optional[QuantSpec] = None,
     ) -> int:
         """Cache bytes one fixed-size block of token positions occupies.
 
@@ -87,7 +110,7 @@ class KVCache:
         """
         if block_tokens <= 0:
             raise ValueError("block_tokens must be positive")
-        return KVCache.bytes_per_position(config, dtype) * block_tokens
+        return KVCache.bytes_per_position(config, dtype, quant) * block_tokens
 
     @staticmethod
     def blocks_for(n_positions: int, block_tokens: int) -> int:
@@ -104,6 +127,7 @@ class KVCache:
         config: LlamaConfig,
         n_positions: int,
         dtype: np.dtype = np.float32,
+        quant: Optional[QuantSpec] = None,
     ) -> int:
         """Storage a cache sized for ``n_positions`` will occupy.
 
@@ -114,7 +138,7 @@ class KVCache:
         """
         if n_positions < 0:
             raise ValueError("n_positions must be >= 0")
-        return cls.bytes_per_position(config, dtype) * n_positions
+        return cls.bytes_per_position(config, dtype, quant) * n_positions
 
     def reset(self) -> None:
         """Truncate to length 0 without reallocating the buffers.
@@ -154,6 +178,10 @@ class KVCache:
             )
         key = np.asarray(key, dtype=self.dtype).reshape(self.config.kv_dim)
         value = np.asarray(value, dtype=self.dtype).reshape(self.config.kv_dim)
+        if self.quant is not None:
+            # Fake-quant on write: reads see the int8 encoding's error.
+            key = dequantize(quantize(key, self.quant))
+            value = dequantize(quantize(value, self.quant))
         self._keys[layer, pos] = key
         self._values[layer, pos] = value
         if layer == self.config.n_layers - 1:

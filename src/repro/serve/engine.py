@@ -123,9 +123,12 @@ class ServingEngine:
         self.backend: ExecutionBackend = backend or LocalBackend(llm.accelerator)
         self.platform = self.backend.platform
         self.model_config = llm.model_config
+        accel_quant = getattr(self.accelerator.config, "quant", None)
+        self.quant = accel_quant
         self.scheduler = Scheduler(
             self.model_config, scheduler_config,
             kv_shards=self.backend.kv_shards,
+            kv_quant=accel_quant.kv if accel_quant is not None else None,
         )
         self.spec_config = self.scheduler.spec
         self.drafter = None
@@ -613,6 +616,9 @@ class ServingEngine:
             autotune_searches=autotune_stats.get("searches", 0),
             autotune_candidates=autotune_stats.get("candidates_scored", 0),
             autotune_wins=autotune_stats.get("wins", 0),
+            quant=self.quant.label if self.quant is not None else None,
+            quant_bytes_saved=self._counters.quant_saved_bytes,
+            dequant_flops=self._counters.dequant_flops,
             speculative=self.spec_config is not None,
             spec_method=(self.spec_config.method
                          if self.spec_config is not None else None),

@@ -139,6 +139,13 @@ class ServeReport:
     autotune_searches: int = 0
     autotune_candidates: int = 0
     autotune_wins: int = 0
+    # Quantisation accounting (all zero / None without a quant config).
+    #: Human-readable quant tag (e.g. "int8g64+kv8"); None = fp32.
+    quant: Optional[str] = None
+    #: HBM bytes the quantised encodings avoided streaming vs fp32.
+    quant_bytes_saved: int = 0
+    #: SFU dequant/quant work charged by the timing model.
+    dequant_flops: int = 0
     # Speculative-decoding accounting (all zero / False when spec is off).
     speculative: bool = False
     spec_method: Optional[str] = None
@@ -222,6 +229,10 @@ class ServeReport:
             autotune_searches=sum(r.autotune_searches for r in reports),
             autotune_candidates=sum(r.autotune_candidates for r in reports),
             autotune_wins=sum(r.autotune_wins for r in reports),
+            quant=next((r.quant for r in reports if r.quant is not None),
+                       None),
+            quant_bytes_saved=sum(r.quant_bytes_saved for r in reports),
+            dequant_flops=sum(r.dequant_flops for r in reports),
             speculative=any(r.speculative for r in reports),
             spec_method=spec_methods[0] if spec_methods else None,
             spec_decode_steps=sum(r.spec_decode_steps for r in reports),
@@ -291,6 +302,21 @@ class ServeReport:
         if self.autotune_searches <= 0:
             return 0.0
         return self.autotune_wins / self.autotune_searches
+
+    @property
+    def dequant_overhead_fraction(self) -> float:
+        """Share of SFU work spent (de)quantising weights and KV."""
+        if self.counters.sfu_flops <= 0:
+            return 0.0
+        return self.dequant_flops / self.counters.sfu_flops
+
+    @property
+    def quant_saved_fraction(self) -> float:
+        """Fraction of the fp32-equivalent HBM traffic quantisation avoided."""
+        fp32_equiv = self.counters.hbm_bytes + self.quant_bytes_saved
+        if fp32_equiv <= 0:
+            return 0.0
+        return self.quant_bytes_saved / fp32_equiv
 
     @property
     def acceptance_rate(self) -> float:
@@ -437,6 +463,11 @@ class ServeReport:
             "autotune_candidates": self.autotune_candidates,
             "autotune_wins": self.autotune_wins,
             "autotune_win_ratio": self.autotune_win_ratio,
+            "quant": self.quant,
+            "quant_bytes_saved": self.quant_bytes_saved,
+            "quant_saved_fraction": self.quant_saved_fraction,
+            "dequant_flops": self.dequant_flops,
+            "dequant_overhead_fraction": self.dequant_overhead_fraction,
             "speculative": self.speculative,
             "spec_method": self.spec_method,
             "spec_draft_tokens": self.spec_draft_tokens,

@@ -151,18 +151,24 @@ class Scheduler:
         model_config: LlamaConfig,
         config: Optional[SchedulerConfig] = None,
         kv_shards: int = 1,
+        kv_quant=None,
     ) -> None:
         """``kv_shards`` is the KV-capacity multiplier of the execution
         backend (:attr:`repro.backend.ExecutionBackend.kv_shards`): with
         tensor-parallel sharding each device stores ``1 / kv_shards`` of
         every cached position, so ``kv_budget_bytes`` — always the budget
         of *one* device — admits ``kv_shards`` times more aggregate
-        context."""
+        context.  ``kv_quant`` is an optional
+        :class:`~repro.llama.quantization.QuantSpec` for the cached
+        vectors: footprints shrink to the group-quantised size (so the
+        same budget admits more context) and every cache this scheduler
+        creates fake-quantises on append."""
         if kv_shards <= 0:
             raise ValueError("kv_shards must be positive")
         self.model_config = model_config
         self.config = config or SchedulerConfig()
         self.kv_shards = kv_shards
+        self.kv_quant = kv_quant
         self.queue = RequestQueue()
         self.running: List[Request] = []
         self.kv_budget = MemoryBudget(self.config.kv_budget_bytes)
@@ -174,6 +180,7 @@ class Scheduler:
                 block_tokens=self.config.block_tokens,
                 watermark_fraction=self.config.watermark_fraction,
                 shards=kv_shards,
+                quant=kv_quant,
             )
         self.policy = build_policy(
             self.config.policy,
@@ -287,7 +294,9 @@ class Scheduler:
     def _kv_footprint(self, request: Request) -> int:
         """Worst-case KV bytes of ``request`` on one device (shard)."""
         positions = request.total_positions(self.model_config.max_seq_len)
-        nbytes = KVCache.projected_nbytes(self.model_config, positions)
+        nbytes = KVCache.projected_nbytes(
+            self.model_config, positions, quant=self.kv_quant
+        )
         return -(-nbytes // self.kv_shards)
 
     # ------------------------------------------------------------------
@@ -318,7 +327,9 @@ class Scheduler:
             request = head
             self.queue.remove(request)
             positions = request.total_positions(self.model_config.max_seq_len)
-            request.cache = KVCache(self.model_config, max_seq_len=positions)
+            request.cache = KVCache(
+                self.model_config, max_seq_len=positions, quant=self.kv_quant
+            )
             request.kv_reserved_bytes = footprint
             request.state = RequestState.PREFILL
             request.admitted_time = now
@@ -422,7 +433,9 @@ class Scheduler:
             if not self.kv_budget.reserve(footprint):
                 return None
             positions = request.total_positions(self.model_config.max_seq_len)
-            request.cache = KVCache(self.model_config, max_seq_len=positions)
+            request.cache = KVCache(
+                self.model_config, max_seq_len=positions, quant=self.kv_quant
+            )
             request.kv_reserved_bytes = footprint
             hit = 0
         request.arrival_seq = self._seq

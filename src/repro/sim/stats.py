@@ -34,6 +34,9 @@ class RunCounters:
     # stalls
     buffer_stall_cycles: int = 0
     memory_stall_cycles: int = 0
+    # quantisation
+    dequant_flops: int = 0
+    quant_saved_bytes: int = 0
 
     def __post_init__(self) -> None:
         for name, value in self.as_dict().items():
@@ -69,6 +72,8 @@ class RunCounters:
             "dma_transfers": self.dma_transfers,
             "buffer_stall_cycles": self.buffer_stall_cycles,
             "memory_stall_cycles": self.memory_stall_cycles,
+            "dequant_flops": self.dequant_flops,
+            "quant_saved_bytes": self.quant_saved_bytes,
         }
 
     def merge(self, other: "RunCounters") -> "RunCounters":

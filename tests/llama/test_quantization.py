@@ -41,9 +41,14 @@ class TestQuantSpec:
         spec = QuantSpec(bits=8, group_size=32)
         assert spec.storage_bytes(64) == 64 + 2 * 4
 
-    def test_storage_bytes_requires_divisible(self):
-        with pytest.raises(ValueError):
-            QuantSpec(group_size=32).storage_bytes(33)
+    def test_storage_bytes_pads_trailing_group(self):
+        spec = QuantSpec(group_size=32)
+        # 33 elements occupy two padded groups: 64 int8 bytes + 2 scales.
+        assert spec.storage_bytes(33) == 64 + 2 * 4
+
+    def test_int4_storage_bytes_packs_two_per_byte(self):
+        spec = QuantSpec(bits=4, group_size=32)
+        assert spec.storage_bytes(64) == 32 + 2 * 4
 
 
 class TestQuantizeDequantize:
@@ -80,9 +85,15 @@ class TestQuantizeDequantize:
         with pytest.raises(ValueError):
             quantize(np.float32(3.0))
 
-    def test_indivisible_axis_rejected(self):
-        with pytest.raises(ValueError, match="divisible"):
-            quantize(np.ones((2, 65), dtype=np.float32), QuantSpec(group_size=64))
+    def test_indivisible_axis_pads_trailing_group(self):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(2, 65)).astype(np.float32)
+        qt = quantize(x, QuantSpec(group_size=64))
+        assert qt.q.shape == (2, 128)
+        assert qt.scales.shape == (2, 2)
+        recon = dequantize(qt)
+        assert recon.shape == (2, 65)
+        assert np.linalg.norm(recon - x) / np.linalg.norm(x) < 0.01
 
     def test_nbytes_matches_spec(self):
         x = np.ones((4, 128), dtype=np.float32)
