@@ -26,6 +26,8 @@ from .errors import FrontendError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.speedllm import SpeedLLM
+    from ..obs.registry import MetricsRegistry
+    from ..obs.tracer import Tracer
     from ..quant import QuantConfig
     from ..serve.engine import AsyncServingEngine, ServingEngine
 
@@ -87,6 +89,13 @@ class EngineConfig:
     #: Keep the classifier head (and a shared embedding table) at fp32
     #: instead of the default INT8 head.
     fp32_logits: bool = False
+
+    # Observability ------------------------------------------------------
+    #: Record cycle-level execution traces on the accelerator so the
+    #: timeline export can merge hardware intervals under each step span
+    #: (:meth:`repro.obs.Tracer.merge_cycle_trace`).  Off by default —
+    #: traced steps defeat the compile cache's shape sharing.
+    trace_cycles: bool = False
 
     # Compilation pipeline ----------------------------------------------
     #: Autotune the tiling plan per step shape (the compile cache stores
@@ -204,12 +213,14 @@ class EngineConfig:
         accel_config = None
         quant = self.quant_config()
         fp32 = self.quant == "fp32"
-        if self.autotune or self.ctx_bucket != 1 or quant is not None or fp32:
+        if (self.autotune or self.ctx_bucket != 1 or quant is not None
+                or fp32 or self.trace_cycles):
             from ..accel.variants import variant_config
             accel_config = variant_config(self.variant).replace(
                 autotune_tiling=self.autotune,
                 ctx_bucket=self.ctx_bucket,
                 quant=quant,
+                trace_enabled=self.trace_cycles,
                 **({"weight_bits": 32} if fp32 else {}),
             )
         platform = None
@@ -222,11 +233,18 @@ class EngineConfig:
             accel_config=accel_config, platform=platform,
         )
 
-    def build_engine(self, llm: Optional["SpeedLLM"] = None) -> "ServingEngine":
+    def build_engine(
+        self,
+        llm: Optional["SpeedLLM"] = None,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> "ServingEngine":
         """Assemble scheduler, KV pool and backend into a serving engine.
 
         Pass a pre-built ``llm`` to reuse an existing stack (tests inject
         fixture checkpoints this way); otherwise :meth:`build_llm` runs.
+        ``tracer`` / ``metrics`` attach the observability subsystem
+        (:mod:`repro.obs`); both default to free no-ops.
         """
         from ..serve.engine import ServingEngine
         llm = llm or self.build_llm()
@@ -236,7 +254,8 @@ class EngineConfig:
             interconnect_gbps=self.interconnect_gbps,
             interconnect_latency_us=self.interconnect_latency_us,
         )
-        return ServingEngine(llm, self.scheduler_config(), backend=backend)
+        return ServingEngine(llm, self.scheduler_config(), backend=backend,
+                             tracer=tracer, metrics=metrics)
 
     def build_async_engine(
         self, llm: Optional["SpeedLLM"] = None

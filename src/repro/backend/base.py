@@ -33,6 +33,7 @@ from ..fpga.power import EnergyBreakdown
 from ..fpga.u280 import FpgaPlatform
 from ..llama.config import LlamaConfig
 from ..sim.stats import RunCounters
+from ..sim.trace import Trace
 
 __all__ = ["BackendStep", "ExecutionBackend"]
 
@@ -57,6 +58,11 @@ class BackendStep:
     engine_busy: Dict[str, int] = field(default_factory=dict)
     #: Per-shard MPE utilisation during the step (length ``n_shards``).
     shard_utilization: List[float] = field(default_factory=list)
+    #: Cycle-level execution trace of the step, present only when the
+    #: accelerator config enables tracing
+    #: (``AcceleratorConfig.trace_enabled``).  May be a cached object
+    #: shared across steps — consumers must copy, never mutate.
+    trace: Optional[Trace] = None
 
 
 class ExecutionBackend(abc.ABC):

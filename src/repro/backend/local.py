@@ -54,6 +54,7 @@ class LocalBackend(ExecutionBackend):
             counters=timing.counters,
             engine_busy=dict(timing.engine_busy),
             shard_utilization=[timing.mpe_utilization],
+            trace=timing.trace,
         )
 
     def energy_for(

@@ -133,6 +133,7 @@ class ShardedBackend(ExecutionBackend):
             counters=_scale_counters(timing.counters, tp),
             engine_busy={k: v * tp for k, v in timing.engine_busy.items()},
             shard_utilization=[timing.mpe_utilization] * tp,
+            trace=timing.trace,
         )
 
     # ------------------------------------------------------------------

@@ -169,6 +169,57 @@ def _add_quant_options(parser: argparse.ArgumentParser) -> None:
                              "embedding table) at fp32 (with --quant)")
 
 
+def _add_trace_options(parser: argparse.ArgumentParser) -> None:
+    """Observability flags of the serving benchmarks."""
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a Perfetto-loadable Chrome-trace "
+                             "timeline of the featured run to PATH "
+                             "(request-lifecycle spans on the simulated "
+                             "clock, one track per replica)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the Prometheus text exposition of the "
+                             "live metrics registry to PATH")
+    parser.add_argument("--trace-cycles", action="store_true",
+                        help="with --trace-out: also record cycle-level "
+                             "accelerator intervals and merge them under "
+                             "each step span")
+
+
+def _obs_sinks(args: argparse.Namespace):
+    """(tracer, registry) the output flags ask for (None = free no-op)."""
+    from .obs import MetricsRegistry, Tracer
+    tracer = Tracer() if getattr(args, "trace_out", None) else None
+    registry = (MetricsRegistry() if getattr(args, "metrics_out", None)
+                else None)
+    return tracer, registry
+
+
+def _write_obs_outputs(args: argparse.Namespace, tracer, registry,
+                       report, meta: dict) -> int:
+    """Write --trace-out / --metrics-out artifacts; count of problems."""
+    problems = []
+    # Keep stdout clean when the report itself streams there (--json -).
+    out = sys.stderr if getattr(args, "json", None) == "-" else sys.stdout
+    if tracer is not None:
+        from .obs import (build_chrome_trace, validate_chrome_trace,
+                          write_chrome_trace)
+        payload = build_chrome_trace(tracer, report=report,
+                                     registry=registry, meta=meta)
+        problems = validate_chrome_trace(payload)
+        for problem in problems:
+            print(f"TRACE INVALID: {problem}", file=sys.stderr)
+        write_chrome_trace(args.trace_out, payload)
+        print(f"trace written to {args.trace_out} "
+              f"({payload['otherData']['n_spans']} spans over "
+              f"{len(payload['otherData']['tracks'])} tracks; open in "
+              "Perfetto or chrome://tracing)", file=out)
+    if registry is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(registry.render())
+        print(f"metrics written to {args.metrics_out}", file=out)
+    return len(problems)
+
+
 def _spec_config(args: argparse.Namespace) -> Optional[SpecConfig]:
     """The speculative policy the CLI flags describe (None when off)."""
     if args.speculative is None:
@@ -190,6 +241,7 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
                           else "poisson")
     return EngineConfig(
         speculative=_spec_config(args),
+        trace_cycles=getattr(args, "trace_cycles", False),
         model=args.model,
         variant=args.variant,
         seed=args.seed,
@@ -360,6 +412,42 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", default=None,
                        help="write per-request rows and aggregates to this "
                             "path ('-' for stdout)")
+    _add_trace_options(serve)
+
+    # trace -------------------------------------------------------------
+    trace = sub.add_parser(
+        "trace",
+        help="export (or validate) a Perfetto-loadable Chrome-trace "
+             "timeline of a served suite",
+    )
+    trace.add_argument("--validate", default=None, metavar="PATH",
+                       help="validate an existing trace file (schema tag, "
+                            "span nesting, clock bounds, span-derived "
+                            "TTFT/ITL vs the embedded report) instead of "
+                            "generating one; exits non-zero on problems")
+    trace.add_argument("--model", default="stories15M",
+                       choices=available_presets())
+    trace.add_argument("--variant", default="full",
+                       choices=sorted(PAPER_VARIANTS))
+    trace.add_argument("--requests", type=int, default=6,
+                       help="number of requests in the traced suite")
+    trace.add_argument("--tokens", type=int, default=16,
+                       help="decode budget per request")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--mixed", action="store_true",
+                       help="trace the mixed chat/document suite instead "
+                            "of the default one")
+    trace.add_argument("--ignore-eos", action="store_true",
+                       help="never retire on EOS (fixed-length decode)")
+    _add_engine_options(trace)
+    trace.add_argument("--trace-cycles", action="store_true",
+                       help="also record cycle-level accelerator intervals "
+                            "and merge them under each step span")
+    trace.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="also write the Prometheus text exposition of "
+                            "the live metrics registry to PATH")
+    trace.add_argument("--out", default="trace.json",
+                       help="trace JSON output path (default: trace.json)")
 
     # quantize ----------------------------------------------------------
     quant = sub.add_parser(
@@ -530,9 +618,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _serve_suite(config: EngineConfig, llm, workloads, ignore_eos: bool,
-                 arrivals=None):
+                 arrivals=None, tracer=None, metrics=None):
     """Serve one workload suite through the completions layer; report."""
-    engine = config.build_engine(llm=llm)
+    engine = config.build_engine(llm=llm, tracer=tracer, metrics=metrics)
     service = CompletionService(engine)
     workloads = list(workloads)
     if arrivals is None:
@@ -747,8 +835,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     # The served run goes through the frontend API end to end: one
     # declarative EngineConfig assembles scheduler + KV pool + backend,
     # and requests enter through the OpenAI-style completions layer.
+    # Only this featured run carries the observability sinks — the
+    # baseline/probe twins below stay untraced.
+    tracer, registry = _obs_sinks(args)
     engine, report, completions = _serve_suite(
-        config, llm, workloads, args.ignore_eos, arrivals=arrivals)
+        config, llm, workloads, args.ignore_eos, arrivals=arrivals,
+        tracer=tracer, metrics=registry)
 
     # When any feature under test is on (speculation, chunked prefill, a
     # non-FIFO policy), also serve the identical suite on the plain twin:
@@ -814,6 +906,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         "completions": [c.as_dict() for c in completions],
         "aggregate": aggregate,
     }
+    check_failures += _write_obs_outputs(
+        args, tracer, registry, report,
+        meta={"command": "serve-bench", "model": args.model,
+              "n_requests": len(workloads)})
     if args.json == "-":
         import json as _json
         print(_json.dumps(payload, indent=2, sort_keys=True, default=str))
@@ -936,7 +1032,9 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     arrivals = engine_config.arrival_times(len(workloads)) or None
     params = SamplingParams(ignore_eos=args.ignore_eos)
 
-    cluster = cluster_config.build_cluster(llm=llm)
+    tracer, registry = _obs_sinks(args)
+    cluster = cluster_config.build_cluster(llm=llm, tracer=tracer,
+                                           metrics=registry)
     report = cluster.serve(workloads, params, arrivals=arrivals)
     streams = cluster.streams()
 
@@ -965,6 +1063,12 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     payload = report.as_dict()
     payload["token_identity_check"] = (
         ("pass" if check_failures == 0 else "fail") if args.check else None)
+    check_failures += _write_obs_outputs(
+        args, tracer, registry, report.pooled,
+        meta={"command": "serve-bench", "model": args.model,
+              "n_requests": len(workloads),
+              "n_replicas": cluster_config.n_replicas,
+              "disaggregated": cluster_config.disaggregate})
     if args.json == "-":
         import json as _json
         print(_json.dumps(payload, indent=2, sort_keys=True, default=str))
@@ -1568,10 +1672,64 @@ def _cmd_export_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (MetricsRegistry, Tracer, build_chrome_trace,
+                      validate_chrome_trace, write_chrome_trace)
+    if args.validate:
+        import json as _json
+        with open(args.validate, "r", encoding="utf-8") as fh:
+            payload = _json.load(fh)
+        problems = validate_chrome_trace(payload)
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        events = payload.get("traceEvents", [])
+        other = payload.get("otherData", {})
+        print(f"{args.validate}: valid ({len(events)} events, "
+              f"{other.get('n_spans', '?')} spans, "
+              f"{len(other.get('requests', {}))} requests)")
+        return 0
+    config = _engine_config(args)
+    llm = config.build_llm()
+    if args.mixed:
+        suite = mixed_chat_suite(n_chats=args.requests,
+                                 n_documents=max(1, args.requests // 3),
+                                 chat_new_tokens=args.tokens,
+                                 seed=args.seed)
+    else:
+        suite = default_suite(n_prompts=args.requests,
+                              max_new_tokens=args.tokens, seed=args.seed)
+    tracer = Tracer()
+    registry = MetricsRegistry() if args.metrics_out else None
+    engine = config.build_engine(llm=llm, tracer=tracer, metrics=registry)
+    report = engine.serve(list(suite),
+                          SamplingParams(ignore_eos=args.ignore_eos))
+    payload = build_chrome_trace(
+        tracer, report=report, registry=registry,
+        meta={"command": "trace", "model": args.model,
+              "n_requests": report.n_requests})
+    problems = validate_chrome_trace(payload)
+    for problem in problems:
+        print(f"TRACE INVALID: {problem}", file=sys.stderr)
+    write_chrome_trace(args.out, payload)
+    print(f"trace written to {args.out} "
+          f"({payload['otherData']['n_spans']} spans, "
+          f"{report.n_requests} requests, makespan "
+          f"{report.makespan_seconds * 1e3:.3f} ms; open in Perfetto or "
+          "chrome://tracing)")
+    if registry is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(registry.render())
+        print(f"metrics written to {args.metrics_out}")
+    return 1 if problems else 0
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,
+    "trace": _cmd_trace,
     "quantize": _cmd_quantize,
     "compile-bench": _cmd_compile_bench,
     "serve-api": _cmd_serve_api,

@@ -30,6 +30,8 @@ from .routing import ROUTES, Router, build_routing_policy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.speedllm import SpeedLLM
+    from ..obs.registry import MetricsRegistry
+    from ..obs.tracer import Tracer
     from .engine import ClusterEngine
 
 __all__ = ["ClusterConfig"]
@@ -144,12 +146,19 @@ class ClusterConfig:
             spill_slack_tokens=self.affinity_spill_slack_tokens,
         ))
 
-    def build_cluster(self, llm: Optional["SpeedLLM"] = None) -> "ClusterEngine":
+    def build_cluster(
+        self,
+        llm: Optional["SpeedLLM"] = None,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> "ClusterEngine":
         """Assemble the replica fleet, router and shared clock.
 
         All replicas share one ``llm`` stack (execution is functional;
         each replica keeps its own scheduler, KV pool and clock), so an
-        N-replica cluster does not cost N model builds.
+        N-replica cluster does not cost N model builds.  ``tracer`` /
+        ``metrics`` attach one shared observability sink across every
+        replica (one trace track per replica).
         """
         from .engine import ClusterEngine
-        return ClusterEngine(self, llm=llm)
+        return ClusterEngine(self, llm=llm, tracer=tracer, metrics=metrics)

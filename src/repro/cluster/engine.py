@@ -42,6 +42,8 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
 from ..api.errors import PromptTooLongError
 from ..api.params import SamplingParams
+from ..obs import tracer as spans
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..serve.engine import ServingEngine
 from ..serve.metrics import RequestMetrics, ServeReport
 from ..serve.request import Request
@@ -54,6 +56,7 @@ from .routing import Router, routable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.speedllm import SpeedLLM
+    from ..obs.registry import MetricsRegistry
 
 __all__ = ["ClusterEngine", "Replica"]
 
@@ -127,10 +130,19 @@ class ClusterEngine:
     """Data-parallel serving: a router in front of N engine replicas."""
 
     def __init__(
-        self, config: ClusterConfig, llm: Optional["SpeedLLM"] = None
+        self,
+        config: ClusterConfig,
+        llm: Optional["SpeedLLM"] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.config = config
         self.llm = llm if llm is not None else config.engine.build_llm()
+        #: Shared lifecycle tracer and metrics registry: every replica
+        #: emits onto the same tracer (one track per replica) so the
+        #: timeline shows the whole fleet on one clock.
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.router: Router = config.build_router()
         #: Separate router instance for decode-pool handoff delivery, so
         #: admission and delivery decisions are counted apart.
@@ -168,9 +180,13 @@ class ClusterEngine:
         return max((r.clock for r in self.replicas), default=0.0)
 
     def _spawn(self, pool: str, now: float) -> Replica:
-        engine = self.config.engine.build_engine(llm=self.llm)
+        engine = self.config.engine.build_engine(
+            llm=self.llm, tracer=self.tracer, metrics=self.metrics)
         engine.clock = now
-        replica = Replica(index=len(self.replicas), engine=engine,
+        index = len(self.replicas)
+        engine.set_trace_track(
+            f"replica-{index}" if pool == "unified" else f"{pool}-{index}")
+        replica = Replica(index=index, engine=engine,
                           pool=pool, spawned_at=now)
         if pool == "prefill":
             engine.on_finish = self._make_prefill_observer(replica)
@@ -336,6 +352,13 @@ class ClusterEngine:
                 request_id=creq.request_id,
                 arrival_time=creq.arrival_time,
             )
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    spans.ROUTED, max(now, creq.arrival_time),
+                    request_id=creq.request_id,
+                    track=target.engine.trace_track,
+                    replica=target.index, pool=pool,
+                )
             creq.stage = pool
             creq.engine = target.engine
             creq.request = handle.request
@@ -357,8 +380,13 @@ class ClusterEngine:
                 creq.stage = "done"
                 continue
             # The decode side reports the request end-to-end; drop the
-            # stub so pooled metrics see it exactly once.
+            # stub so pooled metrics see it exactly once.  Its root span
+            # is superseded the same way — the decode replica emits the
+            # arrival→finish root — while its prefill/token spans stay
+            # (that work really happened here).
             replica.engine.discard_completed(request)
+            if self.tracer.enabled:
+                self.tracer.discard(spans.REQUEST, request.request_id)
             creq.stage = "handoff"
             self._handoffs.append(_Handoff(
                 packet=packet,
@@ -420,6 +448,23 @@ class ClusterEngine:
             seconds = self.kv_link.point_to_point_seconds(nbytes)
             target.engine.clock = max(target.clock,
                                       packet.finish_clock + seconds)
+            if self.tracer.enabled:
+                self.tracer.span(
+                    spans.HANDOFF, packet.finish_clock,
+                    packet.finish_clock + seconds,
+                    request_id=handoff.creq.request_id,
+                    track=target.engine.trace_track,
+                    to_replica=target.index,
+                    bytes=nbytes,
+                    wire_positions=wire_positions,
+                    saved_positions=hit,
+                )
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "speedllm_kv_handoffs_total",
+                    "Prefill→decode KV handoffs delivered.",
+                    {"track": target.engine.trace_track},
+                ).inc()
             self.kv_transfers += 1
             self.kv_transfer_bytes += nbytes
             self.kv_transfer_seconds += seconds

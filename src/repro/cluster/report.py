@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..core.metrics import merge_sum
 from ..serve.metrics import ServeReport
 
 __all__ = ["ClusterReport", "ReplicaSummary"]
@@ -103,6 +104,22 @@ class ClusterReport:
     def makespan_seconds(self) -> float:
         return self.pooled.makespan_seconds
 
+    @property
+    def total_routing_decisions(self) -> Dict[str, int]:
+        """Per-replica routing decisions, admission + decode-pool summed.
+
+        Disaggregated runs count a request once at admission (prefill
+        pool) and once at handoff delivery (decode pool); this merges
+        both routers' per-replica counters key-wise so load-balance
+        checks see one map.
+        """
+        sections = [self.routing]
+        decode_pool = self.routing.get("decode_pool")
+        if isinstance(decode_pool, dict):
+            sections.append(decode_pool)
+        return merge_sum(
+            dict(section.get("decisions", {})) for section in sections)
+
     def as_dict(self) -> Dict[str, object]:
         """Pooled engine report extended with the cluster section.
 
@@ -117,6 +134,7 @@ class ClusterReport:
             "disaggregated": self.disaggregated,
             "autoscaled": self.autoscaled,
             "routing": dict(self.routing),
+            "total_routing_decisions": self.total_routing_decisions,
             "kv_transfers": self.kv_transfers,
             "kv_transfer_bytes": self.kv_transfer_bytes,
             "kv_transfer_seconds": self.kv_transfer_seconds,

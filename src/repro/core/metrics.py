@@ -18,6 +18,7 @@ from ..accel.accelerator import GenerationMetrics
 
 __all__ = [
     "VariantResult",
+    "merge_sum",
     "normalized_latency",
     "normalized_energy_efficiency",
     "speedup",
@@ -25,6 +26,21 @@ __all__ = [
     "percentile",
     "LatencySummary",
 ]
+
+
+def merge_sum(mappings: Iterable[Dict[str, float]]) -> Dict[str, float]:
+    """Key-wise sum of numeric mappings.
+
+    The one counter-merging helper every aggregation layer shares:
+    pooling per-phase compile seconds across replica reports, summing
+    energy-breakdown fields, totalling routing-decision counters.  Keys
+    appear in first-seen order; missing keys count as zero.
+    """
+    merged: Dict[str, float] = {}
+    for mapping in mappings:
+        for key, value in mapping.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
 
 
 @dataclass

@@ -1,0 +1,33 @@
+"""Unified observability: lifecycle tracing, metrics, timeline export.
+
+Three pieces, one simulated clock:
+
+* :mod:`repro.obs.tracer` — request-lifecycle spans (queued → prefill →
+  decode → preempted/handoff → finished) with zero overhead when
+  disabled; emitted by the scheduler, engine, router and handoff path.
+* :mod:`repro.obs.registry` — live counters/gauges/histograms with
+  Prometheus text exposition, sampled every engine step.
+* :mod:`repro.obs.timeline` — Perfetto-loadable Chrome trace-event
+  export merging request spans with rescaled accelerator cycle traces,
+  plus validation/reconciliation against the serving report.
+"""
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .timeline import (TRACE_SCHEMA, build_chrome_trace, reconcile_spans,
+                       validate_chrome_trace, write_chrome_trace)
+from .tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "build_chrome_trace",
+    "reconcile_spans",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -79,6 +79,9 @@ from ..api.outputs import RequestHandle, RequestOutput
 from ..api.params import SamplingParams
 from ..backend import ExecutionBackend, LocalBackend
 from ..llama.tokenizer import BOS_ID, EOS_ID, UNK_ID
+from ..obs import tracer as spans
+from ..obs.registry import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..sim.stats import RunCounters
 from ..spec import build_drafter, verify_run
 from .metrics import RequestMetrics, ServeReport
@@ -116,7 +119,14 @@ class ServingEngine:
         llm: SpeedLLM,
         scheduler_config: Optional[SchedulerConfig] = None,
         backend: Optional[ExecutionBackend] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
+        """``tracer`` collects request-lifecycle spans (the default
+        :data:`~repro.obs.NULL_TRACER` is a free no-op); ``metrics`` is
+        an optional live registry sampled every step.  Neither changes a
+        generated token or a reported number — the identity and
+        no-op-overhead tests pin this."""
         self.llm = llm
         self.accelerator: SpeedLLMAccelerator = llm.accelerator
         self.tokenizer = llm.tokenizer
@@ -135,6 +145,13 @@ class ServingEngine:
         if self.spec_config is not None:
             self.drafter = build_drafter(self.spec_config, llm)
             self.scheduler.attach_drafter(self.drafter)
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.trace_track = "engine-0"
+        self.scheduler.tracer = self.tracer
+        self.scheduler.trace_track = self.trace_track
+        self._metrics_preemptions_seen = 0
+        self._trace_cache_seen = (0, 0)
         self.clock = 0.0
         self._ids = itertools.count()
         #: Completion observer, called with each retiring request *before*
@@ -286,12 +303,140 @@ class ServingEngine:
                 "log") from None
 
     # ------------------------------------------------------------------
+    # Tracing / metrics plumbing
+    # ------------------------------------------------------------------
+    def set_trace_track(self, track: str) -> None:
+        """Name the lane this engine's spans render on (one per replica)."""
+        self.trace_track = track
+        self.scheduler.trace_track = track
+
+    def _trace_admissions(self, admitted: List[Request]) -> None:
+        """One ``queued`` span per admission: arrival (or the preemption
+        that re-queued the request) → admission."""
+        for request in admitted:
+            start = (request.last_preempt_time
+                     if request.last_preempt_time is not None
+                     else request.arrival_time)
+            self.tracer.span(
+                spans.QUEUED, start, request.admitted_time,
+                request_id=request.request_id, track=self.trace_track,
+                readmitted=request.n_preemptions > 0,
+                priority=request.priority,
+                prefix_hit_tokens=request.prefix_hit_tokens,
+            )
+
+    def _snapshot_step_phases(self, groups: Dict[str, List[tuple]]) -> list:
+        """Capture each scheduled request's phase *before* the commit loop
+        flips states and consumes draft tokens."""
+        snapshot = []
+        for request in self.scheduler.running:
+            entries = groups.get(request.request_id)
+            if not entries:
+                continue
+            blocks = request.block_table
+            snapshot.append({
+                "request": request,
+                "phase": (spans.PREFILL if request.in_prefill
+                          else spans.DECODE),
+                "n_slots": len(entries),
+                "start_pos": entries[0][0].pos,
+                "kv_blocks": len(blocks) if blocks is not None else None,
+                "drafted": len(request.draft_tokens),
+                "accepted_before": request.draft_tokens_accepted,
+            })
+        return snapshot
+
+    def _trace_step(self, snapshot: list, clock_before: float,
+                    step, n_slots: int) -> None:
+        """Emit the step's spans: one stage span per scheduled request,
+        one engine-lane ``step`` span, and the rescaled cycle trace."""
+        tracer = self.tracer
+        track = self.trace_track
+        for entry in snapshot:
+            request = entry["request"]
+            attrs = {
+                "pos": entry["start_pos"],
+                "n_slots": entry["n_slots"],
+                "priority": request.priority,
+            }
+            if entry["kv_blocks"] is not None:
+                attrs["kv_blocks"] = entry["kv_blocks"]
+            if entry["phase"] == spans.PREFILL:
+                attrs["prefix_hit_tokens"] = request.prefix_hit_tokens
+            elif entry["drafted"]:
+                attrs["draft_tokens"] = entry["drafted"]
+                attrs["draft_accepted"] = (
+                    request.draft_tokens_accepted - entry["accepted_before"])
+            tracer.span(
+                entry["phase"], clock_before, self.clock,
+                request_id=request.request_id, track=track, **attrs)
+        cache_stats = self.backend.compile_stats().get("cache", {})
+        hits = cache_stats.get("hits", 0)
+        misses = cache_stats.get("misses", 0)
+        seen_hits, seen_misses = self._trace_cache_seen
+        self._trace_cache_seen = (hits, misses)
+        tracer.span(
+            spans.STEP, clock_before, self.clock,
+            track=track,
+            n_slots=n_slots,
+            n_running=len(self.scheduler.running),
+            kv_utilization=self.scheduler.kv_utilization,
+            compile_cache_hits=hits - seen_hits,
+            compile_cache_misses=misses - seen_misses,
+        )
+        if step.trace is not None:
+            tracer.merge_cycle_trace(
+                step.trace,
+                offset_seconds=clock_before,
+                seconds_per_cycle=self.platform.cycles_to_seconds(1),
+                track=track,
+            )
+
+    def _sample_metrics(self, n_slots: int) -> None:
+        """Per-step registry sampling (the live-dashboard feed)."""
+        registry = self.metrics
+        scheduler = self.scheduler
+        labels = {"track": self.trace_track}
+        registry.counter(
+            "speedllm_steps_total",
+            "Batched accelerator steps executed.", labels).inc()
+        registry.counter(
+            "speedllm_slot_tokens_total",
+            "Token positions executed across all steps.", labels,
+        ).inc(n_slots)
+        registry.histogram(
+            "speedllm_step_batch_tokens",
+            "Token positions per batched step (batch occupancy).", labels,
+        ).observe(n_slots)
+        registry.gauge(
+            "speedllm_queue_depth",
+            "Requests waiting for admission.", labels,
+        ).set(len(scheduler.queue))
+        registry.gauge(
+            "speedllm_running_requests",
+            "Requests admitted and in flight.", labels,
+        ).set(len(scheduler.running))
+        registry.gauge(
+            "speedllm_kv_utilization",
+            "Fraction of the KV budget in live use.", labels,
+        ).set(scheduler.kv_utilization)
+        delta = scheduler.n_preemptions - self._metrics_preemptions_seen
+        if delta:
+            self._metrics_preemptions_seen = scheduler.n_preemptions
+            registry.counter(
+                "speedllm_preemptions_total",
+                "Running requests evicted to free KV blocks.", labels,
+            ).inc(delta)
+
+    # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
     def step(self) -> List[Request]:
         """Run one batched accelerator step; returns requests finished by it."""
         scheduler = self.scheduler
-        scheduler.admit(self.clock)
+        admitted = scheduler.admit(self.clock)
+        if self.tracer.enabled and admitted:
+            self._trace_admissions(admitted)
         slots = scheduler.build_step()
         # Sampled after step building so a request admitted and preempted
         # within the same step never counts toward peak concurrency.
@@ -305,6 +450,7 @@ class ServingEngine:
                 self.clock = next_arrival
             return []
 
+        clock_before = self.clock
         step = self.backend.execute_step(
             slots, kv_block_tokens=scheduler.kv_block_tokens
         )
@@ -324,6 +470,11 @@ class ServingEngine:
         groups: Dict[str, List[tuple]] = {}
         for slot, output in zip(slots, outputs):
             groups.setdefault(slot.request_id, []).append((slot, output))
+
+        # Phases must be captured before the commit loop flips request
+        # states (prefill → decode) and consumes draft-token lists.
+        snapshot = (self._snapshot_step_phases(groups)
+                    if self.tracer.enabled else None)
 
         finished: List[Request] = []
         for request in list(scheduler.running):
@@ -345,6 +496,10 @@ class ServingEngine:
             elif request.in_decode:
                 if self._commit_decode(request, entries):
                     finished.append(request)
+        if snapshot is not None:
+            self._trace_step(snapshot, clock_before, step, len(slots))
+        if self.metrics is not None:
+            self._sample_metrics(len(slots))
         return finished
 
     def _sample(self, request: Request, logits) -> bool:
@@ -422,6 +577,14 @@ class ServingEngine:
         request.token_times.append(self.clock)
         if request.first_token_time is None:
             request.first_token_time = self.clock
+        if self.tracer.enabled:
+            # Stamped with the same value appended to token_times above,
+            # so span-derived TTFT/ITL equal the reported metrics exactly.
+            self.tracer.instant(
+                spans.TOKEN, self.clock,
+                request_id=request.request_id, track=self.trace_track,
+                index=request.n_generated - 1,
+            )
         if request.logprobs is not None:
             request.logprobs.append(
                 _top_logprobs(logits, request.sampling.logprobs, token)
@@ -448,9 +611,32 @@ class ServingEngine:
             self._completed.append(request)
             if self.drafter is not None:
                 self.drafter.release(request)
+            if self.tracer.enabled:
+                self._trace_finish(request)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "speedllm_requests_finished_total",
+                    "Requests retired, by finish reason.",
+                    {"track": self.trace_track, "reason": reason},
+                ).inc()
             return True
         request.pending_token = token
         return False
+
+    def _trace_finish(self, request: Request) -> None:
+        """Emit the request's root span: arrival → finish, with the
+        lifetime attributes the timeline viewer surfaces."""
+        self.tracer.span(
+            spans.REQUEST, request.arrival_time, request.finish_time,
+            request_id=request.request_id, track=self.trace_track,
+            finish_reason=request.finish_reason,
+            priority=request.priority,
+            n_generated=request.n_generated,
+            n_preemptions=request.n_preemptions,
+            prefix_hit_tokens=request.prefix_hit_tokens,
+            draft_tokens_proposed=request.draft_tokens_proposed,
+            draft_tokens_accepted=request.draft_tokens_accepted,
+        )
 
     def _token_bytes(self, token: int) -> bytes:
         """The UTF-8 bytes a token contributes to the decoded text."""
@@ -523,6 +709,26 @@ class ServingEngine:
         cancelled = self.scheduler.cancel(request)
         if cancelled and self.drafter is not None:
             self.drafter.release(request)
+        if cancelled:
+            if self.tracer.enabled:
+                self.tracer.span(
+                    spans.REQUEST, request.arrival_time,
+                    max(self.clock, request.arrival_time),
+                    request_id=request.request_id, track=self.trace_track,
+                    finish_reason="cancelled",
+                    priority=request.priority,
+                    n_generated=request.n_generated,
+                    n_preemptions=request.n_preemptions,
+                    prefix_hit_tokens=request.prefix_hit_tokens,
+                    draft_tokens_proposed=request.draft_tokens_proposed,
+                    draft_tokens_accepted=request.draft_tokens_accepted,
+                )
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "speedllm_requests_finished_total",
+                    "Requests retired, by finish reason.",
+                    {"track": self.trace_track, "reason": "cancelled"},
+                ).inc()
         return cancelled
 
     # ------------------------------------------------------------------
@@ -585,6 +791,21 @@ class ServingEngine:
         compile_stats = self.backend.compile_stats()
         cache_stats = compile_stats.get("cache", {})
         autotune_stats = compile_stats.get("autotune", {})
+        if self.metrics is not None:
+            labels = {"track": self.trace_track}
+            prefill = scheduler.total_prefill_tokens
+            self.metrics.gauge(
+                "speedllm_prefix_hit_rate",
+                "Fraction of prefill tokens served from the prefix cache.",
+                labels,
+            ).set(scheduler.prefix_hit_tokens / prefill if prefill else 0.0)
+            lookups = (cache_stats.get("hits", 0)
+                       + cache_stats.get("misses", 0))
+            self.metrics.gauge(
+                "speedllm_compile_cache_hit_rate",
+                "Fraction of step compilations served from the cache.",
+                labels,
+            ).set(cache_stats.get("hits", 0) / lookups if lookups else 0.0)
         return ServeReport(
             requests=[self.result_for(r) for r in self._completed],
             policy=scheduler.config.policy,

@@ -13,23 +13,12 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..core.metrics import LatencySummary
+from ..core.metrics import LatencySummary, merge_sum
 from ..fpga.power import EnergyBreakdown
 from ..sim.stats import RunCounters
 from .request import Request
 
 __all__ = ["RequestMetrics", "ServeReport"]
-
-
-def _merge_phase_seconds(
-    mappings: Sequence[Dict[str, float]],
-) -> Dict[str, float]:
-    """Key-wise sum of per-phase compile seconds across reports."""
-    merged: Dict[str, float] = {}
-    for mapping in mappings:
-        for name, seconds in mapping.items():
-            merged[name] = merged.get(name, 0.0) + seconds
-    return merged
 
 
 @dataclass(frozen=True)
@@ -181,11 +170,9 @@ class ServeReport:
         counters = RunCounters()
         for report in reports:
             counters = counters + report.counters
-        energy = EnergyBreakdown(**{
-            f.name: sum(getattr(report.energy, f.name)
-                        for report in reports)
-            for f in dataclasses.fields(EnergyBreakdown)
-        })
+        energy = EnergyBreakdown(**merge_sum(
+            dataclasses.asdict(report.energy) for report in reports
+        ))
         n_steps = sum(report.n_steps for report in reports)
         kv_weighted = sum(report.mean_kv_utilization * report.n_steps
                           for report in reports)
@@ -223,8 +210,8 @@ class ServeReport:
             compile_cache_evictions=sum(r.compile_cache_evictions
                                         for r in reports),
             compile_seconds=sum(r.compile_seconds for r in reports),
-            compile_phase_seconds=_merge_phase_seconds(
-                [r.compile_phase_seconds for r in reports]
+            compile_phase_seconds=merge_sum(
+                r.compile_phase_seconds for r in reports
             ),
             autotune_searches=sum(r.autotune_searches for r in reports),
             autotune_candidates=sum(r.autotune_candidates for r in reports),

@@ -93,6 +93,9 @@ class Request:
     kv_reserved_bytes: int = 0
     replay_tokens: Optional[List[int]] = None
     n_preemptions: int = 0
+    #: Clock of the most recent preemption; a readmission's queued span
+    #: starts here rather than at arrival.
+    last_preempt_time: Optional[float] = None
     prefix_hit_tokens: int = 0
     #: Draft tokens the current step's verify run is scoring (set by the
     #: scheduler when it emits the run's slots, consumed by the engine's

@@ -61,15 +61,17 @@ from ..accel.batching import BatchSlot
 from ..kvpool import KVPool
 from ..llama.config import LlamaConfig
 from ..llama.kv_cache import KVCache
+from ..obs.tracer import NULL_TRACER
 from ..sim.memory import MemoryBudget
 from ..spec.config import SpecConfig
 from .policy import POLICIES, build_policy
 from .request import Request, RequestQueue, RequestState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.tracer import Tracer
     from ..spec.drafter import Drafter
 
-__all__ = ["Scheduler", "SchedulerConfig"]
+__all__ = ["PreemptionEvent", "Scheduler", "SchedulerConfig"]
 
 #: Default KV budget when none is given: a slice of U280 HBM left for the
 #: cache after weights and activation buffers (256 MB of the 8 GB card).
@@ -143,6 +145,26 @@ class SchedulerConfig:
         return max(1, self.max_batch_tokens // 2)
 
 
+@dataclass(frozen=True)
+class PreemptionEvent:
+    """One eviction: who was preempted, for whom, and when.
+
+    The scheduler's audit log holds these, and the tracer's
+    ``preempted`` instant is built *from the same object*
+    (:meth:`repro.obs.Tracer.preemption`), so the log and the trace
+    cannot drift apart.  The policy invariant — a victim is never more
+    urgent than its beneficiary under priority/fairness — is asserted
+    against the log by the property tests.
+    """
+
+    victim_id: str
+    victim_priority: int
+    beneficiary_id: str
+    beneficiary_priority: int
+    #: Simulated-clock time of the eviction (the step's planning time).
+    time: float = 0.0
+
+
 class Scheduler:
     """Admits requests and builds batched steps under token/KV budgets."""
 
@@ -192,12 +214,18 @@ class Scheduler:
         self.n_preemptions = 0
         self.prefix_hit_tokens = 0
         self.total_prefill_tokens = 0
-        #: Preemption audit log: ``(victim_id, victim_priority,
-        #: beneficiary_id, beneficiary_priority)`` per eviction.  The
-        #: policy invariant — a victim is never more urgent than its
-        #: beneficiary under priority/fairness — is asserted against it
-        #: by the property tests.
-        self.preemption_events: List[tuple] = []
+        #: Preemption audit log, one :class:`PreemptionEvent` per
+        #: eviction; each is also routed through the tracer so the log
+        #: and the trace are two views of one record.
+        self.preemption_events: List[PreemptionEvent] = []
+        #: Lifecycle tracer and the track label spans render on; the
+        #: owning engine assigns both (the default is the free no-op).
+        self.tracer: "Tracer" = NULL_TRACER
+        self.trace_track = "engine-0"
+        #: Clock of the most recent admission sweep — the planning time
+        #: of the step under construction, which is when preemptions
+        #: (decided during ``build_step``) actually happen.
+        self._now = 0.0
         #: Speculative decoding: the engine attaches the drafter built
         #: from ``config.speculative`` (the scheduler cannot build it —
         #: drafters may need the model stack).
@@ -314,6 +342,7 @@ class Scheduler:
         (plus the watermark, waived when nothing is running so a lone
         request can always start).
         """
+        self._now = now
         if self.pool is not None:
             return self._admit_paged(now)
         admitted: List[Request] = []
@@ -472,11 +501,18 @@ class Scheduler:
         victim.next_pos = 0
         victim.state = RequestState.QUEUED
         victim.n_preemptions += 1
+        victim.last_preempt_time = self._now
         self.n_preemptions += 1
-        self.preemption_events.append(
-            (victim.request_id, victim.priority,
-             beneficiary.request_id, beneficiary.priority)
+        event = PreemptionEvent(
+            victim_id=victim.request_id,
+            victim_priority=victim.priority,
+            beneficiary_id=beneficiary.request_id,
+            beneficiary_priority=beneficiary.priority,
+            time=self._now,
         )
+        self.preemption_events.append(event)
+        if self.tracer.enabled:
+            self.tracer.preemption(event, track=self.trace_track)
         self.running.remove(victim)
         self.queue.push_front(victim)
 

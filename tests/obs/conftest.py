@@ -1,0 +1,13 @@
+"""Shared fixtures of the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.speedllm import SpeedLLM
+
+
+@pytest.fixture(scope="package")
+def llm(small_checkpoint, tiny_tokenizer):
+    return SpeedLLM(model="test-small", checkpoint=small_checkpoint,
+                    tokenizer=tiny_tokenizer)

@@ -1,0 +1,154 @@
+"""Span ↔ report reconciliation: the trace is a correctness audit.
+
+The acceptance property of the tracing subsystem: latencies recomputed
+purely from spans equal the engine's reported
+:class:`~repro.serve.metrics.RequestMetrics` **exactly** (``==`` on
+floats, no tolerance), across the whole serving-config matrix, under
+speculative decoding, and through preemption/readmission.  The tracer
+can pin this because it records the very clock floats the engine stores
+in ``Request.token_times`` — the trace and the report are two views of
+one measurement, not two measurements.
+
+The flip side is also pinned: tracing is passive.  An enabled tracer
+changes no generated token and no reported number, and a disabled one
+emits nothing at all.
+"""
+
+from __future__ import annotations
+
+from repro.api import SamplingParams, SpecConfig
+from repro.llama.kv_cache import KVCache
+from repro.obs import tracer as spans
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import (
+    build_chrome_trace,
+    reconcile_spans,
+    validate_chrome_trace,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.serve import SchedulerConfig, ServingEngine
+
+PROMPTS = [
+    "Once upon a time",
+    "Lily and Tom went to the park",
+    "The little dog was happy",
+    "One day a bird found a shiny stone",
+]
+
+
+def assert_exact_reconciliation(tracer, report):
+    """Every reported latency equals its span-derived twin, bit-exact."""
+    rec = reconcile_spans(tracer.spans)
+    assert set(rec) == {r.request_id for r in report.requests}
+    for metrics in report.requests:
+        derived = rec[metrics.request_id]
+        assert derived["ttft_s"] == metrics.time_to_first_token_s
+        assert derived["itl_s"] == list(metrics.inter_token_latencies_s)
+        assert derived["latency_s"] == metrics.latency_s
+        assert derived["n_tokens"] == metrics.n_generated
+        assert derived["finish_reason"] == metrics.finish_reason
+
+
+def serve_traced(config, llm, prompts=PROMPTS, max_tokens=8):
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    engine = config.build_engine(llm=llm, tracer=tracer, metrics=registry)
+    for i, prompt in enumerate(prompts):
+        engine.submit(prompt, SamplingParams(max_tokens=max_tokens,
+                                             seed=11 + i))
+    report = engine.run()
+    return tracer, registry, report
+
+
+class TestExactReconciliation:
+    def test_across_engine_matrix(self, llm, engine_matrix_config):
+        """Reservation / paged / TP=2, chunked on and off: span-derived
+        TTFT and ITL equal the reported values with ``==``."""
+        tracer, registry, report = serve_traced(engine_matrix_config, llm)
+        assert_exact_reconciliation(tracer, report)
+        payload = build_chrome_trace(tracer, report=report,
+                                     registry=registry)
+        assert validate_chrome_trace(payload) == []
+
+    def test_with_speculative_decoding(self, llm, engine_matrix_config):
+        """Multi-token commits per step keep token instants in lockstep
+        with ``token_times``."""
+        import dataclasses
+        config = dataclasses.replace(engine_matrix_config,
+                                     speculative=SpecConfig())
+        tracer, registry, report = serve_traced(config, llm)
+        assert report.spec_draft_tokens > 0
+        assert_exact_reconciliation(tracer, report)
+        assert validate_chrome_trace(
+            build_chrome_trace(tracer, report=report)) == []
+        # Decode spans carry the per-step spec acceptance deltas.
+        decodes = tracer.spans_named(spans.DECODE)
+        assert any(s.attrs.get("draft_tokens", 0) > 0 for s in decodes)
+
+    def test_through_preemption_and_readmission(self, llm):
+        """A pool too small for all requests forces eviction; preempted
+        instants land in the trace, readmissions open fresh queued spans,
+        and reconciliation stays exact."""
+        tracer = Tracer()
+        block_bytes = KVCache.bytes_per_block(llm.model_config, 4)
+        engine = ServingEngine(llm, SchedulerConfig(
+            max_batch_tokens=16,
+            paged=True,
+            block_tokens=4,
+            kv_budget_bytes=7 * block_bytes,
+            watermark_fraction=0.0,
+        ), tracer=tracer)
+        for prompt in PROMPTS[:3]:
+            engine.submit(prompt, SamplingParams(max_tokens=10))
+        report = engine.run(max_steps=3000)
+        assert report.n_preemptions > 0
+        marks = tracer.spans_named(spans.PREEMPTED)
+        assert len(marks) == report.n_preemptions
+        readmitted = [s for s in tracer.spans_named(spans.QUEUED)
+                      if s.attrs.get("readmitted")]
+        assert readmitted, "no queued span marked as a readmission"
+        assert_exact_reconciliation(tracer, report)
+        assert validate_chrome_trace(
+            build_chrome_trace(tracer, report=report)) == []
+
+
+class TestTracingIsPassive:
+    def test_enabled_tracer_changes_nothing(self, llm, engine_matrix_config):
+        """Same tokens, same reported latencies, traced or not."""
+        _, _, traced = serve_traced(engine_matrix_config, llm)
+        bare_engine = engine_matrix_config.build_engine(llm=llm)
+        for i, prompt in enumerate(PROMPTS):
+            bare_engine.submit(prompt, SamplingParams(max_tokens=8,
+                                                      seed=11 + i))
+        bare = bare_engine.run()
+        assert ([r.generated_tokens for r in traced.requests]
+                == [r.generated_tokens for r in bare.requests])
+        for a, b in zip(traced.requests, bare.requests):
+            assert a.time_to_first_token_s == b.time_to_first_token_s
+            assert a.inter_token_latencies_s == b.inter_token_latencies_s
+            assert a.latency_s == b.latency_s
+        assert traced.makespan_seconds == bare.makespan_seconds
+
+    def test_untraced_engine_emits_nothing(self, llm, engine_matrix_config):
+        engine = engine_matrix_config.build_engine(llm=llm)
+        assert engine.tracer is NULL_TRACER
+        engine.submit(PROMPTS[0], SamplingParams(max_tokens=4))
+        engine.run()
+        assert len(NULL_TRACER) == 0
+
+    def test_metrics_sampling_without_tracer(self, llm, engine_matrix_config):
+        """The registry attaches independently of span tracing."""
+        registry = MetricsRegistry()
+        engine = engine_matrix_config.build_engine(llm=llm, metrics=registry)
+        for prompt in PROMPTS[:2]:
+            engine.submit(prompt, SamplingParams(max_tokens=4))
+        report = engine.run()
+        snapshot = registry.as_dict()
+        steps = sum(snapshot["speedllm_steps_total"]["samples"].values())
+        assert steps > 0
+        finished = sum(
+            snapshot["speedllm_requests_finished_total"]["samples"].values())
+        assert finished == len(report.requests)
+        tokens = sum(
+            snapshot["speedllm_slot_tokens_total"]["samples"].values())
+        assert tokens >= sum(r.n_generated for r in report.requests)

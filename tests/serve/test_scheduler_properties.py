@@ -251,10 +251,11 @@ class TestPreemptionNeverInvertsUrgency:
             harness.run(n_requests=12)
             events.extend(harness.scheduler.preemption_events)
         assert events, "traffic never preempted; the property is vacuous"
-        for victim_id, victim_pri, beneficiary_id, beneficiary_pri in events:
-            assert victim_pri >= beneficiary_pri, (
-                f"{victim_id} (tier {victim_pri}) was evicted for "
-                f"{beneficiary_id} (tier {beneficiary_pri})")
+        for event in events:
+            assert event.victim_priority >= event.beneficiary_priority, (
+                f"{event.victim_id} (tier {event.victim_priority}) was "
+                f"evicted for {event.beneficiary_id} "
+                f"(tier {event.beneficiary_priority})")
 
     def test_fifo_ignores_priority_when_preempting(self, micro_config):
         # Control: FIFO's latest-admitted rule may evict an urgent
@@ -267,9 +268,8 @@ class TestPreemptionNeverInvertsUrgency:
             harness = TrafficHarness(micro_config, config, seed)
             harness.run(n_requests=12)
             inversions += sum(
-                1 for _, victim_pri, _, beneficiary_pri
-                in harness.scheduler.preemption_events
-                if victim_pri < beneficiary_pri)
+                1 for event in harness.scheduler.preemption_events
+                if event.victim_priority < event.beneficiary_priority)
         assert inversions > 0
 
 

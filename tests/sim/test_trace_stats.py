@@ -81,6 +81,63 @@ class TestTrace:
             trace.to_chrome_trace(cycle_ns=0)
 
 
+class TestTraceAdversarialIntervals:
+    """Degenerate interval shapes the analysis helpers must survive:
+    zero-length events, fully-nested intervals and identical starts.
+    The accelerator model never emits these on one engine, but merged
+    and rescaled traces (``repro.obs``) may, and the statistics must
+    stay well-defined rather than divide by zero or double count."""
+
+    def test_zero_length_events(self):
+        trace = Trace()
+        trace.record("mpe", "flash", 10, 10)
+        assert TraceEvent("mpe", "flash", 10, 10).duration == 0
+        assert trace.busy_cycles("mpe") == 0
+        assert trace.span() == 0
+        # A span of zero must not blow up utilisation.
+        assert trace.utilization("mpe") == 0.0
+        trace.record("mpe", "work", 10, 20)
+        assert trace.span() == 10
+        assert trace.utilization("mpe") == 1.0
+        # Zero-length events still export as visible (1-cycle) slivers.
+        slivers = [e for e in trace.to_chrome_trace() if e["ph"] == "X"]
+        assert all(e["dur"] > 0 for e in slivers)
+
+    def test_fully_nested_intervals(self):
+        trace = Trace()
+        trace.record("mpe", "outer", 0, 100)
+        trace.record("mpe", "inner", 25, 75)
+        # Busy time sums intervals directly — nesting double counts by
+        # design (the caller is expected not to overlap work on one
+        # engine), but span and utilisation stay bounded.
+        assert trace.busy_cycles("mpe") == 150
+        assert trace.span() == 100
+        assert trace.utilization("mpe") == 1.0  # clamped, not 1.5
+
+    def test_identical_starts(self):
+        trace = Trace()
+        trace.record("mpe", "a", 50, 60)
+        trace.record("load", "b", 50, 55, category="transfer")
+        trace.record("mpe", "c", 50, 50)
+        assert trace.span() == 10
+        assert trace.engines() == ["mpe", "load"]
+        assert trace.busy_cycles("mpe") == 10
+        # Merging at an offset preserves the shared start.
+        merged = Trace()
+        merged.merge(trace, offset=1000)
+        assert {ev.start for ev in merged.events} == {1050}
+        assert merged.span() == 10
+
+    def test_merge_preserves_degenerate_events(self):
+        source = Trace()
+        source.record("mpe", "flash", 7, 7)
+        target = Trace()
+        target.merge(source, offset=3)
+        (ev,) = target.events
+        assert (ev.start, ev.end) == (10, 10)
+        assert ev.duration == 0
+
+
 class TestRunCounters:
     def test_defaults_zero(self):
         counters = RunCounters()
